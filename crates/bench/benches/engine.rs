@@ -1,0 +1,95 @@
+//! Simulation-core benchmarks: the event queue and stochastic processes
+//! that every experiment's wall-clock time hangs off.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use diversifi_simcore::{EventQueue, SeedFactory, SimDuration, SimTime};
+use diversifi_wifi::{GeParams, GilbertElliott, OrnsteinUhlenbeck};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for n in [1_000usize, 10_000, 100_000] {
+        g.bench_with_input(BenchmarkId::new("schedule_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q: EventQueue<u64> = EventQueue::new();
+                for i in 0..n as u64 {
+                    // Pseudo-random interleaving without an RNG in the loop.
+                    let t = (i.wrapping_mul(0x9E3779B97F4A7C15)) % 1_000_000_000;
+                    q.schedule(SimTime::from_nanos(t), i);
+                }
+                let mut acc = 0u64;
+                while let Some((_, v)) = q.pop() {
+                    acc = acc.wrapping_add(v);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_rng_streams(c: &mut Criterion) {
+    let seeds = SeedFactory::new(42);
+    c.bench_function("rng/stream_derivation", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(seeds.stream("bench", i))
+        })
+    });
+    c.bench_function("rng/uniform_draws_1k", |b| {
+        let mut rng = seeds.stream("draws", 0);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += rng.uniform();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_channel_processes(c: &mut Criterion) {
+    let seeds = SeedFactory::new(7);
+    c.bench_function("fading/ge_query_20ms_steps_1k", |b| {
+        b.iter_batched(
+            || GilbertElliott::new(GeParams::weak_link(), seeds.stream("ge", 0)),
+            |mut ge| {
+                let mut t = SimTime::ZERO;
+                let mut bad = 0u32;
+                for _ in 0..1000 {
+                    if ge.erasure_at(t) > 0.5 {
+                        bad += 1;
+                    }
+                    t += SimDuration::from_millis(20);
+                }
+                black_box(bad)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("fading/ou_query_1k", |b| {
+        b.iter_batched(
+            || OrnsteinUhlenbeck::new(3.0, SimDuration::from_secs(2), seeds.stream("ou", 0)),
+            |mut ou| {
+                let mut t = SimTime::ZERO;
+                let mut acc = 0.0;
+                for _ in 0..1000 {
+                    acc += ou.at(t);
+                    t += SimDuration::from_millis(20);
+                }
+                black_box(acc)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_event_queue, bench_rng_streams, bench_channel_processes
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Wired-element benchmarks: SDN switch lookup, middlebox ingest and the
+//! start/stop protocol under load (the hot paths behind Table 3 and §6.4),
+//! plus the TCP state machine.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use diversifi_net::{
+    FlowMatch, Middlebox, MiddleboxConfig, Port, Rule, SdnSwitch, StreamPacket, TcpConfig,
+    TcpReceiver, TcpSender,
+};
+use diversifi_simcore::SimTime;
+use diversifi_wifi::FlowId;
+
+fn bench_switch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sdn_switch");
+    for n_rules in [2usize, 64, 512] {
+        g.bench_with_input(BenchmarkId::new("process", n_rules), &n_rules, |b, &n| {
+            let mut sw = SdnSwitch::new();
+            for i in 0..n as u32 {
+                sw.install(Rule {
+                    priority: 10,
+                    matcher: FlowMatch::flow(FlowId(i)),
+                    out_ports: vec![Port(1), Port(2)],
+                });
+            }
+            sw.install(Rule { priority: 0, matcher: FlowMatch::any(), out_ports: vec![Port(1)] });
+            // Worst case: match the last-installed specific rule.
+            let pkt = StreamPacket::new(FlowId(0), 0, 160, SimTime::ZERO);
+            b.iter(|| black_box(sw.process(&pkt)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_middlebox(c: &mut Criterion) {
+    let mut g = c.benchmark_group("middlebox");
+    for flows in [1usize, 100, 1000] {
+        g.bench_with_input(BenchmarkId::new("ingest", flows), &flows, |b, &n| {
+            let mut m = Middlebox::new(MiddleboxConfig::default());
+            for i in 0..n as u32 {
+                m.register(FlowId(i), None);
+            }
+            let mut seq = 0u64;
+            b.iter(|| {
+                seq += 1;
+                black_box(m.ingest(StreamPacket::new(FlowId(0), seq, 160, SimTime::ZERO)))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("start_stop", flows), &flows, |b, &n| {
+            let mut m = Middlebox::new(MiddleboxConfig::default());
+            for i in 0..n as u32 {
+                m.register(FlowId(i), None);
+            }
+            for s in 0..5 {
+                m.ingest(StreamPacket::new(FlowId(0), s, 160, SimTime::ZERO));
+            }
+            b.iter(|| {
+                let (d, pkts) = m.start(FlowId(0), 0);
+                m.stop(FlowId(0));
+                for p in &pkts {
+                    m.ingest(*p);
+                }
+                black_box(d)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_tcp(c: &mut Criterion) {
+    c.bench_function("tcp/send_ack_round_1k_segments", |b| {
+        b.iter(|| {
+            let mut snd = TcpSender::new(TcpConfig::default());
+            let mut rcv = TcpReceiver::new();
+            let mut t = SimTime::from_millis(1);
+            let mut segs: Vec<u64> = Vec::with_capacity(512);
+            while rcv.delivered < 1000 {
+                // Drain one window's worth, then ACK it — acking inside
+                // the send loop would refill the window forever.
+                segs.clear();
+                while let Some(seg) = snd.poll_send(t) {
+                    segs.push(seg.seq);
+                }
+                t += diversifi_simcore::SimDuration::from_millis(5);
+                let mut ack = 0;
+                for &seq in &segs {
+                    ack = rcv.on_segment(seq);
+                }
+                snd.on_ack(ack, t);
+                t += diversifi_simcore::SimDuration::from_millis(5);
+            }
+            black_box(rcv.delivered)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_switch, bench_middlebox, bench_tcp
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! QoE-pipeline benchmarks: playout concealment, the E-model, and the PCR
+//! classifier — executed once per call per strategy in every experiment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use diversifi::analysis::QualityParams;
+use diversifi_simcore::{RngStream, SimDuration, SimTime};
+use diversifi_voip::{
+    burst_ratio, conceal, evaluate, CodecModel, PlayoutConfig, StreamSpec, StreamTrace,
+    DEFAULT_DEADLINE,
+};
+
+fn synthetic_trace(seed: u64, loss: f64) -> StreamTrace {
+    let spec = StreamSpec::voip();
+    let mut trace = StreamTrace::new(spec, SimTime::ZERO);
+    let mut rng = RngStream::from_seed(seed);
+    for i in 0..trace.len() {
+        if !rng.chance(loss) {
+            let sent = trace.fates[i].sent;
+            trace.record_arrival(
+                i as u64,
+                sent + SimDuration::from_micros(5000 + rng.range_u64(0, 8000)),
+            );
+        }
+    }
+    trace
+}
+
+fn bench_conceal(c: &mut Criterion) {
+    let tr = synthetic_trace(1, 0.05);
+    let cfg = PlayoutConfig::default();
+    c.bench_function("qoe/conceal_6000pkt", |b| b.iter(|| black_box(conceal(&tr, &cfg))));
+}
+
+fn bench_emodel(c: &mut Criterion) {
+    let tr = synthetic_trace(2, 0.05);
+    let cfg = PlayoutConfig::default();
+    let codec = CodecModel::g711_plc();
+    let stats = conceal(&tr, &cfg);
+    c.bench_function("qoe/emodel_evaluate", |b| {
+        b.iter(|| {
+            black_box(evaluate(
+                &tr,
+                &stats,
+                &codec,
+                DEFAULT_DEADLINE,
+                SimDuration::from_millis(60),
+            ))
+        })
+    });
+    c.bench_function("qoe/burst_ratio", |b| {
+        let bursts = tr.burst_lengths(DEFAULT_DEADLINE);
+        b.iter(|| black_box(burst_ratio(&bursts, 0.05)))
+    });
+}
+
+fn bench_full_pcr(c: &mut Criterion) {
+    let traces: Vec<StreamTrace> = (0..20).map(|i| synthetic_trace(i, 0.03)).collect();
+    let q = QualityParams::default();
+    c.bench_function("qoe/pcr_over_20_calls", |b| b.iter(|| black_box(q.pcr_pct(&traces))));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_conceal, bench_emodel, bench_full_pcr
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Strategy-combinator benchmarks: evaluating the §4 strategies over
+//! full-length (6000-packet) call traces — the inner loop of Figs. 2, 5, 6.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use diversifi_client::{better, cross_link, divert, stronger, DivertConfig, LinkObservation};
+use diversifi_simcore::{RngStream, SimDuration, SimTime};
+use diversifi_voip::{StreamSpec, StreamTrace, DEFAULT_DEADLINE};
+
+fn synthetic_obs(seed: u64, loss: f64, rssi: f64) -> LinkObservation {
+    let spec = StreamSpec::voip();
+    let mut trace = StreamTrace::new(spec, SimTime::ZERO);
+    let mut rng = RngStream::from_seed(seed);
+    for i in 0..trace.len() {
+        if !rng.chance(loss) {
+            let sent = trace.fates[i].sent;
+            trace.record_arrival(i as u64, sent + SimDuration::from_millis(8));
+        }
+    }
+    LinkObservation { trace, rssi_dbm: rssi }
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let a = synthetic_obs(1, 0.03, -55.0);
+    let b = synthetic_obs(2, 0.08, -62.0);
+    let mut g = c.benchmark_group("strategy_6000pkt_call");
+    g.bench_function("stronger", |bch| bch.iter(|| black_box(stronger(&a, &b))));
+    g.bench_function("better", |bch| {
+        bch.iter(|| black_box(better(&a, &b, SimDuration::from_secs(5), DEFAULT_DEADLINE)))
+    });
+    g.bench_function("divert", |bch| {
+        bch.iter(|| black_box(divert(&a, &b, &DivertConfig::default(), DEFAULT_DEADLINE)))
+    });
+    g.bench_function("cross_link", |bch| bch.iter(|| black_box(cross_link(&a, &b))));
+    g.finish();
+}
+
+fn bench_trace_metrics(c: &mut Criterion) {
+    let a = synthetic_obs(3, 0.05, -55.0);
+    let mut g = c.benchmark_group("trace_metrics_6000pkt");
+    g.bench_function("worst_window", |bch| {
+        bch.iter(|| {
+            black_box(
+                a.trace.worst_window_loss_pct(SimDuration::from_secs(5), DEFAULT_DEADLINE),
+            )
+        })
+    });
+    g.bench_function("burst_lengths", |bch| {
+        bch.iter(|| black_box(a.trace.burst_lengths(DEFAULT_DEADLINE)))
+    });
+    g.bench_function("loss_indicator", |bch| {
+        bch.iter(|| black_box(a.trace.loss_indicator(DEFAULT_DEADLINE)))
+    });
+    g.bench_function("rfc3550_jitter", |bch| bch.iter(|| black_box(a.trace.rfc3550_jitter_ms())));
+    g.finish();
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    let a = synthetic_obs(4, 0.05, -55.0);
+    let b = synthetic_obs(5, 0.05, -60.0);
+    c.bench_function("fig4/auto_plus_cross_20lags", |bch| {
+        bch.iter(|| {
+            let auto =
+                diversifi_voip::metrics::loss_autocorrelation(&a.trace, DEFAULT_DEADLINE, 20);
+            let cross = diversifi_voip::metrics::loss_cross_correlation(
+                &a.trace,
+                &b.trace,
+                DEFAULT_DEADLINE,
+                20,
+            );
+            black_box((auto, cross))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_strategies, bench_trace_metrics, bench_correlation
+}
+criterion_main!(benches);

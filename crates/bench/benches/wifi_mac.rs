@@ -1,0 +1,87 @@
+//! WiFi substrate benchmarks: the per-frame MAC exchange is the single
+//! hottest function in every corpus (6000–75000 calls per simulated call).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use diversifi_simcore::{SeedFactory, SimDuration, SimTime};
+use diversifi_wifi::{
+    mac, AccessPoint, AdapterId, ApConfig, ApId, Channel, ClientId, FlowId, Frame, GeParams,
+    LinkConfig, LinkModel, MacConfig, QueueDiscipline,
+};
+
+fn frame(seq: u64, bytes: u32) -> Frame {
+    Frame::data(FlowId(0), seq, bytes, SimTime::ZERO, ClientId(0), AdapterId(0))
+}
+
+fn bench_transmit(c: &mut Criterion) {
+    let seeds = SeedFactory::new(0xBEEF);
+    let mut g = c.benchmark_group("mac_transmit");
+    for (label, dist, weak) in
+        [("clean_voip", 12.0, false), ("weak_voip", 30.0, true), ("clean_mtu", 12.0, false)]
+    {
+        let bytes = if label.ends_with("mtu") { 1500 } else { 200 };
+        g.bench_with_input(BenchmarkId::new(label, bytes), &bytes, |b, &bytes| {
+            let mut cfg = LinkConfig::office(Channel::CH1, dist);
+            if weak {
+                cfg.ge = GeParams::weak_link();
+            }
+            let mut link = LinkModel::new(cfg, &seeds, 0);
+            let mac_cfg = MacConfig::default();
+            let mut t = SimTime::ZERO;
+            let mut seq = 0u64;
+            b.iter(|| {
+                let out = mac::transmit(&mut link, &mac_cfg, &frame(seq, bytes), t);
+                seq += 1;
+                t = out.completed_at + SimDuration::from_millis(1);
+                black_box(out.delivered)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_erasure_eval(c: &mut Criterion) {
+    let seeds = SeedFactory::new(0xFADE);
+    c.bench_function("link/attempt_erasure", |b| {
+        let mut cfg = LinkConfig::office(Channel::CH11, 20.0);
+        cfg.microwave = Some(diversifi_wifi::MicrowaveOven::default());
+        cfg.congestion = Some(diversifi_wifi::Congestion::heavy());
+        let mut link = LinkModel::new(cfg, &seeds, 0);
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            let rate = link.select_rate_at(t);
+            let p = link.attempt_erasure(t, rate, 200);
+            t += SimDuration::from_micros(300);
+            black_box(p)
+        })
+    });
+}
+
+fn bench_ap_queueing(c: &mut Criterion) {
+    c.bench_function("ap/enqueue_wake_drain_64", |b| {
+        let a = AdapterId(1);
+        b.iter(|| {
+            let mut ap = AccessPoint::new(ApConfig::new(ApId(0), Channel::CH1));
+            ap.associate(a, QueueDiscipline::HeadDrop { cap: 5 });
+            ap.set_power_save(a, true);
+            for s in 0..64 {
+                ap.enqueue(a, frame(s, 200));
+            }
+            ap.set_power_save(a, false);
+            let mut n = 0;
+            while ap.next_tx().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_transmit, bench_erasure_eval, bench_ap_queueing
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Whole-experiment benchmarks: one simulated call per iteration, for each
+//! experiment family. These time exactly what the `repro` binary runs at
+//! scale (Figs. 2 and 8–10), so corpus wall-clock is predictable.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use diversifi::world::{RunMode, World, WorldConfig};
+use diversifi::{run_two_nic, TwoNicScenario};
+use diversifi_simcore::{SeedFactory, SimDuration};
+use diversifi_voip::StreamSpec;
+use diversifi_wifi::{Channel, GeParams, LinkConfig};
+
+fn links() -> (LinkConfig, LinkConfig) {
+    let a = LinkConfig::office(Channel::CH1, 16.0);
+    let mut b = LinkConfig::office(Channel::CH11, 26.0);
+    b.ge = GeParams::weak_link();
+    (a, b)
+}
+
+fn bench_two_nic_call(c: &mut Criterion) {
+    let (a, b) = links();
+    let mut spec = StreamSpec::voip();
+    spec.duration = SimDuration::from_secs(10);
+    let scn = TwoNicScenario::new(spec, a, b);
+    let mut k = 0u64;
+    c.bench_function("experiment/two_nic_10s_call", |bch| {
+        bch.iter(|| {
+            k += 1;
+            black_box(run_two_nic(&scn, &SeedFactory::new(k)))
+        })
+    });
+}
+
+fn bench_world_modes(c: &mut Criterion) {
+    let (a, b) = links();
+    let mut g = c.benchmark_group("experiment/world_10s_call");
+    for (label, mode, tcp) in [
+        ("primary_only", RunMode::PrimaryOnly, false),
+        ("diversifi_custom_ap", RunMode::DiversifiCustomAp, false),
+        ("diversifi_middlebox", RunMode::DiversifiMiddlebox, false),
+        ("diversifi_with_tcp", RunMode::DiversifiCustomAp, true),
+    ] {
+        g.bench_function(label, |bch| {
+            let mut k = 0u64;
+            bch.iter(|| {
+                k += 1;
+                let mut cfg = WorldConfig::testbed(a.clone(), b.clone());
+                cfg.mode = mode;
+                cfg.with_tcp = tcp;
+                cfg.spec.duration = SimDuration::from_secs(10);
+                black_box(World::new(cfg, &SeedFactory::new(k)).run())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_high_rate(c: &mut Criterion) {
+    let (a, b) = links();
+    c.bench_function("experiment/high_rate_2s_call", |bch| {
+        let mut k = 0u64;
+        bch.iter(|| {
+            k += 1;
+            let mut cfg = WorldConfig::testbed(a.clone(), b.clone());
+            cfg.spec = StreamSpec {
+                packet_bytes: 1000,
+                interval: SimDuration::from_micros(1600),
+                duration: SimDuration::from_secs(2),
+            };
+            black_box(World::new(cfg, &SeedFactory::new(k)).run())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_two_nic_call, bench_world_modes, bench_high_rate
+}
+criterion_main!(benches);

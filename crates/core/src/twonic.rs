@@ -1,0 +1,441 @@
+//! The two-NIC analysis driver (paper §4).
+//!
+//! For the analysis experiments the client has two WiFi NICs, each
+//! associated with a different AP, and a copy of the stream is sent to
+//! each. Every packet flows: sender → LAN → AP queue → 802.11 MAC
+//! (retries, backoff, rate fallback) → NIC. The output is one
+//! [`LinkObservation`] per link; the §4 strategies are then evaluated as
+//! trace combinators (see `diversifi-client`).
+//!
+//! Queueing at each AP is explicit: a packet may not start its MAC exchange
+//! before the previous one finished (this matters for the 5 Mbps stream,
+//! where a fade at a fallen-back rate can back the queue up), and a bounded
+//! buffer drops when the backlog exceeds its cap.
+
+use diversifi_client::LinkObservation;
+use diversifi_simcore::{RngStream, SeedFactory, SimDuration, SimTime};
+use diversifi_voip::{StreamSpec, StreamTrace};
+use diversifi_wifi::{
+    mac, AdapterId, ClientId, FlowId, Frame, LinkConfig, LinkModel, MacConfig,
+};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one simulated two-NIC call.
+#[derive(Clone, Debug)]
+pub struct TwoNicScenario {
+    /// The stream workload.
+    pub spec: StreamSpec,
+    /// Link to the first (usually stronger) AP.
+    pub link_a: LinkConfig,
+    /// Link to the second AP.
+    pub link_b: LinkConfig,
+    /// Sender → AP wired latency.
+    pub lan_delay: SimDuration,
+}
+
+impl TwoNicScenario {
+    /// A scenario with the default LAN delay.
+    pub fn new(spec: StreamSpec, link_a: LinkConfig, link_b: LinkConfig) -> TwoNicScenario {
+        TwoNicScenario { spec, link_a, link_b, lan_delay: SimDuration::from_micros(500) }
+    }
+}
+
+/// Result of one replicated call: an observation per link.
+#[derive(Clone, Debug)]
+pub struct TwoNicRun {
+    /// Link A's observation (trace + RSSI).
+    pub a: LinkObservation,
+    /// Link B's observation.
+    pub b: LinkObservation,
+}
+
+/// Tuning for the per-AP downlink pipeline.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// MAC parameters.
+    pub mac: MacConfig,
+    /// Maximum backlog (time a packet may wait in the AP queue before
+    /// being dropped, emulating a bounded buffer).
+    pub max_backlog: SimDuration,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig { mac: MacConfig::default(), max_backlog: SimDuration::from_millis(500) }
+    }
+}
+
+/// Simulate one replicated stream over one link; returns its trace and the
+/// RSSI the OS would report early in the call.
+///
+/// `emit` gives, for every stream packet, the (possibly more than one)
+/// transmission instants — the temporal-replication experiment passes two.
+fn run_link(
+    spec: &StreamSpec,
+    link_cfg: &LinkConfig,
+    seeds: &SeedFactory,
+    index: u64,
+    lan_delay: SimDuration,
+    pipeline: &PipelineConfig,
+    copies: &[SimDuration],
+) -> LinkObservation {
+    let mut link = LinkModel::new(link_cfg.clone(), seeds, index);
+    let mut trace = StreamTrace::new(*spec, SimTime::ZERO);
+    let mut jitter_rng: RngStream = seeds.stream("lan-jitter", index);
+
+    // Build the global transmission schedule: (enqueue_time, seq).
+    let mut queue: Vec<(SimTime, u64)> = Vec::new();
+    for (seq, sent) in spec.schedule(SimTime::ZERO) {
+        for off in copies {
+            let jitter = SimDuration::from_micros(jitter_rng.range_u64(0, 120));
+            queue.push((sent + *off + lan_delay + jitter, seq));
+        }
+    }
+    queue.sort_by_key(|(t, seq)| (*t, *seq));
+
+    let mut ap_free = SimTime::ZERO;
+    let mut rssi_sample: Option<f64> = None;
+    for (arrival, seq) in queue {
+        let start = ap_free.max(arrival);
+        if start.saturating_since(arrival) > pipeline.max_backlog {
+            continue; // buffer overflow: dropped before the air
+        }
+        let frame = Frame::data(
+            FlowId(0),
+            seq,
+            spec.wire_bytes(),
+            trace.fates[seq as usize].sent,
+            ClientId(0),
+            AdapterId(0),
+        );
+        let out = mac::transmit(&mut link, &pipeline.mac, &frame, start);
+        ap_free = out.completed_at;
+        if out.delivered {
+            trace.record_arrival(seq, out.completed_at);
+        }
+        if rssi_sample.is_none() && start >= SimTime::from_secs(1) {
+            rssi_sample = Some(link.reported_rssi());
+        }
+    }
+    let rssi_dbm = rssi_sample.unwrap_or_else(|| link.reported_rssi());
+    LinkObservation { trace, rssi_dbm }
+}
+
+/// Run the full two-NIC replication experiment for one call.
+pub fn run_two_nic(scn: &TwoNicScenario, seeds: &SeedFactory) -> TwoNicRun {
+    let pipeline = PipelineConfig::default();
+    let a = run_link(&scn.spec, &scn.link_a, seeds, 0, scn.lan_delay, &pipeline, &[SimDuration::ZERO]);
+    let b = run_link(&scn.spec, &scn.link_b, seeds, 1, scn.lan_delay, &pipeline, &[SimDuration::ZERO]);
+    TwoNicRun { a, b }
+}
+
+/// Temporal replication (§4.2): two copies of every packet on the *same*
+/// link, the second delayed by `delta`. The trace keeps the earliest copy.
+pub fn run_temporal(
+    spec: &StreamSpec,
+    link_cfg: &LinkConfig,
+    seeds: &SeedFactory,
+    delta: SimDuration,
+) -> StreamTrace {
+    let pipeline = PipelineConfig::default();
+    run_link(spec, link_cfg, seeds, 0, SimDuration::from_micros(500), &pipeline, &[SimDuration::ZERO, delta])
+        .trace
+}
+
+/// A single unreplicated stream over one link (the §4.2 baseline).
+pub fn run_single(
+    spec: &StreamSpec,
+    link_cfg: &LinkConfig,
+    seeds: &SeedFactory,
+    index: u64,
+) -> LinkObservation {
+    let pipeline = PipelineConfig::default();
+    run_link(spec, link_cfg, seeds, index, SimDuration::from_micros(500), &pipeline, &[SimDuration::ZERO])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversifi_voip::DEFAULT_DEADLINE;
+    use diversifi_wifi::Channel;
+
+    fn seeds(n: u64) -> SeedFactory {
+        SeedFactory::new(0x2111 + n)
+    }
+
+    #[test]
+    fn clean_links_deliver_nearly_everything() {
+        let scn = TwoNicScenario::new(
+            StreamSpec::voip(),
+            LinkConfig::office(Channel::CH1, 10.0),
+            LinkConfig::office(Channel::CH11, 14.0),
+        );
+        let run = run_two_nic(&scn, &seeds(0));
+        assert!(run.a.trace.loss_rate(DEFAULT_DEADLINE) < 0.05);
+        assert!(run.b.trace.loss_rate(DEFAULT_DEADLINE) < 0.05);
+        assert_eq!(run.a.trace.len(), 6000);
+    }
+
+    #[test]
+    fn merged_beats_both_links() {
+        let mut weak_a = LinkConfig::office(Channel::CH1, 30.0);
+        weak_a.ge = diversifi_wifi::GeParams::weak_link();
+        let mut weak_b = LinkConfig::office(Channel::CH11, 35.0);
+        weak_b.ge = diversifi_wifi::GeParams::weak_link();
+        let scn = TwoNicScenario::new(StreamSpec::voip(), weak_a, weak_b);
+        let run = run_two_nic(&scn, &seeds(1));
+        let la = run.a.trace.loss_rate(DEFAULT_DEADLINE);
+        let lb = run.b.trace.loss_rate(DEFAULT_DEADLINE);
+        let merged = run.a.trace.merged_with(&run.b.trace).loss_rate(DEFAULT_DEADLINE);
+        assert!(la > 0.005 && lb > 0.005, "weak links should lose packets: {la} {lb}");
+        assert!(merged < la && merged < lb);
+        // Near-independence: merged ≈ product, well below half of min.
+        assert!(merged < 0.6 * la.min(lb), "merged {merged} vs {la}/{lb}");
+    }
+
+    #[test]
+    fn temporal_beats_baseline_but_not_crosslink() {
+        let mut weak = LinkConfig::office(Channel::CH1, 32.0);
+        weak.ge = diversifi_wifi::GeParams::weak_link();
+        let mut weak_b = LinkConfig::office(Channel::CH11, 32.0);
+        weak_b.ge = diversifi_wifi::GeParams::weak_link();
+        let spec = StreamSpec::voip();
+        let mut base_sum = 0.0;
+        let mut temp_sum = 0.0;
+        let mut cross_sum = 0.0;
+        let runs = 8;
+        for i in 0..runs {
+            let s = seeds(100 + i);
+            let baseline = run_single(&spec, &weak, &s, 0).trace;
+            let temporal = run_temporal(&spec, &weak, &s, SimDuration::from_millis(100));
+            let two = run_two_nic(
+                &TwoNicScenario::new(spec, weak.clone(), weak_b.clone()),
+                &s,
+            );
+            let cross = two.a.trace.merged_with(&two.b.trace);
+            base_sum += baseline.loss_rate(DEFAULT_DEADLINE);
+            temp_sum += temporal.loss_rate(DEFAULT_DEADLINE);
+            cross_sum += cross.loss_rate(DEFAULT_DEADLINE);
+        }
+        assert!(
+            temp_sum < base_sum,
+            "temporal ({temp_sum}) must beat baseline ({base_sum})"
+        );
+        assert!(
+            cross_sum < temp_sum,
+            "cross-link ({cross_sum}) must beat temporal ({temp_sum})"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let scn = TwoNicScenario::new(
+            StreamSpec::voip(),
+            LinkConfig::office(Channel::CH1, 20.0),
+            LinkConfig::office(Channel::CH11, 25.0),
+        );
+        let r1 = run_two_nic(&scn, &seeds(7));
+        let r2 = run_two_nic(&scn, &seeds(7));
+        assert_eq!(r1.a.trace.fates, r2.a.trace.fates);
+        assert_eq!(r1.b.trace.fates, r2.b.trace.fates);
+        assert_eq!(r1.a.rssi_dbm, r2.a.rssi_dbm);
+    }
+
+    #[test]
+    fn high_rate_stream_runs() {
+        let scn = TwoNicScenario::new(
+            StreamSpec::high_rate(),
+            LinkConfig::office(Channel::CH1, 12.0),
+            LinkConfig::office(Channel::CH11, 16.0),
+        );
+        // Shorten to 5 seconds to keep the test fast.
+        let mut scn = scn;
+        scn.spec.duration = SimDuration::from_secs(5);
+        let run = run_two_nic(&scn, &seeds(3));
+        assert_eq!(run.a.trace.len() as u64, scn.spec.packet_count());
+        assert!(run.a.trace.loss_rate(DEFAULT_DEADLINE) < 0.3);
+    }
+
+    #[test]
+    fn congested_link_shows_delay_and_loss() {
+        let clean = LinkConfig::office(Channel::CH1, 12.0);
+        let mut congested = clean.clone();
+        congested.congestion = Some(diversifi_wifi::Congestion::heavy());
+        let spec = StreamSpec::voip();
+        let (mut d_clean, mut d_cong) = (0.0, 0.0);
+        let (mut l_clean, mut l_cong) = (0.0, 0.0);
+        for i in 0..4 {
+            let clean_obs = run_single(&spec, &clean, &seeds(40 + i), 0);
+            let cong_obs = run_single(&spec, &congested, &seeds(40 + i), 0);
+            d_clean += diversifi_simcore::mean(&clean_obs.trace.delays_ms());
+            d_cong += diversifi_simcore::mean(&cong_obs.trace.delays_ms());
+            l_clean += clean_obs.trace.loss_rate(DEFAULT_DEADLINE);
+            l_cong += cong_obs.trace.loss_rate(DEFAULT_DEADLINE);
+        }
+        assert!(d_cong > 1.5 * d_clean, "delay {d_cong} vs {d_clean}");
+        assert!(l_cong > l_clean, "loss {l_cong} vs {l_clean}");
+    }
+}
+
+/// Single-link XOR-FEC (the related-work baseline of Vergetis et al.: code
+/// over one link instead of replicating across links).
+///
+/// Every `k` data packets are followed by one XOR parity packet. The
+/// receiver recovers a data packet if it lost *exactly one* packet of the
+/// group and the parity arrived — which works against random loss but not
+/// against the bursty loss WiFi actually produces, the contrast the paper
+/// draws in §2.
+pub fn run_fec(
+    spec: &StreamSpec,
+    link_cfg: &LinkConfig,
+    seeds: &SeedFactory,
+    k: usize,
+) -> StreamTrace {
+    assert!(k >= 2, "FEC group must cover at least 2 data packets");
+    let pipeline = PipelineConfig::default();
+    let mut link = LinkModel::new(link_cfg.clone(), seeds, 0);
+    let mut trace = StreamTrace::new(*spec, SimTime::ZERO);
+    let mut jitter_rng: RngStream = seeds.stream("lan-jitter", 0);
+    let lan_delay = SimDuration::from_micros(500);
+
+    let mut ap_free = SimTime::ZERO;
+    let n = spec.packet_count() as usize;
+    let mut group: Vec<(usize, Option<SimTime>)> = Vec::with_capacity(k);
+
+    let transmit_one = |link: &mut LinkModel,
+                            ap_free: &mut SimTime,
+                            seq: u64,
+                            sent: SimTime,
+                            rng: &mut RngStream|
+     -> Option<SimTime> {
+        let arrival = sent + lan_delay + SimDuration::from_micros(rng.range_u64(0, 120));
+        let start = (*ap_free).max(arrival);
+        if start.saturating_since(arrival) > pipeline.max_backlog {
+            return None;
+        }
+        let frame = Frame::data(
+            FlowId(0),
+            seq,
+            spec.wire_bytes(),
+            sent,
+            ClientId(0),
+            AdapterId(0),
+        );
+        let out = mac::transmit(link, &pipeline.mac, &frame, start);
+        *ap_free = out.completed_at;
+        out.delivered.then_some(out.completed_at)
+    };
+
+    for i in 0..n {
+        let sent = trace.fates[i].sent;
+        let got = transmit_one(&mut link, &mut ap_free, i as u64, sent, &mut jitter_rng);
+        if let Some(at) = got {
+            trace.record_arrival(i as u64, at);
+        }
+        group.push((i, got));
+
+        if group.len() == k || i == n - 1 {
+            // Parity rides right after the group's last data packet.
+            let parity_got = transmit_one(
+                &mut link,
+                &mut ap_free,
+                u64::MAX, // parity is not a stream seq
+                sent,
+                &mut jitter_rng,
+            );
+            if let Some(parity_at) = parity_got {
+                let missing: Vec<usize> = group
+                    .iter()
+                    .filter(|(_, got)| got.is_none())
+                    .map(|(idx, _)| *idx)
+                    .collect();
+                if missing.len() == 1 {
+                    trace.record_arrival(missing[0] as u64, parity_at);
+                }
+            }
+            group.clear();
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod fec_tests {
+    use super::*;
+    use diversifi_voip::DEFAULT_DEADLINE;
+    use diversifi_wifi::Channel;
+
+    fn spec_30s() -> StreamSpec {
+        StreamSpec {
+            packet_bytes: 160,
+            interval: SimDuration::from_millis(20),
+            duration: SimDuration::from_secs(30),
+        }
+    }
+
+    #[test]
+    fn fec_recovers_isolated_losses() {
+        // A link whose losses are mostly isolated (tiny fades): FEC shines.
+        let mut cfg = LinkConfig::office(Channel::CH1, 26.0);
+        cfg.ge = diversifi_wifi::GeParams {
+            mean_good: SimDuration::from_millis(800),
+            mean_bad_short: SimDuration::from_millis(5), // sub-packet fades
+            mean_bad_long: SimDuration::from_millis(5),
+            p_long: 0.0,
+            bad_loss: 0.9,
+            good_loss: 0.004,
+        };
+        let spec = spec_30s();
+        let mut base_sum = 0.0;
+        let mut fec_sum = 0.0;
+        for i in 0..6 {
+            let seeds = SeedFactory::new(0xFEC0 + i);
+            base_sum += run_single(&spec, &cfg, &seeds, 0).trace.loss_rate(DEFAULT_DEADLINE);
+            fec_sum += run_fec(&spec, &cfg, &seeds, 4).loss_rate(DEFAULT_DEADLINE);
+        }
+        assert!(
+            fec_sum < 0.6 * base_sum,
+            "FEC should fix isolated losses: {fec_sum} vs {base_sum}"
+        );
+    }
+
+    #[test]
+    fn fec_fails_against_bursts_where_crosslink_succeeds() {
+        // Real WiFi burstiness: FEC's single-parity groups can't recover
+        // multi-packet losses, but a second (independent) link can.
+        let mut a = LinkConfig::office(Channel::CH1, 30.0);
+        a.ge = diversifi_wifi::GeParams::weak_link();
+        let mut b = LinkConfig::office(Channel::CH11, 34.0);
+        b.ge = diversifi_wifi::GeParams::weak_link();
+        let spec = spec_30s();
+        let mut fec_sum = 0.0;
+        let mut cross_sum = 0.0;
+        let mut base_sum = 0.0;
+        for i in 0..6 {
+            let seeds = SeedFactory::new(0xFEC1 + i);
+            base_sum += run_single(&spec, &a, &seeds, 0).trace.loss_rate(DEFAULT_DEADLINE);
+            fec_sum += run_fec(&spec, &a, &seeds, 4).loss_rate(DEFAULT_DEADLINE);
+            let two = run_two_nic(&TwoNicScenario::new(spec, a.clone(), b.clone()), &seeds);
+            cross_sum += two.a.trace.merged_with(&two.b.trace).loss_rate(DEFAULT_DEADLINE);
+        }
+        assert!(fec_sum < base_sum, "FEC should still help a little");
+        assert!(
+            cross_sum < 0.55 * fec_sum,
+            "cross-link must clearly beat single-link FEC under bursts: {cross_sum} vs {fec_sum}"
+        );
+    }
+
+    #[test]
+    fn fec_adds_proportional_overhead() {
+        // k=4 → 25% extra transmissions, always (the overhead replication
+        // avoids by buffering).
+        let cfg = LinkConfig::office(Channel::CH1, 12.0);
+        let spec = spec_30s();
+        let seeds = SeedFactory::new(0xFEC2);
+        let tr = run_fec(&spec, &cfg, &seeds, 4);
+        assert_eq!(tr.len() as u64, spec.packet_count());
+        // Not directly observable from the trace, but the construction
+        // transmits ceil(n/k) parities; sanity-check group math held.
+        assert!(tr.loss_rate(DEFAULT_DEADLINE) < 0.05);
+    }
+}

@@ -1,0 +1,878 @@
+//! The closed-loop single-NIC world: the paper's §6 evaluation testbed.
+//!
+//! One wired sender, an SDN switch (or source replication), two APs on
+//! different channels, an optional middlebox, and a single-NIC client
+//! running the Algorithm-1 state machine with real PSM signalling. An
+//! optional greedy TCP flow shares the DEF link for the coexistence
+//! experiment.
+//!
+//! ```text
+//!   sender ──LAN──► SDN switch ──► primary AP ───ch1───► client (DEF/primary)
+//!                        │                                  ▲ hops
+//!                        └────────► middlebox ─► secondary AP ─ch11─┘
+//!                                   (or directly to the secondary AP
+//!                                    in customized-AP mode)
+//! ```
+//!
+//! Everything stochastic draws from per-component seeded streams, so a run
+//! is a pure function of `(WorldConfig, seed)` and DiversiFi-on vs -off are
+//! paired experiments over the same channel realisation.
+
+use diversifi_client::{
+    Algorithm1, Algorithm1Config, Command, DeploymentMode, LinkSide, Residency,
+};
+use diversifi_net::{Middlebox, MiddleboxConfig, StreamPacket, TcpConfig, TcpReceiver, TcpSender};
+use diversifi_simcore::{EventQueue, RngStream, SeedFactory, SimDuration, SimTime};
+use diversifi_voip::{StreamSpec, StreamTrace};
+use diversifi_wifi::{
+    mac, AccessPoint, AdapterId, ApConfig, ApId, ClientId, FlowId, Frame, FrameKind,
+    LinkConfig, LinkModel, QueueDiscipline, TxOutcome,
+};
+use serde::{Deserialize, Serialize};
+
+/// Which client behaviour this run uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunMode {
+    /// Client stays on the primary link; no replication (baseline).
+    PrimaryOnly,
+    /// Client stays on the secondary link; no replication (baseline).
+    SecondaryOnly,
+    /// DiversiFi with the §5.3.1 customized secondary AP (head-drop, short
+    /// settable queue).
+    DiversifiCustomAp,
+    /// DiversiFi with an unmodified secondary AP and the §5.3.2 middlebox.
+    DiversifiMiddlebox,
+    /// The §5.3 "End-to-End" strawman: DiversiFi client logic against a
+    /// *stock* secondary AP (tail-drop, deep queue) — kept as an ablation
+    /// of why the queue discipline matters.
+    EndToEndPsm,
+}
+
+impl RunMode {
+    /// Does this mode replicate the stream to the secondary path?
+    pub fn replicates(self) -> bool {
+        !matches!(self, RunMode::PrimaryOnly | RunMode::SecondaryOnly)
+    }
+}
+
+/// Static configuration of one world run.
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// The real-time stream workload.
+    pub spec: StreamSpec,
+    /// Radio link to the primary AP.
+    pub primary: LinkConfig,
+    /// Radio link to the secondary AP.
+    pub secondary: LinkConfig,
+    /// Client behaviour.
+    pub mode: RunMode,
+    /// Algorithm-1 constants.
+    pub alg: Algorithm1Config,
+    /// Sender → switch → AP wired latency.
+    pub lan_delay: SimDuration,
+    /// Switch → middlebox → secondary AP extra latency (one way).
+    pub middlebox_net_delay: SimDuration,
+    /// Middlebox tuning.
+    pub middlebox: MiddleboxConfig,
+    /// Run a concurrent greedy TCP download on the DEF link.
+    pub with_tcp: bool,
+    /// Per-attempt loss probability of an uplink control message
+    /// (PS-Null, middlebox request, TCP ACK); the driver retries Null
+    /// frames 5 times, as in the paper's ath9k fix.
+    pub uplink_loss: f64,
+    /// One-way latency of an uplink control message.
+    pub uplink_delay: SimDuration,
+    /// Frames the secondary AP hands to its hardware queue in one go when
+    /// the client wakes (§5.3.1's residual-duplication source).
+    pub wake_batch: usize,
+}
+
+impl WorldConfig {
+    /// The §6.1 testbed shape: two 2.4 GHz APs on channels 1 and 11 across
+    /// an office, VoIP stream, customized-AP DiversiFi.
+    pub fn testbed(primary: LinkConfig, secondary: LinkConfig) -> WorldConfig {
+        WorldConfig {
+            spec: StreamSpec::voip(),
+            primary,
+            secondary,
+            mode: RunMode::DiversifiCustomAp,
+            alg: Algorithm1Config::voip(),
+            lan_delay: SimDuration::from_micros(500),
+            middlebox_net_delay: SimDuration::from_micros(250),
+            middlebox: MiddleboxConfig::default(),
+            with_tcp: false,
+            uplink_loss: 0.05,
+            uplink_delay: SimDuration::from_micros(250),
+            wake_batch: 1,
+        }
+    }
+}
+
+/// Measured components of one primary→secondary recovery switch, feeding
+/// Table 3.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct SwitchDelaySample {
+    /// Channel switch + PS signalling (ms).
+    pub switching_ms: f64,
+    /// Network leg: wake message / middlebox round trip (ms).
+    pub network_ms: f64,
+    /// Queueing at the middlebox (ms); zero in AP mode.
+    pub queuing_ms: f64,
+}
+
+impl SwitchDelaySample {
+    /// Total recovery-path latency (ms).
+    pub fn total_ms(&self) -> f64 {
+        self.switching_ms + self.network_ms + self.queuing_ms
+    }
+}
+
+/// Everything a run produces.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The stream as the client's application saw it.
+    pub trace: StreamTrace,
+    /// What the primary link alone delivered (before recovery).
+    pub primary_deliveries: u64,
+    /// Client-side Algorithm-1 counters.
+    pub alg_stats: diversifi_client::Alg1Stats,
+    /// Frames transmitted over the secondary air interface.
+    pub secondary_air_tx: u64,
+    /// Of those, frames that were *wasteful* (already received or for an
+    /// absent client).
+    pub secondary_wasteful_tx: u64,
+    /// TCP goodput in bits/s (0 when `with_tcp` is false).
+    pub tcp_throughput_bps: f64,
+    /// TCP diagnostics: (transmissions, acked segments, fast retransmits,
+    /// RTO expiries).
+    pub tcp_diag: (u64, u64, u64, u64),
+    /// Per-switch delay breakdowns (Table 3).
+    pub switch_delays: Vec<SwitchDelaySample>,
+}
+
+const DEF: AdapterId = AdapterId(0);
+const PRIMARY: AdapterId = AdapterId(1);
+const SECONDARY: AdapterId = AdapterId(2);
+const VOIP_FLOW: FlowId = FlowId(1);
+const TCP_FLOW: FlowId = FlowId(2);
+const CLIENT: ClientId = ClientId(0);
+
+#[derive(Debug)]
+enum Ev {
+    /// The sender emits stream packet `seq`.
+    SourceEmit(u64),
+    /// A stream packet reaches an AP's queue. `ap`: 0 = primary, 1 = secondary.
+    ApArrival { ap: usize, frame: Frame },
+    /// The AP's radio finished a frame exchange.
+    ApTxDone { ap: usize, adapter: AdapterId, frame: Frame, outcome: TxOutcome },
+    /// Try to start a transmission at an idle AP.
+    ApKick(usize),
+    /// Client state-machine timer.
+    ClientTimer,
+    /// The PS exchange is done; the client tears off the current channel.
+    BeginRetune { side: LinkSide },
+    /// The client finished retuning to `side`.
+    RetuneDone { side: LinkSide },
+    /// A power-save Null frame reached an AP. `sleeping` = PM bit.
+    PsDelivered { ap: usize, adapter: AdapterId, sleeping: bool },
+    /// A replicated packet reaches the middlebox.
+    MiddleboxIngest(StreamPacket),
+    /// A middlebox control message (true = start-from, false = stop).
+    MiddleboxControl { start: Option<u64> },
+    /// TCP sender wants to (re)fill the window.
+    TcpKick,
+    /// A TCP ACK reaches the sender.
+    TcpAck(u64),
+    /// Periodic TCP RTO check.
+    TcpTimer,
+    /// End of measurement.
+    Done,
+}
+
+/// The world simulator.
+pub struct World {
+    cfg: WorldConfig,
+    q: EventQueue<Ev>,
+    aps: [AccessPoint; 2],
+    links: [LinkModel; 2],
+    busy: [bool; 2],
+    client_side: Option<LinkSide>, // None while retuning
+    alg: Algorithm1,
+    mbox: Middlebox,
+    trace: StreamTrace,
+    tcp_tx: TcpSender,
+    tcp_rx: TcpReceiver,
+    rng: RngStream,
+    // Instrumentation.
+    primary_deliveries: u64,
+    secondary_air_tx: u64,
+    secondary_wasteful_tx: u64,
+    switch_delays: Vec<SwitchDelaySample>,
+    /// Time the most recent switch-to-secondary started.
+    pending_switch_started: Option<SimTime>,
+    client_timer_armed: Option<SimTime>,
+    done: bool,
+}
+
+impl World {
+    /// Build a world for `cfg`, seeding all components from `seeds`.
+    pub fn new(cfg: WorldConfig, seeds: &SeedFactory) -> World {
+        let mut ap0_cfg = ApConfig::new(ApId(0), cfg.primary.channel);
+        ap0_cfg.wake_batch = cfg.wake_batch;
+        let mut ap1_cfg = ApConfig::new(ApId(1), cfg.secondary.channel);
+        ap1_cfg.wake_batch = cfg.wake_batch;
+        let mut ap0 = AccessPoint::new(ap0_cfg);
+        let mut ap1 = AccessPoint::new(ap1_cfg);
+
+        // Associations. DEF and the primary real-time adapter live on the
+        // primary AP; the secondary adapter on the secondary AP, with the
+        // queue discipline the deployment calls for.
+        ap0.associate(DEF, QueueDiscipline::stock());
+        ap0.associate(PRIMARY, QueueDiscipline::stock());
+        let secondary_disc = match cfg.mode {
+            RunMode::DiversifiCustomAp => {
+                QueueDiscipline::HeadDrop { cap: cfg.alg.ap_queue_len() }
+            }
+            _ => QueueDiscipline::stock(),
+        };
+        ap1.associate(SECONDARY, secondary_disc);
+
+        let links = [
+            LinkModel::new(cfg.primary.clone(), seeds, 0),
+            LinkModel::new(cfg.secondary.clone(), seeds, 1),
+        ];
+
+        let deployment = match cfg.mode {
+            RunMode::DiversifiMiddlebox => DeploymentMode::Middlebox,
+            _ => DeploymentMode::CustomizedAp,
+        };
+        let mut alg = Algorithm1::new(cfg.alg, deployment, SimTime::ZERO);
+        alg.set_stream_end(cfg.spec.packet_count());
+
+        let mut mbox = Middlebox::new(cfg.middlebox);
+        mbox.register(VOIP_FLOW, Some(cfg.alg.ap_queue_len()));
+
+        let client_side = match cfg.mode {
+            RunMode::SecondaryOnly => Some(LinkSide::Secondary),
+            _ => Some(LinkSide::Primary),
+        };
+
+        let trace = StreamTrace::new(cfg.spec, SimTime::ZERO);
+        let tcp_tx = TcpSender::new(TcpConfig::default());
+
+        World {
+            q: EventQueue::new(),
+            aps: [ap0, ap1],
+            links,
+            busy: [false, false],
+            client_side,
+            alg,
+            mbox,
+            trace,
+            tcp_tx,
+            tcp_rx: TcpReceiver::new(),
+            rng: seeds.stream("world", 0),
+            primary_deliveries: 0,
+            secondary_air_tx: 0,
+            secondary_wasteful_tx: 0,
+            switch_delays: Vec::new(),
+            pending_switch_started: None,
+            client_timer_armed: None,
+            done: false,
+            cfg,
+        }
+    }
+
+    /// Run to completion and produce the report.
+    pub fn run(mut self) -> RunReport {
+        // In the secondary-only baseline the client listens on the
+        // secondary adapter; mark it awake and the primary ones asleep.
+        if self.cfg.mode == RunMode::SecondaryOnly {
+            self.aps[0].set_power_save(DEF, true);
+            self.aps[0].set_power_save(PRIMARY, true);
+        } else {
+            self.aps[1].set_power_save(SECONDARY, true);
+        }
+
+        self.q.schedule(SimTime::ZERO, Ev::SourceEmit(0));
+        if self.cfg.with_tcp {
+            self.q.schedule(SimTime::ZERO, Ev::TcpKick);
+            self.q.schedule(SimTime::from_millis(50), Ev::TcpTimer);
+        }
+        let end = SimTime::ZERO + self.cfg.spec.duration + SimDuration::from_millis(500);
+        self.q.schedule(end, Ev::Done);
+
+        while let Some((now, ev)) = self.q.pop() {
+            if self.done {
+                break;
+            }
+            self.handle(now, ev);
+        }
+
+        let duration = self.cfg.spec.duration.as_secs_f64();
+        let tcp_throughput_bps = self.tcp_tx.acked_bytes() as f64 * 8.0 / duration;
+        RunReport {
+            trace: self.trace,
+            primary_deliveries: self.primary_deliveries,
+            alg_stats: self.alg.stats,
+            secondary_air_tx: self.secondary_air_tx,
+            secondary_wasteful_tx: self.secondary_wasteful_tx,
+            tcp_throughput_bps,
+            tcp_diag: (
+                self.tcp_tx.transmissions,
+                self.tcp_tx.acked_segments,
+                self.tcp_tx.fast_retransmits,
+                self.tcp_tx.timeouts,
+            ),
+            switch_delays: self.switch_delays,
+        }
+    }
+
+    fn uses_alg(&self) -> bool {
+        self.cfg.mode.replicates()
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Done => self.done = true,
+            Ev::SourceEmit(seq) => self.on_source_emit(now, seq),
+            Ev::ApArrival { ap, frame } => self.on_ap_arrival(now, ap, frame),
+            Ev::ApKick(ap) => self.kick_ap(now, ap),
+            Ev::ApTxDone { ap, adapter, frame, outcome } => {
+                self.on_tx_done(now, ap, adapter, frame, outcome)
+            }
+            Ev::ClientTimer => self.on_client_timer(now),
+            Ev::BeginRetune { side } => {
+                // Only now does the client stop hearing its current channel
+                // (the driver retunes strictly after the PS message is
+                // delivered — the ath9k fix described in §5.4).
+                self.client_side = None;
+                self.q.schedule(
+                    now + SimDuration::from_micros(2300),
+                    Ev::RetuneDone { side },
+                );
+            }
+            Ev::RetuneDone { side } => self.on_retune_done(now, side),
+            Ev::PsDelivered { ap, adapter, sleeping } => {
+                self.aps[ap].set_power_save(adapter, sleeping);
+                self.q.schedule(now, Ev::ApKick(ap));
+            }
+            Ev::MiddleboxIngest(pkt) => {
+                if let Some(fwd) = self.mbox.ingest(pkt) {
+                    self.forward_from_middlebox(now, fwd);
+                }
+            }
+            Ev::MiddleboxControl { start } => self.on_middlebox_control(now, start),
+            Ev::TcpKick => self.on_tcp_kick(now),
+            Ev::TcpAck(ack) => {
+                self.tcp_tx.on_ack(ack, now);
+                self.q.schedule(now, Ev::TcpKick);
+            }
+            Ev::TcpTimer => {
+                self.tcp_tx.on_timer(now);
+                self.q.schedule(now, Ev::TcpKick);
+                self.q.schedule(now + SimDuration::from_millis(50), Ev::TcpTimer);
+            }
+        }
+    }
+
+    fn on_source_emit(&mut self, now: SimTime, seq: u64) {
+        let spec = self.cfg.spec;
+        if seq + 1 < spec.packet_count() {
+            self.q.schedule(spec.send_time(SimTime::ZERO, seq + 1), Ev::SourceEmit(seq + 1));
+        }
+        let bytes = spec.wire_bytes();
+        let lan = self.cfg.lan_delay + SimDuration::from_micros(self.rng.range_u64(0, 120));
+
+        // Primary copy (except in the secondary-only baseline).
+        if self.cfg.mode != RunMode::SecondaryOnly {
+            let frame = Frame::data(VOIP_FLOW, seq, bytes, now, CLIENT, PRIMARY);
+            self.q.schedule(now + lan, Ev::ApArrival { ap: 0, frame });
+        }
+
+        // Secondary copy.
+        match self.cfg.mode {
+            RunMode::PrimaryOnly => {}
+            RunMode::SecondaryOnly => {
+                let frame = Frame::data(VOIP_FLOW, seq, bytes, now, CLIENT, SECONDARY);
+                self.q.schedule(now + lan, Ev::ApArrival { ap: 1, frame });
+            }
+            RunMode::DiversifiCustomAp | RunMode::EndToEndPsm => {
+                let frame = Frame::data(VOIP_FLOW, seq, bytes, now, CLIENT, SECONDARY);
+                self.q.schedule(now + lan, Ev::ApArrival { ap: 1, frame });
+            }
+            RunMode::DiversifiMiddlebox => {
+                let pkt = StreamPacket::new(VOIP_FLOW, seq, bytes, now);
+                self.q.schedule(
+                    now + lan + self.cfg.middlebox_net_delay,
+                    Ev::MiddleboxIngest(pkt),
+                );
+            }
+        }
+    }
+
+    fn on_ap_arrival(&mut self, now: SimTime, ap: usize, frame: Frame) {
+        let adapter = frame.dst_adapter;
+        // Queue drops (head- or tail-) are final for this copy; recovery,
+        // if any, happens through the other path.
+        let _ = self.aps[ap].enqueue(adapter, frame);
+        self.q.schedule(now, Ev::ApKick(ap));
+    }
+
+    /// Start a transmission at `ap` if its radio is idle and traffic is
+    /// eligible.
+    fn kick_ap(&mut self, now: SimTime, ap: usize) {
+        if self.busy[ap] {
+            return;
+        }
+        let Some((adapter, frame)) = self.aps[ap].next_tx() else { return };
+        self.busy[ap] = true;
+        let mac_cfg = self.aps[ap].config().mac;
+        let outcome = mac::transmit(&mut self.links[ap], &mac_cfg, &frame, now);
+        self.q.schedule(outcome.completed_at, Ev::ApTxDone { ap, adapter, frame, outcome });
+    }
+
+    fn client_listening(&self, ap: usize) -> bool {
+        match (self.client_side, ap) {
+            (Some(LinkSide::Primary), 0) => true,
+            (Some(LinkSide::Secondary), 1) => true,
+            _ => false,
+        }
+    }
+
+    fn on_tx_done(
+        &mut self,
+        now: SimTime,
+        ap: usize,
+        adapter: AdapterId,
+        frame: Frame,
+        outcome: TxOutcome,
+    ) {
+        self.busy[ap] = false;
+        self.q.schedule(now, Ev::ApKick(ap));
+
+        if ap == 1 && frame.kind == FrameKind::Data {
+            self.secondary_air_tx += 1;
+        }
+
+        let heard = outcome.delivered && self.client_listening(ap);
+        if !heard {
+            if ap == 1 && frame.kind == FrameKind::Data {
+                // Transmitted on the secondary air for nothing.
+                self.secondary_wasteful_tx += 1;
+            }
+            return;
+        }
+
+        match frame.flow {
+            VOIP_FLOW => {
+                let seq = frame.seq;
+                let already = self.trace.fates[seq as usize].arrival.is_some();
+                if ap == 1 && already {
+                    self.secondary_wasteful_tx += 1;
+                }
+                self.trace.record_arrival(seq, now);
+                if ap == 0 {
+                    self.primary_deliveries += 1;
+                }
+                if self.uses_alg() {
+                    let side = if ap == 0 { LinkSide::Primary } else { LinkSide::Secondary };
+                    let cmds = self.alg.on_packet(seq, now, side);
+                    self.apply_commands(now, cmds);
+                    self.arm_client_timer(now);
+                } else if self.cfg.mode == RunMode::SecondaryOnly && ap == 1 {
+                    // trace recorded above; nothing else to do
+                }
+                let _ = adapter;
+            }
+            TCP_FLOW => {
+                let ack = self.tcp_rx.on_segment(frame.seq);
+                // ACK goes back over the uplink + LAN.
+                if !self.rng.chance(self.cfg.uplink_loss) {
+                    let d = self.cfg.uplink_delay + self.cfg.lan_delay;
+                    self.q.schedule(now + d, Ev::TcpAck(ack));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_client_timer(&mut self, now: SimTime) {
+        self.client_timer_armed = None;
+        if !self.uses_alg() {
+            return;
+        }
+        let cmds = self.alg.on_timer(now);
+        self.apply_commands(now, cmds);
+        self.arm_client_timer(now);
+    }
+
+    fn arm_client_timer(&mut self, now: SimTime) {
+        if let Some(wake) = self.alg.next_wakeup() {
+            // Never re-arm at the current instant: on_timer already did all
+            // the work possible at `now`, so an equal-time wake could only
+            // spin. The 100 µs floor guarantees forward progress.
+            let wake = wake.max(now + SimDuration::from_micros(100));
+            let need = match self.client_timer_armed {
+                Some(armed) => wake < armed,
+                None => true,
+            };
+            if need {
+                self.client_timer_armed = Some(wake);
+                self.q.schedule(wake, Ev::ClientTimer);
+            }
+        }
+    }
+
+    /// Deliver an uplink Null(PM) frame to an AP, modelling the paper's
+    /// 5-retry driver fix: with 5 attempts the residual loss is tiny.
+    fn send_ps(&mut self, now: SimTime, ap: usize, adapter: AdapterId, sleeping: bool) {
+        let mut delay = self.cfg.uplink_delay;
+        for _ in 0..5 {
+            if !self.rng.chance(self.cfg.uplink_loss) {
+                self.q.schedule(now + delay, Ev::PsDelivered { ap, adapter, sleeping });
+                return;
+            }
+            delay += self.cfg.uplink_delay;
+        }
+        // All 5 attempts lost: the AP never learns; state desynchronised
+        // until the next PS exchange (the bug the paper had to fix).
+    }
+
+    fn apply_commands(&mut self, now: SimTime, cmds: Vec<Command>) {
+        for cmd in cmds {
+            match cmd {
+                Command::SwitchToSecondary => {
+                    self.pending_switch_started = Some(now);
+                    // PS=1 to both primary-AP associations; the client keeps
+                    // listening until the exchange completes.
+                    self.send_ps(now, 0, DEF, true);
+                    self.send_ps(now, 0, PRIMARY, true);
+                    self.q.schedule(
+                        now + self.cfg.uplink_delay * 2,
+                        Ev::BeginRetune { side: LinkSide::Secondary },
+                    );
+                }
+                Command::SwitchToPrimary => {
+                    self.send_ps(now, 1, SECONDARY, true);
+                    self.q.schedule(
+                        now + self.cfg.uplink_delay * 2,
+                        Ev::BeginRetune { side: LinkSide::Primary },
+                    );
+                }
+                Command::MiddleboxStart { from_seq } => {
+                    let d = self.cfg.uplink_delay
+                        + self.cfg.lan_delay
+                        + self.cfg.middlebox_net_delay;
+                    if !self.rng.chance(self.cfg.uplink_loss) {
+                        self.q.schedule(now + d, Ev::MiddleboxControl { start: Some(from_seq) });
+                    }
+                }
+                Command::MiddleboxStop => {
+                    let d = self.cfg.uplink_delay
+                        + self.cfg.lan_delay
+                        + self.cfg.middlebox_net_delay;
+                    self.q.schedule(now + d, Ev::MiddleboxControl { start: None });
+                }
+            }
+        }
+    }
+
+    fn on_retune_done(&mut self, now: SimTime, side: LinkSide) {
+        self.client_side = Some(side);
+        match side {
+            LinkSide::Secondary => {
+                // Wake the secondary association.
+                self.send_ps(now, 1, SECONDARY, false);
+                // Table 3 instrumentation, using the paper's taxonomy:
+                // "switching" = channel retune + PS signalling to the old
+                // link; "network" = the leg that fetches the packet (the
+                // wake exchange at the AP, or the start-request round trip
+                // to the middlebox); "queuing" = middlebox service time.
+                if let Some(started) = self.pending_switch_started.take() {
+                    let ps = self.cfg.uplink_delay.as_millis_f64() * 2.0;
+                    let switching_ms = (now - started).as_millis_f64() - ps;
+                    let (network_ms, queuing_ms) =
+                        if self.cfg.mode == RunMode::DiversifiMiddlebox {
+                            (
+                                (self.cfg.uplink_delay
+                                    + self.cfg.lan_delay
+                                    + self.cfg.middlebox_net_delay)
+                                    .as_millis_f64()
+                                    * 2.0,
+                                self.mbox.service_delay().as_millis_f64(),
+                            )
+                        } else {
+                            (ps, 0.0)
+                        };
+                    self.switch_delays.push(SwitchDelaySample {
+                        switching_ms,
+                        network_ms,
+                        queuing_ms,
+                    });
+                }
+                let cmds = self.alg.on_residency(Residency::Secondary, now);
+                self.apply_commands(now, cmds);
+                self.arm_client_timer(now);
+            }
+            LinkSide::Primary => {
+                self.send_ps(now, 0, DEF, false);
+                self.send_ps(now, 0, PRIMARY, false);
+                let cmds = self.alg.on_residency(Residency::Primary, now);
+                self.apply_commands(now, cmds);
+                self.arm_client_timer(now);
+            }
+        }
+    }
+
+    fn on_middlebox_control(&mut self, now: SimTime, start: Option<u64>) {
+        match start {
+            Some(from_seq) => {
+                let (service, burst) = self.mbox.start(VOIP_FLOW, from_seq);
+                for (i, pkt) in burst.into_iter().enumerate() {
+                    let d = service
+                        + self.cfg.middlebox_net_delay
+                        + SimDuration::from_micros(20 * i as u64);
+                    let frame = Frame::data(pkt.flow, pkt.seq, pkt.bytes, pkt.src_time, CLIENT, SECONDARY);
+                    self.q.schedule(now + d, Ev::ApArrival { ap: 1, frame });
+                }
+            }
+            None => self.mbox.stop(VOIP_FLOW),
+        }
+    }
+
+    fn forward_from_middlebox(&mut self, now: SimTime, pkt: StreamPacket) {
+        let d = self.mbox.service_delay() + self.cfg.middlebox_net_delay;
+        let frame = Frame::data(pkt.flow, pkt.seq, pkt.bytes, pkt.src_time, CLIENT, SECONDARY);
+        self.q.schedule(now + d, Ev::ApArrival { ap: 1, frame });
+    }
+
+    fn on_tcp_kick(&mut self, now: SimTime) {
+        if !self.cfg.with_tcp {
+            return;
+        }
+        while let Some(seg) = self.tcp_tx.poll_send(now) {
+            let frame = Frame::data(
+                TCP_FLOW,
+                seg.seq,
+                1460 + 40,
+                now,
+                CLIENT,
+                DEF,
+            );
+            let lan = self.cfg.lan_delay + SimDuration::from_micros(self.rng.range_u64(0, 80));
+            self.q.schedule(now + lan, Ev::ApArrival { ap: 0, frame });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversifi_voip::DEFAULT_DEADLINE;
+    use diversifi_wifi::{Channel, GeParams};
+
+    fn seeds(n: u64) -> SeedFactory {
+        SeedFactory::new(0x57_0A11 + n)
+    }
+
+    fn weak_pair() -> (LinkConfig, LinkConfig) {
+        let mut a = LinkConfig::office(Channel::CH1, 22.0);
+        a.ge = GeParams::weak_link();
+        let mut b = LinkConfig::office(Channel::CH11, 28.0);
+        b.ge = GeParams::weak_link();
+        (a, b)
+    }
+
+    /// Links comparable to the paper's office testbed (§6.1): a decent
+    /// primary and a noticeably weaker secondary.
+    fn testbed_pair() -> (LinkConfig, LinkConfig) {
+        let a = LinkConfig::office(Channel::CH1, 16.0);
+        let mut b = LinkConfig::office(Channel::CH11, 26.0);
+        b.ge = GeParams::weak_link();
+        (a, b)
+    }
+
+    fn short(cfg: &mut WorldConfig, secs: u64) {
+        cfg.spec.duration = SimDuration::from_secs(secs);
+    }
+
+    #[test]
+    fn primary_only_baseline_delivers() {
+        let (a, b) = weak_pair();
+        let mut cfg = WorldConfig::testbed(a, b);
+        cfg.mode = RunMode::PrimaryOnly;
+        short(&mut cfg, 20);
+        let report = World::new(cfg, &seeds(1)).run();
+        let loss = report.trace.loss_rate(DEFAULT_DEADLINE);
+        assert!(loss > 0.0, "weak link should lose something");
+        assert!(loss < 0.5, "but mostly deliver: {loss}");
+        assert_eq!(report.secondary_air_tx, 0, "no replication in baseline");
+    }
+
+    #[test]
+    fn diversifi_beats_primary_only_on_same_channels() {
+        let (a, b) = weak_pair();
+        let mut base = WorldConfig::testbed(a.clone(), b.clone());
+        base.mode = RunMode::PrimaryOnly;
+        short(&mut base, 60);
+        let mut dvf = WorldConfig::testbed(a, b);
+        dvf.mode = RunMode::DiversifiCustomAp;
+        short(&mut dvf, 60);
+
+        let mut base_loss = 0.0;
+        let mut dvf_loss = 0.0;
+        for i in 0..5 {
+            let s = seeds(100 + i);
+            base_loss += World::new(base.clone(), &s).run().trace.loss_rate(DEFAULT_DEADLINE);
+            dvf_loss += World::new(dvf.clone(), &s).run().trace.loss_rate(DEFAULT_DEADLINE);
+        }
+        assert!(
+            dvf_loss < base_loss * 0.35,
+            "diversifi {dvf_loss} vs baseline {base_loss}"
+        );
+    }
+
+    #[test]
+    fn diversifi_duplication_overhead_is_small() {
+        let (a, b) = testbed_pair();
+        let cfg = WorldConfig::testbed(a, b); // full 2-minute call
+        let report = World::new(cfg, &seeds(2)).run();
+        let n = report.trace.len() as f64;
+        let wasteful = report.secondary_wasteful_tx as f64 / n;
+        assert!(
+            wasteful < 0.02,
+            "wasteful secondary transmissions {:.3}% of stream",
+            wasteful * 100.0
+        );
+        // Naive replication would put ~100% of packets on the secondary
+        // air; DiversiFi should be well under 5%.
+        assert!(
+            (report.secondary_air_tx as f64) < 0.05 * n,
+            "secondary air tx {} for {} packets",
+            report.secondary_air_tx,
+            n
+        );
+    }
+
+    #[test]
+    fn middlebox_mode_recovers_losses_too() {
+        let (a, b) = weak_pair();
+        let mut cfg = WorldConfig::testbed(a.clone(), b.clone());
+        cfg.mode = RunMode::DiversifiMiddlebox;
+        short(&mut cfg, 60);
+        let mbox_report = World::new(cfg, &seeds(3)).run();
+
+        let mut base = WorldConfig::testbed(a, b);
+        base.mode = RunMode::PrimaryOnly;
+        short(&mut base, 60);
+        let base_report = World::new(base, &seeds(3)).run();
+
+        assert!(
+            mbox_report.trace.loss_rate(DEFAULT_DEADLINE)
+                < base_report.trace.loss_rate(DEFAULT_DEADLINE)
+        );
+        assert!(mbox_report.alg_stats.recovered_on_secondary > 0);
+    }
+
+    #[test]
+    fn switch_delay_breakdown_matches_table3_shape() {
+        let (a, b) = weak_pair();
+        let mut ap_cfg = WorldConfig::testbed(a.clone(), b.clone());
+        short(&mut ap_cfg, 60);
+        let ap_report = World::new(ap_cfg, &seeds(4)).run();
+
+        let mut mb_cfg = WorldConfig::testbed(a, b);
+        mb_cfg.mode = RunMode::DiversifiMiddlebox;
+        short(&mut mb_cfg, 60);
+        let mb_report = World::new(mb_cfg, &seeds(4)).run();
+
+        assert!(!ap_report.switch_delays.is_empty());
+        assert!(!mb_report.switch_delays.is_empty());
+        let ap_total = diversifi_simcore::mean(
+            &ap_report.switch_delays.iter().map(|s| s.total_ms()).collect::<Vec<_>>(),
+        );
+        let mb_total = diversifi_simcore::mean(
+            &mb_report.switch_delays.iter().map(|s| s.total_ms()).collect::<Vec<_>>(),
+        );
+        assert!(mb_total > ap_total, "middlebox {mb_total}ms vs AP {ap_total}ms");
+        assert!(ap_total > 2.0 && ap_total < 5.0, "AP total {ap_total}ms");
+        assert!(mb_total > 4.0 && mb_total < 7.0, "middlebox total {mb_total}ms");
+        assert!(mb_report.switch_delays[0].queuing_ms > 0.0);
+        assert_eq!(ap_report.switch_delays[0].queuing_ms, 0.0);
+    }
+
+    #[test]
+    fn tcp_runs_and_moves_data() {
+        let (a, b) = weak_pair();
+        let mut cfg = WorldConfig::testbed(a, b);
+        cfg.mode = RunMode::PrimaryOnly;
+        cfg.with_tcp = true;
+        short(&mut cfg, 30);
+        let report = World::new(cfg, &seeds(5)).run();
+        assert!(
+            report.tcp_throughput_bps > 1e6,
+            "TCP should achieve >1 Mbps, got {}",
+            report.tcp_throughput_bps
+        );
+    }
+
+    #[test]
+    fn tcp_throughput_mildly_affected_by_diversifi() {
+        let (a, b) = testbed_pair();
+        let mut off = WorldConfig::testbed(a.clone(), b.clone());
+        off.mode = RunMode::PrimaryOnly;
+        off.with_tcp = true;
+        short(&mut off, 30);
+        let mut on = WorldConfig::testbed(a, b);
+        on.mode = RunMode::DiversifiCustomAp;
+        on.with_tcp = true;
+        short(&mut on, 30);
+
+        let mut t_off = 0.0;
+        let mut t_on = 0.0;
+        for i in 0..4 {
+            let s = seeds(200 + i);
+            t_off += World::new(off.clone(), &s).run().tcp_throughput_bps;
+            t_on += World::new(on.clone(), &s).run().tcp_throughput_bps;
+        }
+        let degradation = (t_off - t_on) / t_off;
+        assert!(
+            degradation < 0.1,
+            "DiversiFi must not crater TCP: degradation {:.1}%",
+            degradation * 100.0
+        );
+    }
+
+    #[test]
+    fn end_to_end_psm_mode_wastes_more_than_custom_ap() {
+        let (a, b) = weak_pair();
+        let mut custom = WorldConfig::testbed(a.clone(), b.clone());
+        short(&mut custom, 60);
+        let mut e2e = WorldConfig::testbed(a, b);
+        e2e.mode = RunMode::EndToEndPsm;
+        short(&mut e2e, 60);
+        let mut waste_custom = 0;
+        let mut waste_e2e = 0;
+        for i in 0..4 {
+            let s = seeds(300 + i);
+            waste_custom += World::new(custom.clone(), &s).run().secondary_wasteful_tx;
+            waste_e2e += World::new(e2e.clone(), &s).run().secondary_wasteful_tx;
+        }
+        assert!(
+            waste_e2e > waste_custom,
+            "tail-drop deep queue should waste more: e2e {waste_e2e} vs custom {waste_custom}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (a, b) = weak_pair();
+        let mut cfg = WorldConfig::testbed(a, b);
+        short(&mut cfg, 20);
+        let r1 = World::new(cfg.clone(), &seeds(9)).run();
+        let r2 = World::new(cfg, &seeds(9)).run();
+        assert_eq!(r1.trace.fates, r2.trace.fates);
+        assert_eq!(r1.secondary_air_tx, r2.secondary_air_tx);
+    }
+}

@@ -1,0 +1,192 @@
+//! An SDN-capable LAN switch with match-action replication rules.
+//!
+//! In the middlebox deployment (§5.3.2, Fig. 7c), the client installs a
+//! match-action rule (via an API like the paper's ref. 23, on an Open
+//! vSwitch-class device) so the switch forwards the real-time flow to the
+//! primary AP *and* replicates a copy toward the middlebox. Non-matching
+//! traffic follows the default forwarding path — coexistence by
+//! construction.
+
+use crate::packet::StreamPacket;
+use diversifi_wifi::FlowId;
+use serde::{Deserialize, Serialize};
+
+/// A switch output port.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Port(pub u8);
+
+/// Match criteria for a rule. `None` fields are wildcards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowMatch {
+    /// Match a specific flow, or any.
+    pub flow: Option<FlowId>,
+}
+
+impl FlowMatch {
+    /// Match exactly one flow.
+    pub fn flow(flow: FlowId) -> FlowMatch {
+        FlowMatch { flow: Some(flow) }
+    }
+
+    /// Match everything (default rule).
+    pub fn any() -> FlowMatch {
+        FlowMatch { flow: None }
+    }
+
+    fn matches(&self, p: &StreamPacket) -> bool {
+        self.flow.map(|f| f == p.flow).unwrap_or(true)
+    }
+}
+
+/// One match-action rule.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Rule {
+    /// Higher priority wins; ties broken by installation order (newest
+    /// first), like OpenFlow.
+    pub priority: u16,
+    /// What to match.
+    pub matcher: FlowMatch,
+    /// Output ports; more than one means replication.
+    pub out_ports: Vec<Port>,
+}
+
+/// The switch: a priority-ordered rule table plus hit counters.
+#[derive(Clone, Debug, Default)]
+pub struct SdnSwitch {
+    rules: Vec<Rule>,
+    /// Packets processed.
+    pub packets: u64,
+    /// Copies emitted (≥ packets when replication rules exist).
+    pub copies: u64,
+}
+
+impl SdnSwitch {
+    /// An empty switch (drops everything until a rule is installed).
+    pub fn new() -> SdnSwitch {
+        SdnSwitch::default()
+    }
+
+    /// Install a rule; returns its index for later removal.
+    pub fn install(&mut self, rule: Rule) -> usize {
+        // Keep sorted by descending priority; stable insert puts the newest
+        // rule first among equals.
+        let pos = self.rules.partition_point(|r| r.priority > rule.priority);
+        self.rules.insert(pos, rule);
+        pos
+    }
+
+    /// Install the usual pair for a DiversiFi flow: replicate `flow` to the
+    /// primary-AP port and the middlebox port; everything else follows
+    /// `default_port`.
+    pub fn install_diversifi(
+        &mut self,
+        flow: FlowId,
+        primary_port: Port,
+        middlebox_port: Port,
+        default_port: Port,
+    ) {
+        self.install(Rule {
+            priority: 100,
+            matcher: FlowMatch::flow(flow),
+            out_ports: vec![primary_port, middlebox_port],
+        });
+        if !self.rules.iter().any(|r| r.matcher == FlowMatch::any()) {
+            self.install(Rule {
+                priority: 0,
+                matcher: FlowMatch::any(),
+                out_ports: vec![default_port],
+            });
+        }
+    }
+
+    /// Remove all rules matching exactly `matcher`.
+    pub fn remove(&mut self, matcher: FlowMatch) {
+        self.rules.retain(|r| r.matcher != matcher);
+    }
+
+    /// Number of installed rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Process one packet: the output ports it should be copied to
+    /// (empty = table miss, dropped).
+    pub fn process(&mut self, p: &StreamPacket) -> Vec<Port> {
+        self.packets += 1;
+        for rule in &self.rules {
+            if rule.matcher.matches(p) {
+                self.copies += rule.out_ports.len() as u64;
+                return rule.out_ports.clone();
+            }
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversifi_simcore::SimTime;
+
+    fn pkt(flow: u32, seq: u64) -> StreamPacket {
+        StreamPacket::new(FlowId(flow), seq, 160, SimTime::ZERO)
+    }
+
+    #[test]
+    fn empty_table_drops() {
+        let mut sw = SdnSwitch::new();
+        assert!(sw.process(&pkt(1, 0)).is_empty());
+    }
+
+    #[test]
+    fn default_rule_forwards() {
+        let mut sw = SdnSwitch::new();
+        sw.install(Rule { priority: 0, matcher: FlowMatch::any(), out_ports: vec![Port(1)] });
+        assert_eq!(sw.process(&pkt(9, 0)), vec![Port(1)]);
+    }
+
+    #[test]
+    fn diversifi_rule_replicates_only_the_stream() {
+        let mut sw = SdnSwitch::new();
+        sw.install_diversifi(FlowId(7), Port(1), Port(2), Port(1));
+        // The real-time flow goes to both ports.
+        assert_eq!(sw.process(&pkt(7, 0)), vec![Port(1), Port(2)]);
+        // Other traffic follows the default path only.
+        assert_eq!(sw.process(&pkt(8, 0)), vec![Port(1)]);
+        assert_eq!(sw.packets, 2);
+        assert_eq!(sw.copies, 3);
+    }
+
+    #[test]
+    fn priority_ordering() {
+        let mut sw = SdnSwitch::new();
+        sw.install(Rule { priority: 1, matcher: FlowMatch::any(), out_ports: vec![Port(9)] });
+        sw.install(Rule {
+            priority: 50,
+            matcher: FlowMatch::flow(FlowId(1)),
+            out_ports: vec![Port(1)],
+        });
+        assert_eq!(sw.process(&pkt(1, 0)), vec![Port(1)], "specific beats default");
+        assert_eq!(sw.process(&pkt(2, 0)), vec![Port(9)]);
+    }
+
+    #[test]
+    fn remove_uninstalls() {
+        let mut sw = SdnSwitch::new();
+        sw.install_diversifi(FlowId(7), Port(1), Port(2), Port(1));
+        assert_eq!(sw.rule_count(), 2);
+        sw.remove(FlowMatch::flow(FlowId(7)));
+        assert_eq!(sw.rule_count(), 1);
+        assert_eq!(sw.process(&pkt(7, 0)), vec![Port(1)], "falls back to default");
+    }
+
+    #[test]
+    fn repeated_install_diversifi_keeps_one_default() {
+        let mut sw = SdnSwitch::new();
+        sw.install_diversifi(FlowId(1), Port(1), Port(2), Port(1));
+        sw.install_diversifi(FlowId(2), Port(1), Port(2), Port(1));
+        let defaults =
+            sw.rules.iter().filter(|r| r.matcher == FlowMatch::any()).count();
+        assert_eq!(defaults, 1);
+    }
+}

@@ -1,0 +1,262 @@
+//! Deterministic event queue for the discrete-event engine.
+//!
+//! Events scheduled for the same instant are delivered in the order they were
+//! scheduled (FIFO tie-break via a monotonically increasing sequence number),
+//! so a simulation run is a pure function of (scenario, seed) — never of heap
+//! internals or hash ordering.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A handle to a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// BinaryHeap is a max-heap; invert the ordering so the earliest (time, seq)
+// pops first.
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A time-ordered queue of events of type `E`.
+///
+/// This is the only scheduling primitive in the simulator. Higher layers
+/// define their own event enums and drive a loop:
+///
+/// ```
+/// use diversifi_simcore::{EventQueue, SimTime, SimDuration};
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev { Tick(u32) }
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_millis(20), Ev::Tick(1));
+/// q.schedule(SimTime::from_millis(10), Ev::Tick(0));
+/// let (t, ev) = q.pop().unwrap();
+/// assert_eq!(t, SimTime::from_millis(10));
+/// assert_eq!(ev, Ev::Tick(0));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+    cancelled: Vec<u64>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            cancelled: Vec::new(),
+        }
+    }
+
+    /// The current simulated time: the timestamp of the most recently popped
+    /// event (or zero before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error in the caller and panics: a
+    /// discrete-event simulation that silently reorders causality produces
+    /// quietly wrong results, which is worse than crashing.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "scheduled event at {at:?} but simulation time is already {:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+        EventId(seq)
+    }
+
+    /// Cancel a previously scheduled event. Cancellation is lazy (the entry
+    /// is skipped when it reaches the head), which keeps `cancel` O(log n)
+    /// amortised. Cancelling an already-fired or already-cancelled event is a
+    /// no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        // Binary-search keeps the cancelled list sorted for `is_cancelled`.
+        if let Err(pos) = self.cancelled.binary_search(&id.0) {
+            self.cancelled.insert(pos, id.0);
+        }
+    }
+
+    fn take_cancelled(&mut self, seq: u64) -> bool {
+        if let Ok(pos) = self.cancelled.binary_search(&seq) {
+            self.cancelled.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pop the earliest pending event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(s) = self.heap.pop() {
+            if self.take_cancelled(s.seq) {
+                continue;
+            }
+            debug_assert!(s.at >= self.now, "event queue produced time travel");
+            self.now = s.at;
+            return Some((s.at, s.event));
+        }
+        None
+    }
+
+    /// Timestamp of the earliest pending event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let seq = self.heap.peek()?.seq;
+            if self.cancelled.binary_search(&seq).is_ok() {
+                self.heap.pop();
+                self.take_cancelled(seq);
+                continue;
+            }
+            return Some(self.heap.peek().map(|s| s.at).unwrap());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[derive(Debug, PartialEq, Clone, Copy)]
+    struct Tag(u32);
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), Tag(3));
+        q.schedule(SimTime::from_millis(10), Tag(1));
+        q.schedule(SimTime::from_millis(20), Tag(2));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, t)| t.0).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_tie_break_at_same_instant() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100 {
+            q.schedule(t, Tag(i));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, t)| t.0).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(7), Tag(0));
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled event at")]
+    fn scheduling_in_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), Tag(0));
+        q.pop();
+        q.schedule(SimTime::from_millis(5), Tag(1));
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_millis(1), Tag(1));
+        q.schedule(SimTime::from_millis(2), Tag(2));
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, Tag(2));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_millis(1), Tag(1));
+        assert_eq!(q.pop().unwrap().1, Tag(1));
+        q.cancel(a); // must not affect later events
+        q.schedule(SimTime::from_millis(2), Tag(2));
+        assert_eq!(q.pop().unwrap().1, Tag(2));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_millis(1), Tag(1));
+        q.schedule(SimTime::from_millis(3), Tag(3));
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(3)));
+    }
+
+    #[test]
+    fn relative_scheduling_pattern() {
+        // The common caller pattern: schedule "now + d".
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), Tag(0));
+        let (now, _) = q.pop().unwrap();
+        q.schedule(now + SimDuration::from_millis(20), Tag(1));
+        assert_eq!(q.pop().unwrap().0, SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..10)
+            .map(|i| q.schedule(SimTime::from_millis(i), Tag(i as u32)))
+            .collect();
+        for id in &ids[..4] {
+            q.cancel(*id);
+        }
+        assert_eq!(q.len(), 6);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,285 @@
+//! Deterministic random-number streams.
+//!
+//! Every stochastic component in the simulator (each link's fading process,
+//! each interference source, each jitter model, …) draws from its **own**
+//! stream, derived from the scenario's master seed and a stable string label.
+//! This guarantees two properties that ad-hoc `rand::thread_rng()` use would
+//! destroy:
+//!
+//! 1. **Reproducibility** — a run is a pure function of (scenario, seed).
+//! 2. **Stream independence** — adding a new component, or reordering draws
+//!    in one component, never perturbs the random sequence seen by another,
+//!    so A/B comparisons (e.g. DiversiFi on vs off over the *same* channel
+//!    realisation) are paired experiments, not noise.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Derives independent child seeds from a master seed using SplitMix64, the
+/// standard seed-sequencing construction (Steele et al., OOPSLA '14).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a hash of a label, mixing a stable string identity into seed space.
+fn fnv1a(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A factory of independent, reproducible RNG streams.
+#[derive(Clone, Debug)]
+pub struct SeedFactory {
+    master: u64,
+}
+
+impl SeedFactory {
+    /// Create a factory for a given master seed.
+    pub fn new(master: u64) -> Self {
+        SeedFactory { master }
+    }
+
+    /// The master seed this factory was created with.
+    pub fn master(&self) -> u64 {
+        self.master
+    }
+
+    /// Derive the stream for a component identified by (`label`, `index`).
+    /// The same (master, label, index) always yields the same stream.
+    pub fn stream(&self, label: &str, index: u64) -> RngStream {
+        let mut s = self.master ^ fnv1a(label) ^ index.wrapping_mul(0xA24B_AED4_963E_E407);
+        // Two rounds of splitmix to decorrelate structured inputs.
+        let a = splitmix64(&mut s);
+        let b = splitmix64(&mut s);
+        RngStream { rng: SmallRng::seed_from_u64(a ^ b.rotate_left(32)) }
+    }
+
+    /// A derived factory, for components that own sub-components (e.g. a
+    /// scenario derives a factory per simulated call).
+    pub fn subfactory(&self, label: &str, index: u64) -> SeedFactory {
+        let mut s = self.master ^ fnv1a(label) ^ index.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        SeedFactory { master: splitmix64(&mut s) }
+    }
+}
+
+/// A single deterministic random stream with the distributions the simulator
+/// needs. Wraps `SmallRng` (xoshiro256++), which is fast and statistically
+/// solid for simulation (not cryptographic — nothing here needs to be).
+#[derive(Clone, Debug)]
+pub struct RngStream {
+    rng: SmallRng,
+}
+
+impl RngStream {
+    /// A standalone stream from a raw seed (tests, micro-benchmarks).
+    pub fn from_seed(seed: u64) -> Self {
+        RngStream { rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.rng.gen::<f64>() < p
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Exponentially distributed value with the given mean (inverse-CDF
+    /// method). Used for Markov-chain sojourn times and Poisson inter-arrivals.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        // 1 - U avoids ln(0).
+        -mean * (1.0 - self.rng.gen::<f64>()).ln()
+    }
+
+    /// Standard-normal draw via Box–Muller (single value; we deliberately do
+    /// not cache the second value so stream consumption is call-count-stable).
+    pub fn normal_std(&mut self) -> f64 {
+        let u1: f64 = 1.0 - self.rng.gen::<f64>();
+        let u2: f64 = self.rng.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal draw with mean `mu` and standard deviation `sigma`.
+    pub fn normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        mu + sigma * self.normal_std()
+    }
+
+    /// Log-normal draw parameterised by the mean/sigma of the underlying
+    /// normal. Used for heavy-tailed WAN jitter.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Pareto draw with scale `xm > 0` and shape `alpha > 0` (heavy-tailed
+    /// burst sizes).
+    pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
+        assert!(xm > 0.0 && alpha > 0.0);
+        xm / (1.0 - self.rng.gen::<f64>()).powf(1.0 / alpha)
+    }
+
+    /// Geometric number of failures before first success, `p` in `(0, 1]`.
+    pub fn geometric(&mut self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 1.0);
+        if p >= 1.0 {
+            return 0;
+        }
+        let u: f64 = 1.0 - self.rng.gen::<f64>();
+        (u.ln() / (1.0 - p).ln()).floor() as u64
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Pick a reference to a uniformly random element. Panics on empty slice.
+    pub fn pick<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        &slice[self.index(slice.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let f = SeedFactory::new(42);
+        let mut a = f.stream("link", 0);
+        let mut b = f.stream("link", 0);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_labels_different_streams() {
+        let f = SeedFactory::new(42);
+        let mut a = f.stream("link", 0);
+        let mut b = f.stream("interference", 0);
+        let same = (0..64).filter(|_| a.uniform().to_bits() == b.uniform().to_bits()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn different_indices_different_streams() {
+        let f = SeedFactory::new(7);
+        let mut a = f.stream("link", 0);
+        let mut b = f.stream("link", 1);
+        let same = (0..64).filter(|_| a.uniform().to_bits() == b.uniform().to_bits()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn subfactory_is_deterministic() {
+        let f = SeedFactory::new(99);
+        let mut a = f.subfactory("call", 3).stream("link", 0);
+        let mut b = f.subfactory("call", 3).stream("link", 0);
+        assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = RngStream::from_seed(1);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn uniform_mean_is_half() {
+        let mut r = RngStream::from_seed(2);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.uniform()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let mut r = RngStream::from_seed(3);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(8.0)).sum::<f64>() / n as f64;
+        assert!((mean - 8.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let mut r = RngStream::from_seed(4);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn geometric_mean_matches() {
+        let mut r = RngStream::from_seed(5);
+        let p = 0.25;
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.geometric(p) as f64).sum::<f64>() / n as f64;
+        // E[failures before success] = (1-p)/p = 3.
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = RngStream::from_seed(6);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+
+    #[test]
+    fn pareto_is_bounded_below() {
+        let mut r = RngStream::from_seed(7);
+        for _ in 0..1000 {
+            assert!(r.pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+}

@@ -1,0 +1,423 @@
+//! The access point: per-station queues, 802.11 power-save buffering, and
+//! the queue-management variants at the heart of DiversiFi's design.
+//!
+//! Stations here are *virtual adapters* — DiversiFi clients present several
+//! MAC addresses (DEF, primary, secondary), and each association gets its
+//! own queue, exactly as a real AP would see them.
+//!
+//! Three behaviours matter for the paper:
+//!
+//! 1. **Stock PSM** (the "End-to-End" design, §5.3): a sleeping station's
+//!    frames accumulate in a *tail-drop* queue that can grow large (64 in
+//!    OpenWrt). On wake, everything queued is delivered — flooding the
+//!    client with stale duplicates.
+//! 2. **Customized AP** (§5.3.1): the per-station queue becomes *head-drop*
+//!    with a small settable cap (signalled in an association-request IE), so
+//!    it always holds the most recent few packets.
+//! 3. **Hardware-queue batching** (§5.3.1): on wake the AP hands a batch of
+//!    queued frames down to the hardware queue in one go; frames already in
+//!    hardware are transmitted even if the station immediately sleeps again.
+//!    This is the source of the paper's residual 0.62% wasteful duplication.
+
+use crate::channel::Channel;
+use crate::frame::Frame;
+use crate::ids::{AdapterId, ApId};
+use crate::mac::MacConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// How a station's power-save buffer sheds load when full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueueDiscipline {
+    /// Drop the arriving frame when the queue is full (stock behaviour).
+    TailDrop {
+        /// Maximum queued frames.
+        cap: usize,
+    },
+    /// Drop the oldest queued frame to admit the arriving one (the
+    /// "Customized AP" change; also what CoDel-era firmwares support).
+    HeadDrop {
+        /// Maximum queued frames.
+        cap: usize,
+    },
+}
+
+impl QueueDiscipline {
+    /// The queue capacity.
+    pub fn cap(&self) -> usize {
+        match self {
+            QueueDiscipline::TailDrop { cap } | QueueDiscipline::HeadDrop { cap } => *cap,
+        }
+    }
+
+    /// Stock OpenWrt-style default: tail-drop, 64 frames.
+    pub fn stock() -> QueueDiscipline {
+        QueueDiscipline::TailDrop { cap: 64 }
+    }
+}
+
+/// Result of offering a frame to a station queue.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Enqueued {
+    /// The frame was queued (or committed straight to hardware).
+    Ok,
+    /// The frame displaced `dropped` (head-drop) or was itself rejected
+    /// (tail-drop — then `dropped` is the offered frame).
+    Dropped {
+        /// The frame that was lost.
+        dropped: Frame,
+    },
+}
+
+/// Per-association state at the AP.
+#[derive(Clone, Debug)]
+struct Station {
+    awake: bool,
+    discipline: QueueDiscipline,
+    /// The driver-level queue (PSM buffer while asleep).
+    queue: VecDeque<Frame>,
+    /// Frames committed to the hardware; transmitted regardless of the
+    /// station's current PM state.
+    hw: VecDeque<Frame>,
+}
+
+impl Station {
+    fn new(discipline: QueueDiscipline) -> Station {
+        Station { awake: true, discipline, queue: VecDeque::new(), hw: VecDeque::new() }
+    }
+}
+
+/// Static AP parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ApConfig {
+    /// This AP's identity.
+    pub id: ApId,
+    /// Operating channel.
+    pub channel: Channel,
+    /// MAC timing/retry parameters.
+    pub mac: MacConfig,
+    /// How many queued frames are handed to hardware in one go when a
+    /// sleeping station wakes.
+    pub wake_batch: usize,
+}
+
+impl ApConfig {
+    /// An AP with default 802.11n MAC parameters.
+    pub fn new(id: ApId, channel: Channel) -> ApConfig {
+        ApConfig { id, channel, mac: MacConfig::default(), wake_batch: 2 }
+    }
+}
+
+/// The access point device model (control/queueing plane; the radio itself
+/// is driven by the world through [`crate::mac::transmit`]).
+#[derive(Clone, Debug)]
+pub struct AccessPoint {
+    cfg: ApConfig,
+    stations: BTreeMap<AdapterId, Station>,
+    /// Round-robin pointer over stations for radio service.
+    rr_next: usize,
+    /// Frames dropped from queues since creation (for overhead accounting).
+    pub drops: u64,
+}
+
+impl AccessPoint {
+    /// Create an AP.
+    pub fn new(cfg: ApConfig) -> AccessPoint {
+        AccessPoint { cfg, stations: BTreeMap::new(), rr_next: 0, drops: 0 }
+    }
+
+    /// Static configuration.
+    pub fn config(&self) -> &ApConfig {
+        &self.cfg
+    }
+
+    /// The AP's channel.
+    pub fn channel(&self) -> Channel {
+        self.cfg.channel
+    }
+
+    /// Register an association. `discipline` reflects the queue-management
+    /// IE from the association request ([`QueueDiscipline::stock`] when the
+    /// client asks for nothing special).
+    pub fn associate(&mut self, adapter: AdapterId, discipline: QueueDiscipline) {
+        self.stations.insert(adapter, Station::new(discipline));
+    }
+
+    /// Remove an association.
+    pub fn disassociate(&mut self, adapter: AdapterId) {
+        self.stations.remove(&adapter);
+    }
+
+    /// Is this adapter associated here?
+    pub fn is_associated(&self, adapter: AdapterId) -> bool {
+        self.stations.contains_key(&adapter)
+    }
+
+    /// Is the station awake (from the AP's point of view)?
+    pub fn is_awake(&self, adapter: AdapterId) -> bool {
+        self.stations.get(&adapter).map(|s| s.awake).unwrap_or(false)
+    }
+
+    /// Current driver-queue length for a station.
+    pub fn queue_len(&self, adapter: AdapterId) -> usize {
+        self.stations.get(&adapter).map(|s| s.queue.len()).unwrap_or(0)
+    }
+
+    /// Current hardware-queue length for a station.
+    pub fn hw_len(&self, adapter: AdapterId) -> usize {
+        self.stations.get(&adapter).map(|s| s.hw.len()).unwrap_or(0)
+    }
+
+    /// Offer a downlink frame for `adapter`.
+    pub fn enqueue(&mut self, adapter: AdapterId, frame: Frame) -> Enqueued {
+        let Some(st) = self.stations.get_mut(&adapter) else {
+            // Not associated: the frame has nowhere to go.
+            self.drops += 1;
+            return Enqueued::Dropped { dropped: frame };
+        };
+        let cap = st.discipline.cap();
+        if st.queue.len() < cap {
+            st.queue.push_back(frame);
+            return Enqueued::Ok;
+        }
+        match st.discipline {
+            QueueDiscipline::TailDrop { .. } => {
+                self.drops += 1;
+                Enqueued::Dropped { dropped: frame }
+            }
+            QueueDiscipline::HeadDrop { .. } => {
+                let dropped = st.queue.pop_front().expect("cap > 0");
+                st.queue.push_back(frame);
+                self.drops += 1;
+                Enqueued::Dropped { dropped }
+            }
+        }
+    }
+
+    /// Process a power-management change for `adapter` (a received Null
+    /// frame, or the PM bit on a data frame).
+    ///
+    /// On wake, up to `wake_batch` buffered frames are committed to the
+    /// hardware queue in one go — they will be transmitted even if the
+    /// station goes right back to sleep.
+    pub fn set_power_save(&mut self, adapter: AdapterId, sleeping: bool) {
+        let batch = self.cfg.wake_batch;
+        if let Some(st) = self.stations.get_mut(&adapter) {
+            let was_awake = st.awake;
+            st.awake = !sleeping;
+            if !was_awake && st.awake {
+                for _ in 0..batch {
+                    match st.queue.pop_front() {
+                        Some(f) => st.hw.push_back(f),
+                        None => break,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pick the next frame the radio should transmit, round-robin over
+    /// stations. Hardware-committed frames go out regardless of PM state;
+    /// driver-queue frames only when the station is awake.
+    ///
+    /// Returns `None` when nothing is eligible. The returned frame is
+    /// removed from its queue — the world owns it until `tx` completes.
+    pub fn next_tx(&mut self) -> Option<(AdapterId, Frame)> {
+        if self.stations.is_empty() {
+            return None;
+        }
+        let keys: Vec<AdapterId> = self.stations.keys().copied().collect();
+        let n = keys.len();
+        for i in 0..n {
+            let idx = (self.rr_next + i) % n;
+            let adapter = keys[idx];
+            let st = self.stations.get_mut(&adapter).expect("key just listed");
+            if let Some(f) = st.hw.pop_front() {
+                self.rr_next = (idx + 1) % n;
+                return Some((adapter, f));
+            }
+            if st.awake {
+                if let Some(f) = st.queue.pop_front() {
+                    self.rr_next = (idx + 1) % n;
+                    return Some((adapter, f));
+                }
+            }
+        }
+        None
+    }
+
+    /// Does any station have an eligible frame?
+    pub fn has_eligible_traffic(&self) -> bool {
+        self.stations.values().any(|s| !s.hw.is_empty() || (s.awake && !s.queue.is_empty()))
+    }
+
+    /// Drain and return every frame currently buffered for `adapter`
+    /// (driver queue only; hardware-committed frames are past recall).
+    pub fn flush(&mut self, adapter: AdapterId) -> Vec<Frame> {
+        self.stations
+            .get_mut(&adapter)
+            .map(|s| s.queue.drain(..).collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ClientId, FlowId};
+    use diversifi_simcore::SimTime;
+
+    const A: AdapterId = AdapterId(1);
+
+    fn ap() -> AccessPoint {
+        AccessPoint::new(ApConfig::new(ApId(0), Channel::CH1))
+    }
+
+    fn frame(seq: u64) -> Frame {
+        Frame::data(FlowId(0), seq, 160, SimTime::from_millis(seq * 20), ClientId(0), A)
+    }
+
+    #[test]
+    fn awake_station_gets_frames_in_order() {
+        let mut ap = ap();
+        ap.associate(A, QueueDiscipline::stock());
+        for s in 0..3 {
+            assert_eq!(ap.enqueue(A, frame(s)), Enqueued::Ok);
+        }
+        let seqs: Vec<u64> = std::iter::from_fn(|| ap.next_tx()).map(|(_, f)| f.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sleeping_station_buffers() {
+        let mut ap = ap();
+        ap.associate(A, QueueDiscipline::stock());
+        ap.set_power_save(A, true);
+        ap.enqueue(A, frame(0));
+        assert!(ap.next_tx().is_none(), "asleep: nothing eligible");
+        assert_eq!(ap.queue_len(A), 1);
+        ap.set_power_save(A, false);
+        assert_eq!(ap.next_tx().unwrap().1.seq, 0);
+    }
+
+    #[test]
+    fn tail_drop_rejects_newcomers() {
+        let mut ap = ap();
+        ap.associate(A, QueueDiscipline::TailDrop { cap: 3 });
+        ap.set_power_save(A, true);
+        for s in 0..3 {
+            assert_eq!(ap.enqueue(A, frame(s)), Enqueued::Ok);
+        }
+        match ap.enqueue(A, frame(3)) {
+            Enqueued::Dropped { dropped } => assert_eq!(dropped.seq, 3),
+            other => panic!("expected drop, got {other:?}"),
+        }
+        // Queue still holds the *oldest* 3 — stale for a real-time stream.
+        ap.set_power_save(A, false);
+        let first = ap.next_tx().unwrap().1;
+        assert_eq!(first.seq, 0);
+    }
+
+    #[test]
+    fn head_drop_keeps_most_recent() {
+        let mut ap = ap();
+        ap.associate(A, QueueDiscipline::HeadDrop { cap: 5 });
+        ap.set_power_save(A, true);
+        for s in 0..20 {
+            ap.enqueue(A, frame(s));
+        }
+        assert_eq!(ap.queue_len(A), 5);
+        ap.set_power_save(A, false);
+        // Wake batch (2) + the rest when polled again.
+        let mut seqs = Vec::new();
+        while let Some((_, f)) = ap.next_tx() {
+            seqs.push(f.seq);
+        }
+        assert_eq!(seqs, vec![15, 16, 17, 18, 19], "most recent 5 survive");
+        assert_eq!(ap.drops, 15);
+    }
+
+    #[test]
+    fn wake_batch_commits_to_hardware() {
+        let mut ap = ap(); // wake_batch = 2
+        ap.associate(A, QueueDiscipline::HeadDrop { cap: 5 });
+        ap.set_power_save(A, true);
+        for s in 0..4 {
+            ap.enqueue(A, frame(s));
+        }
+        ap.set_power_save(A, false);
+        assert_eq!(ap.hw_len(A), 2, "wake batch committed");
+        assert_eq!(ap.queue_len(A), 2);
+        // Station sleeps again immediately — hardware frames still go out.
+        ap.set_power_save(A, true);
+        assert_eq!(ap.next_tx().unwrap().1.seq, 0);
+        assert_eq!(ap.next_tx().unwrap().1.seq, 1);
+        assert!(ap.next_tx().is_none(), "driver queue stays parked while asleep");
+        assert_eq!(ap.queue_len(A), 2);
+    }
+
+    #[test]
+    fn repeated_wake_does_not_rebatch() {
+        let mut ap = ap();
+        ap.associate(A, QueueDiscipline::stock());
+        ap.set_power_save(A, true);
+        ap.enqueue(A, frame(0));
+        ap.set_power_save(A, false);
+        assert_eq!(ap.hw_len(A), 1);
+        // A second wake edge while already awake must not duplicate.
+        ap.set_power_save(A, false);
+        assert_eq!(ap.hw_len(A), 1);
+    }
+
+    #[test]
+    fn round_robin_between_stations() {
+        let b = AdapterId(2);
+        let mut ap = ap();
+        ap.associate(A, QueueDiscipline::stock());
+        ap.associate(b, QueueDiscipline::stock());
+        for s in 0..2 {
+            ap.enqueue(A, frame(s));
+            let mut f = frame(s + 100);
+            f.dst_adapter = b;
+            ap.enqueue(b, f);
+        }
+        let order: Vec<(AdapterId, u64)> =
+            std::iter::from_fn(|| ap.next_tx()).map(|(a, f)| (a, f.seq)).collect();
+        assert_eq!(order, vec![(A, 0), (b, 100), (A, 1), (b, 101)]);
+    }
+
+    #[test]
+    fn unassociated_enqueue_drops() {
+        let mut ap = ap();
+        match ap.enqueue(A, frame(0)) {
+            Enqueued::Dropped { dropped } => assert_eq!(dropped.seq, 0),
+            other => panic!("expected drop, got {other:?}"),
+        }
+        assert_eq!(ap.drops, 1);
+    }
+
+    #[test]
+    fn flush_recalls_driver_queue_only() {
+        let mut ap = ap();
+        ap.associate(A, QueueDiscipline::stock());
+        ap.set_power_save(A, true);
+        for s in 0..5 {
+            ap.enqueue(A, frame(s));
+        }
+        ap.set_power_save(A, false); // 2 committed to hw
+        let recalled = ap.flush(A);
+        assert_eq!(recalled.len(), 3);
+        assert_eq!(recalled[0].seq, 2);
+        assert_eq!(ap.hw_len(A), 2);
+    }
+
+    #[test]
+    fn disassociate_clears_state() {
+        let mut ap = ap();
+        ap.associate(A, QueueDiscipline::stock());
+        ap.enqueue(A, frame(0));
+        ap.disassociate(A);
+        assert!(!ap.is_associated(A));
+        assert!(ap.next_tx().is_none());
+    }
+}

@@ -1,0 +1,315 @@
+//! 802.11 MAC frame wire format — the subset DiversiFi's control plane
+//! touches.
+//!
+//! Most of the simulator moves [`crate::frame::Frame`] descriptors rather
+//! than bytes, but DiversiFi's deployment story depends on three concrete
+//! wire-level artifacts, which we implement faithfully:
+//!
+//! 1. **Data/Null frames with the Power-Management bit** — the client's
+//!    sleep/wake signalling (§5.2.4) rides on the PM bit of the Frame
+//!    Control field.
+//! 2. **The association-request information element** carrying the
+//!    requested per-station queue length (§5.3.1: "the client could signal
+//!    the desired maximum queue size to the AP ... using an unused
+//!    information element in the 802.11 association request frame"). We
+//!    define that IE: a vendor-specific element (ID 221) with a
+//!    DiversiFi OUI, one mode byte (head-drop) and a 16-bit queue cap.
+//! 3. **Sequence-control** numbering used for duplicate detection.
+
+use serde::{Deserialize, Serialize};
+
+/// 802.11 frame types we model on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireFrameType {
+    /// Data frame (type 2, subtype 0).
+    Data,
+    /// Null function (type 2, subtype 4) — PM signalling with no payload.
+    NullFunction,
+    /// Association request (type 0, subtype 0).
+    AssociationRequest,
+}
+
+/// Parsed view of the fields DiversiFi cares about.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireFrame {
+    /// Frame type.
+    pub ftype: WireFrameType,
+    /// Power-management bit (PM=1 → "I am going to sleep").
+    pub power_management: bool,
+    /// Retry bit.
+    pub retry: bool,
+    /// Sequence number (12 bits).
+    pub sequence: u16,
+    /// Receiver address.
+    pub addr1: [u8; 6],
+    /// Transmitter address.
+    pub addr2: [u8; 6],
+    /// BSSID.
+    pub addr3: [u8; 6],
+    /// Body (information elements for management frames; payload for data).
+    pub body: Vec<u8>,
+}
+
+/// MAC header length (3-address format).
+pub const MAC_HEADER_LEN: usize = 24;
+
+/// Vendor-specific IE id (the standard "vendor" element).
+pub const VENDOR_IE_ID: u8 = 221;
+
+/// The OUI we use for the DiversiFi queue-management IE (locally
+/// administered — not a real allocation).
+pub const DIVERSIFI_OUI: [u8; 3] = [0x02, 0xD1, 0xF1];
+
+/// Queue-management request carried in the association request (§5.3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueMgmtIe {
+    /// `true` = head-drop requested; `false` = stock behaviour.
+    pub head_drop: bool,
+    /// Requested maximum queue length in frames.
+    pub max_queue_len: u16,
+}
+
+/// Errors from frame parsing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame shorter than the MAC header.
+    Truncated,
+    /// Frame control type/subtype not one we model.
+    UnsupportedType(u8, u8),
+    /// Malformed information-element structure.
+    BadElement,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::UnsupportedType(t, s) => write!(f, "unsupported type {t}/{s}"),
+            WireError::BadElement => write!(f, "malformed information element"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireFrame {
+    /// A Null-function frame carrying a PM state change.
+    pub fn null_function(
+        pm: bool,
+        sequence: u16,
+        sta: [u8; 6],
+        bssid: [u8; 6],
+    ) -> WireFrame {
+        WireFrame {
+            ftype: WireFrameType::NullFunction,
+            power_management: pm,
+            retry: false,
+            sequence,
+            addr1: bssid,
+            addr2: sta,
+            addr3: bssid,
+            body: Vec::new(),
+        }
+    }
+
+    /// An association request with the DiversiFi queue-management IE.
+    pub fn association_request(
+        sta: [u8; 6],
+        bssid: [u8; 6],
+        ie: QueueMgmtIe,
+    ) -> WireFrame {
+        WireFrame {
+            ftype: WireFrameType::AssociationRequest,
+            power_management: false,
+            retry: false,
+            sequence: 0,
+            addr1: bssid,
+            addr2: sta,
+            addr3: bssid,
+            body: encode_queue_mgmt_ie(ie),
+        }
+    }
+
+    /// Serialise to wire bytes (without FCS).
+    pub fn encode(&self) -> Vec<u8> {
+        let (ftype, subtype) = match self.ftype {
+            WireFrameType::Data => (2u8, 0u8),
+            WireFrameType::NullFunction => (2, 4),
+            WireFrameType::AssociationRequest => (0, 0),
+        };
+        let fc0 = (subtype << 4) | (ftype << 2); // version 0
+        let mut fc1 = 0u8;
+        if self.retry {
+            fc1 |= 0x08;
+        }
+        if self.power_management {
+            fc1 |= 0x10;
+        }
+        let mut out = Vec::with_capacity(MAC_HEADER_LEN + self.body.len());
+        out.push(fc0);
+        out.push(fc1);
+        out.extend_from_slice(&[0, 0]); // duration
+        out.extend_from_slice(&self.addr1);
+        out.extend_from_slice(&self.addr2);
+        out.extend_from_slice(&self.addr3);
+        out.extend_from_slice(&(self.sequence << 4).to_le_bytes()); // seq ctl
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parse from wire bytes.
+    pub fn decode(data: &[u8]) -> Result<WireFrame, WireError> {
+        if data.len() < MAC_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let fc0 = data[0];
+        let fc1 = data[1];
+        let ftype_bits = (fc0 >> 2) & 0x3;
+        let subtype = fc0 >> 4;
+        let ftype = match (ftype_bits, subtype) {
+            (2, 0) => WireFrameType::Data,
+            (2, 4) => WireFrameType::NullFunction,
+            (0, 0) => WireFrameType::AssociationRequest,
+            (t, s) => return Err(WireError::UnsupportedType(t, s)),
+        };
+        let addr = |off: usize| -> [u8; 6] {
+            let mut a = [0u8; 6];
+            a.copy_from_slice(&data[off..off + 6]);
+            a
+        };
+        let seq_ctl = u16::from_le_bytes([data[22], data[23]]);
+        Ok(WireFrame {
+            ftype,
+            power_management: fc1 & 0x10 != 0,
+            retry: fc1 & 0x08 != 0,
+            sequence: seq_ctl >> 4,
+            addr1: addr(4),
+            addr2: addr(10),
+            addr3: addr(16),
+            body: data[MAC_HEADER_LEN..].to_vec(),
+        })
+    }
+
+    /// Extract a queue-management IE from a management-frame body, if any.
+    pub fn queue_mgmt_ie(&self) -> Result<Option<QueueMgmtIe>, WireError> {
+        parse_queue_mgmt_ie(&self.body)
+    }
+}
+
+/// Encode the queue-management IE (vendor element).
+pub fn encode_queue_mgmt_ie(ie: QueueMgmtIe) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + 3 + 3);
+    out.push(VENDOR_IE_ID);
+    out.push(6); // OUI(3) + mode(1) + cap(2)
+    out.extend_from_slice(&DIVERSIFI_OUI);
+    out.push(ie.head_drop as u8);
+    out.extend_from_slice(&ie.max_queue_len.to_le_bytes());
+    out
+}
+
+/// Walk an IE list looking for the DiversiFi queue-management element.
+pub fn parse_queue_mgmt_ie(body: &[u8]) -> Result<Option<QueueMgmtIe>, WireError> {
+    let mut rest = body;
+    while !rest.is_empty() {
+        if rest.len() < 2 {
+            return Err(WireError::BadElement);
+        }
+        let id = rest[0];
+        let len = rest[1] as usize;
+        if rest.len() < 2 + len {
+            return Err(WireError::BadElement);
+        }
+        let payload = &rest[2..2 + len];
+        if id == VENDOR_IE_ID && len == 6 && payload[..3] == DIVERSIFI_OUI {
+            return Ok(Some(QueueMgmtIe {
+                head_drop: payload[3] != 0,
+                max_queue_len: u16::from_le_bytes([payload[4], payload[5]]),
+            }));
+        }
+        rest = &rest[2 + len..];
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STA: [u8; 6] = [0x02, 0xAA, 0xBB, 0xCC, 0xDD, 0x01];
+    const AP: [u8; 6] = [0x02, 0x11, 0x22, 0x33, 0x44, 0x55];
+
+    #[test]
+    fn null_frame_roundtrip_with_pm_bit() {
+        for pm in [true, false] {
+            let f = WireFrame::null_function(pm, 1234, STA, AP);
+            let wire = f.encode();
+            assert_eq!(wire.len(), MAC_HEADER_LEN);
+            let back = WireFrame::decode(&wire).unwrap();
+            assert_eq!(back, f);
+            assert_eq!(back.power_management, pm);
+            assert_eq!(back.sequence, 1234);
+        }
+    }
+
+    #[test]
+    fn association_request_carries_queue_ie() {
+        // The paper's derived value: APQL = MTD/IPS = 100/20 = 5, head-drop.
+        let ie = QueueMgmtIe { head_drop: true, max_queue_len: 5 };
+        let f = WireFrame::association_request(STA, AP, ie);
+        let wire = f.encode();
+        let back = WireFrame::decode(&wire).unwrap();
+        assert_eq!(back.ftype, WireFrameType::AssociationRequest);
+        assert_eq!(back.queue_mgmt_ie().unwrap(), Some(ie));
+    }
+
+    #[test]
+    fn queue_ie_among_other_elements() {
+        // SSID element (id 0) before ours; an unknown vendor IE after.
+        let mut body = vec![0u8, 4, b't', b'e', b's', b't'];
+        body.extend(encode_queue_mgmt_ie(QueueMgmtIe { head_drop: true, max_queue_len: 50 }));
+        body.extend([221u8, 4, 0x00, 0x50, 0xF2, 0x02]); // WMM-ish vendor IE
+        let ie = parse_queue_mgmt_ie(&body).unwrap().unwrap();
+        assert_eq!(ie.max_queue_len, 50);
+        assert!(ie.head_drop);
+    }
+
+    #[test]
+    fn body_without_our_ie_is_none() {
+        let body = vec![0u8, 3, b'f', b'o', b'o'];
+        assert_eq!(parse_queue_mgmt_ie(&body).unwrap(), None);
+        assert_eq!(parse_queue_mgmt_ie(&[]).unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_elements_rejected() {
+        assert_eq!(parse_queue_mgmt_ie(&[221]), Err(WireError::BadElement));
+        assert_eq!(parse_queue_mgmt_ie(&[221, 10, 1, 2]), Err(WireError::BadElement));
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        assert_eq!(WireFrame::decode(&[0u8; 10]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn unsupported_type_rejected() {
+        let mut wire = WireFrame::null_function(false, 0, STA, AP).encode();
+        wire[0] = 0b1000_0100; // control frame
+        assert!(matches!(WireFrame::decode(&wire), Err(WireError::UnsupportedType(_, _))));
+    }
+
+    #[test]
+    fn sequence_number_is_12_bits() {
+        let f = WireFrame::null_function(false, 0x0FFF, STA, AP);
+        let back = WireFrame::decode(&f.encode()).unwrap();
+        assert_eq!(back.sequence, 0x0FFF);
+    }
+
+    #[test]
+    fn retry_bit_roundtrip() {
+        let mut f = WireFrame::null_function(false, 7, STA, AP);
+        f.retry = true;
+        let back = WireFrame::decode(&f.encode()).unwrap();
+        assert!(back.retry);
+    }
+}

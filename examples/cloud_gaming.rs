@@ -1,0 +1,85 @@
+//! Cloud gaming over DiversiFi: the high-rate stream of §4.5.
+//!
+//! Cloud gaming (OnLive/PlayStation Now in the paper's era) pushes a
+//! ~5 Mbps video stream with a ~100 ms interaction deadline — far more
+//! demanding than VoIP. This example runs the 5 Mbps / 1000-byte / 1.6 ms
+//! workload through the single-NIC DiversiFi world and shows that reactive
+//! recovery still works at two orders of magnitude more packets, with the
+//! duplication overhead still tiny.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example cloud_gaming
+//! ```
+
+use diversifi::world::{RunMode, World, WorldConfig};
+use diversifi_client::Algorithm1Config;
+use diversifi_simcore::{SeedFactory, SimDuration};
+use diversifi_voip::{StreamSpec, DEFAULT_DEADLINE};
+use diversifi_wifi::{Channel, GeParams, LinkConfig};
+
+fn main() {
+    // A 30-second gaming session at 5 Mbps.
+    let spec = StreamSpec {
+        packet_bytes: 1000,
+        interval: SimDuration::from_micros(1600),
+        duration: SimDuration::from_secs(30),
+    };
+
+    // An ordinary office spot with occasional short fades on the primary;
+    // the secondary is farther but stable. (Single-NIC reactive recovery
+    // suits short fades — for sustained outages at 5 Mbps, the paper's
+    // answer is two-NIC cross-link replication: see `repro fig2e`.)
+    let primary = LinkConfig::office(Channel::CH1, 16.0);
+    let secondary = LinkConfig::office(Channel::CH11, 24.0);
+    let _ = GeParams::good_link();
+
+    // Algorithm-1 constants re-derived for the 1.6 ms stream: the AP queue
+    // must hold MaxTolerableDelay / IPS packets of *this* stream.
+    let alg = Algorithm1Config {
+        inter_packet_spacing: spec.interval,
+        max_tolerable_delay: SimDuration::from_millis(100),
+        // PLT = 2·IPS would be 3.2 ms here — too short a secondary visit
+        // to drain anything; scale it to the stream.
+        packet_loss_timeout: spec.interval * 8,
+        ..Algorithm1Config::voip()
+    };
+    println!(
+        "Stream: {:.1} Mbps, {} packets; AP queue length request: {} packets (MTD/IPS)\n",
+        spec.rate_kbps() / 1000.0,
+        spec.packet_count(),
+        alg.ap_queue_len()
+    );
+
+    let seeds = SeedFactory::new(0x6A3E);
+    for (label, mode) in [
+        ("Best single link", RunMode::PrimaryOnly),
+        ("DiversiFi        ", RunMode::DiversifiCustomAp),
+    ] {
+        let mut cfg = WorldConfig::testbed(primary.clone(), secondary.clone());
+        cfg.spec = spec;
+        cfg.alg = alg;
+        cfg.mode = mode;
+        let report = World::new(cfg, &seeds).run();
+
+        let n = report.trace.len() as f64;
+        let loss = report.trace.loss_rate(DEFAULT_DEADLINE) * 100.0;
+        let worst =
+            report.trace.worst_window_loss_pct(SimDuration::from_secs(5), DEFAULT_DEADLINE);
+        // For gaming, what matters is frames that miss the interaction
+        // deadline — count effective losses at 100 ms.
+        let deadline_misses =
+            report.trace.loss_rate(SimDuration::from_millis(100)) * 100.0;
+        println!("{label}  loss {loss:5.2}%   worst-5s {worst:5.1}%   >100ms-late {deadline_misses:5.2}%");
+        if mode.replicates() {
+            println!(
+                "                   visits: {}   recovered: {}   wasteful dup: {:.2}%",
+                report.alg_stats.recovery_visits,
+                report.alg_stats.recovered_on_secondary,
+                100.0 * report.secondary_wasteful_tx as f64 / n
+            );
+        }
+    }
+    println!("\n(paper §4.5: cross-link replication took the 90th%ile worst-window loss");
+    println!(" of a 5 Mbps stream from 20.5% down to 1.7%)");
+}

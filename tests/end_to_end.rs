@@ -1,0 +1,123 @@
+//! End-to-end integration tests: the whole pipeline, from corpus
+//! generation through the closed-loop world to QoE metrics, across crate
+//! boundaries.
+
+use diversifi::analysis::{run_corpus, strategy_cdf, AnalysisOptions, QualityParams, Strategy};
+use diversifi::evaluation::{overhead_summary, run_eval_corpus, EvalOptions};
+use diversifi::world::{RunMode, World, WorldConfig};
+use diversifi_simcore::{SeedFactory, SimDuration};
+use diversifi_voip::DEFAULT_DEADLINE;
+use diversifi_wifi::{Channel, GeParams, LinkConfig};
+
+fn testbed() -> (LinkConfig, LinkConfig) {
+    let a = LinkConfig::office(Channel::CH1, 16.0);
+    let mut b = LinkConfig::office(Channel::CH11, 26.0);
+    b.ge = GeParams::weak_link();
+    (a, b)
+}
+
+#[test]
+fn full_call_all_four_modes() {
+    let (a, b) = testbed();
+    let seeds = SeedFactory::new(0xE2E);
+    let mut results = Vec::new();
+    for mode in [
+        RunMode::PrimaryOnly,
+        RunMode::SecondaryOnly,
+        RunMode::DiversifiCustomAp,
+        RunMode::DiversifiMiddlebox,
+    ] {
+        let mut cfg = WorldConfig::testbed(a.clone(), b.clone());
+        cfg.mode = mode;
+        cfg.spec.duration = SimDuration::from_secs(60);
+        let report = World::new(cfg, &seeds).run();
+        results.push((mode, report.trace.loss_rate(DEFAULT_DEADLINE)));
+    }
+    let primary = results[0].1;
+    let secondary = results[1].1;
+    let custom = results[2].1;
+    let mbox = results[3].1;
+    assert!(secondary > primary, "secondary {secondary} vs primary {primary}");
+    assert!(custom < primary, "custom-AP DiversiFi must beat the baseline");
+    assert!(mbox < primary, "middlebox DiversiFi must beat the baseline");
+}
+
+#[test]
+fn both_deployments_recover_comparably() {
+    let (a, b) = testbed();
+    let mut custom_loss = 0.0;
+    let mut mbox_loss = 0.0;
+    for i in 0..4 {
+        let seeds = SeedFactory::new(0xE2E + 100 + i);
+        for (mode, acc) in [
+            (RunMode::DiversifiCustomAp, &mut custom_loss),
+            (RunMode::DiversifiMiddlebox, &mut mbox_loss),
+        ] {
+            let mut cfg = WorldConfig::testbed(a.clone(), b.clone());
+            cfg.mode = mode;
+            cfg.spec.duration = SimDuration::from_secs(60);
+            *acc += World::new(cfg, &seeds).run().trace.loss_rate(DEFAULT_DEADLINE);
+        }
+    }
+    // The middlebox adds ~2.4 ms to recovery; both should land in the same
+    // ballpark of residual loss.
+    assert!(mbox_loss < custom_loss * 4.0 + 0.004, "mbox {mbox_loss} vs custom {custom_loss}");
+}
+
+#[test]
+fn eval_corpus_reproduces_headline_ordering() {
+    let runs = run_eval_corpus(&EvalOptions { n_runs: 6, ..Default::default() }, 0xE2E2);
+    let q = QualityParams::default();
+    let pcr = |pick: fn(&diversifi::EvalRun) -> &diversifi::RunReport| {
+        let traces: Vec<_> = runs.iter().map(|r| pick(r).trace.clone()).collect();
+        q.pcr_pct(&traces)
+    };
+    let p = pcr(|r| &r.primary);
+    let s = pcr(|r| &r.secondary);
+    let d = pcr(|r| &r.diversifi);
+    assert!(s >= p, "secondary PCR {s} vs primary {p}");
+    assert!(d <= p, "DiversiFi PCR {d} must not exceed primary {p}");
+}
+
+#[test]
+fn overhead_is_orders_below_naive_replication() {
+    let runs = run_eval_corpus(&EvalOptions { n_runs: 5, ..Default::default() }, 0xE2E3);
+    let o = overhead_summary(&runs);
+    // Naive replication = 100% of packets on the secondary air.
+    assert!(o.secondary_air_pct < 12.0, "secondary air {}%", o.secondary_air_pct);
+    assert!(o.wasteful_dup_pct < o.secondary_air_pct);
+}
+
+#[test]
+fn analysis_and_world_agree_on_diversity_value() {
+    // The §4 trace-combinator analysis and the §6 closed-loop world are
+    // independent implementations of the same idea; both must show
+    // cross-link diversity beating single-link selection.
+    let mut opts = AnalysisOptions::paper_corpus();
+    opts.n_calls = 12;
+    opts.spec.duration = SimDuration::from_secs(30);
+    opts.temporal = false;
+    let records = run_corpus(&opts, 0xA9E);
+    let cross = strategy_cdf(&records, Strategy::CrossLink, "x");
+    let stronger = strategy_cdf(&records, Strategy::Stronger, "s");
+    assert!(cross.p90 <= stronger.p90);
+
+    let runs = run_eval_corpus(&EvalOptions { n_runs: 5, ..Default::default() }, 0xA9E);
+    let dvf: f64 = runs.iter().map(|r| r.diversifi.trace.loss_rate(DEFAULT_DEADLINE)).sum();
+    let pri: f64 = runs.iter().map(|r| r.primary.trace.loss_rate(DEFAULT_DEADLINE)).sum();
+    assert!(dvf < pri);
+}
+
+#[test]
+fn paired_seeds_make_modes_comparable() {
+    // The same seed family must produce the same primary-link channel
+    // conditions regardless of the client mode (paired experiments).
+    let (a, b) = testbed();
+    let seeds = SeedFactory::new(77);
+    let mut cfg1 = WorldConfig::testbed(a.clone(), b.clone());
+    cfg1.mode = RunMode::PrimaryOnly;
+    cfg1.spec.duration = SimDuration::from_secs(20);
+    let r1 = World::new(cfg1.clone(), &seeds).run();
+    let r2 = World::new(cfg1, &seeds).run();
+    assert_eq!(r1.trace.fates, r2.trace.fates, "identical seeds → identical runs");
+}

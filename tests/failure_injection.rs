@@ -1,0 +1,178 @@
+//! Failure-injection tests: the system must stay sane (no panics, no
+//! starvation, graceful degradation) under hostile conditions well outside
+//! the calibrated operating envelope.
+
+use diversifi::world::{RunMode, World, WorldConfig};
+use diversifi_simcore::{SeedFactory, SimDuration};
+use diversifi_voip::{StreamSpec, DEFAULT_DEADLINE};
+use diversifi_wifi::{Channel, Congestion, GeParams, LinkConfig, MicrowaveOven};
+
+fn base_cfg(primary: LinkConfig, secondary: LinkConfig) -> WorldConfig {
+    let mut cfg = WorldConfig::testbed(primary, secondary);
+    cfg.spec.duration = SimDuration::from_secs(30);
+    cfg
+}
+
+/// A completely dead secondary link: DiversiFi must never do worse than
+/// materially amplifying the baseline loss (visits waste a little time but
+/// the stream keeps flowing).
+#[test]
+fn dead_secondary_link_degrades_gracefully() {
+    let primary = LinkConfig::office(Channel::CH1, 18.0);
+    let mut dead = LinkConfig::office(Channel::CH11, 120.0); // RSSI floor
+    dead.ge = GeParams {
+        mean_good: SimDuration::from_millis(1),
+        mean_bad_short: SimDuration::from_secs(1000),
+        mean_bad_long: SimDuration::from_secs(1000),
+        p_long: 1.0,
+        bad_loss: 0.999,
+        good_loss: 0.9,
+    };
+    let seeds = SeedFactory::new(1);
+    let mut dvf = base_cfg(primary.clone(), dead.clone());
+    dvf.mode = RunMode::DiversifiCustomAp;
+    let r_dvf = World::new(dvf, &seeds).run();
+    let mut base = base_cfg(primary, dead);
+    base.mode = RunMode::PrimaryOnly;
+    let r_base = World::new(base, &seeds).run();
+
+    let ld = r_dvf.trace.loss_rate(DEFAULT_DEADLINE);
+    let lb = r_base.trace.loss_rate(DEFAULT_DEADLINE);
+    assert!(ld <= lb + 0.02, "dead secondary must not hurt: {ld} vs {lb}");
+    // And the client must not be stuck on the secondary at the end.
+    assert!(r_dvf.alg_stats.expired_losses > 0 || lb == 0.0);
+}
+
+/// Both links in near-total outage: the run completes, losses are counted,
+/// nothing hangs or panics.
+#[test]
+fn double_outage_terminates() {
+    let mk = |ch, d| {
+        let mut l = LinkConfig::office(ch, d);
+        l.ge = GeParams {
+            mean_good: SimDuration::from_millis(10),
+            mean_bad_short: SimDuration::from_secs(10),
+            mean_bad_long: SimDuration::from_secs(10),
+            p_long: 0.5,
+            bad_loss: 0.98,
+            good_loss: 0.5,
+        };
+        l
+    };
+    let mut cfg = base_cfg(mk(Channel::CH1, 60.0), mk(Channel::CH11, 70.0));
+    cfg.mode = RunMode::DiversifiCustomAp;
+    let r = World::new(cfg, &SeedFactory::new(2)).run();
+    let loss = r.trace.loss_rate(DEFAULT_DEADLINE);
+    assert!(loss > 0.5, "this scenario is designed to be terrible: {loss}");
+    assert_eq!(r.trace.len(), 1500);
+}
+
+/// Heavy uplink loss: PS-Null frames and middlebox requests die often.
+/// The 5-retry driver fix must keep the system coherent.
+#[test]
+fn lossy_uplink_control_plane() {
+    let primary = LinkConfig::office(Channel::CH1, 18.0);
+    let mut secondary = LinkConfig::office(Channel::CH11, 24.0);
+    secondary.ge = GeParams::weak_link();
+    for mode in [RunMode::DiversifiCustomAp, RunMode::DiversifiMiddlebox] {
+        let mut cfg = base_cfg(primary.clone(), secondary.clone());
+        cfg.mode = mode;
+        cfg.uplink_loss = 0.45; // hostile
+        let seeds = SeedFactory::new(3);
+        let r = World::new(cfg, &seeds).run();
+        // Sanity: stream mostly delivered; no livelock.
+        assert!(
+            r.trace.loss_rate(DEFAULT_DEADLINE) < 0.30,
+            "{mode:?}: loss {}",
+            r.trace.loss_rate(DEFAULT_DEADLINE)
+        );
+    }
+}
+
+/// Microwave + congestion + mobility stacked on both links at once.
+#[test]
+fn kitchen_sink_impairments() {
+    let mk = |ch, d, phase| {
+        let mut l = LinkConfig::office(ch, d);
+        l.microwave = Some(MicrowaveOven::default());
+        l.congestion = Some(Congestion::heavy());
+        l.mobility = Some(diversifi_wifi::MobilityPattern::walking(phase));
+        l
+    };
+    let mut cfg = base_cfg(mk(Channel::CH6, 20.0, 0.0), mk(Channel::CH11, 25.0, 0.5));
+    cfg.mode = RunMode::DiversifiCustomAp;
+    cfg.with_tcp = true;
+    let r = World::new(cfg, &SeedFactory::new(4)).run();
+    assert_eq!(r.trace.len(), 1500);
+    assert!(r.trace.delivered_count() > 0, "something must get through");
+}
+
+/// Degenerate streams: one packet, and sub-millisecond spacing.
+#[test]
+fn degenerate_stream_shapes() {
+    let primary = LinkConfig::office(Channel::CH1, 15.0);
+    let secondary = LinkConfig::office(Channel::CH11, 20.0);
+
+    // One packet.
+    let mut cfg = base_cfg(primary.clone(), secondary.clone());
+    cfg.spec = StreamSpec {
+        packet_bytes: 160,
+        interval: SimDuration::from_millis(20),
+        duration: SimDuration::from_millis(20),
+    };
+    cfg.mode = RunMode::DiversifiCustomAp;
+    let r = World::new(cfg, &SeedFactory::new(5)).run();
+    assert_eq!(r.trace.len(), 1);
+
+    // Very tight spacing (queueing stress).
+    let mut cfg = base_cfg(primary, secondary);
+    cfg.spec = StreamSpec {
+        packet_bytes: 200,
+        interval: SimDuration::from_micros(500),
+        duration: SimDuration::from_secs(2),
+    };
+    cfg.mode = RunMode::DiversifiCustomAp;
+    let r = World::new(cfg, &SeedFactory::new(6)).run();
+    assert_eq!(r.trace.len(), 4000);
+    assert!(r.trace.loss_rate(DEFAULT_DEADLINE) < 0.6);
+}
+
+/// The EndToEnd strawman (stock tail-drop PSM buffering) runs and shows
+/// the inefficiency the paper designed around.
+#[test]
+fn end_to_end_strawman_is_worse_than_custom_ap() {
+    let primary = LinkConfig::office(Channel::CH1, 20.0);
+    let mut secondary = LinkConfig::office(Channel::CH11, 26.0);
+    secondary.ge = GeParams::weak_link();
+    let mut waste_e2e = 0u64;
+    let mut waste_custom = 0u64;
+    for i in 0..3 {
+        let seeds = SeedFactory::new(100 + i);
+        let mut e2e = base_cfg(primary.clone(), secondary.clone());
+        e2e.mode = RunMode::EndToEndPsm;
+        waste_e2e += World::new(e2e, &seeds).run().secondary_wasteful_tx;
+        let mut custom = base_cfg(primary.clone(), secondary.clone());
+        custom.mode = RunMode::DiversifiCustomAp;
+        waste_custom += World::new(custom, &seeds).run().secondary_wasteful_tx;
+    }
+    assert!(
+        waste_e2e > waste_custom,
+        "stock PSM queueing must waste more: {waste_e2e} vs {waste_custom}"
+    );
+}
+
+/// Zero uplink delay / zero LAN delay configuration does not break event
+/// ordering (same-timestamp event storms).
+#[test]
+fn zero_delay_configuration() {
+    let primary = LinkConfig::office(Channel::CH1, 15.0);
+    let mut secondary = LinkConfig::office(Channel::CH11, 22.0);
+    secondary.ge = GeParams::weak_link();
+    let mut cfg = base_cfg(primary, secondary);
+    cfg.lan_delay = SimDuration::ZERO;
+    cfg.uplink_delay = SimDuration::ZERO;
+    cfg.middlebox_net_delay = SimDuration::ZERO;
+    cfg.mode = RunMode::DiversifiMiddlebox;
+    let r = World::new(cfg, &SeedFactory::new(7)).run();
+    assert_eq!(r.trace.len(), 1500);
+}

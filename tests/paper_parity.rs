@@ -1,0 +1,279 @@
+//! Paper-parity tests: the headline numbers of the paper, reproduced at
+//! reduced scale with generous-but-meaningful tolerances. The *shape* of
+//! every result (who wins, by roughly what factor, where the crossovers
+//! are) must hold; absolute values are checked against wide brackets since
+//! our substrate is a simulator, not the authors' testbed.
+
+use diversifi::analysis::{
+    burst_summary, correlation_figure, pcr_by_impairment, run_corpus, strategy_cdf,
+    AnalysisOptions, QualityParams, Strategy,
+};
+use diversifi::evaluation::{
+    measure_switch_delays, middlebox_scalability, overhead_summary, run_eval_corpus,
+    run_tcp_corpus, table3_row, EvalOptions,
+};
+use diversifi::world::RunMode;
+use diversifi::{nettest, population, survey};
+use diversifi_simcore::{mean, SimDuration};
+use diversifi_wifi::ImpairmentKind;
+
+fn corpus() -> &'static [diversifi::CallRecord] {
+    use std::sync::OnceLock;
+    static CORPUS: OnceLock<Vec<diversifi::CallRecord>> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let mut opts = AnalysisOptions::paper_corpus();
+        // 458 two-minute calls in the paper; tail statistics (90th
+        // percentiles, per-class PCRs) need a real sample, so keep the CI
+        // corpus big and only shrink hard for debug builds.
+        opts.n_calls = if cfg!(debug_assertions) { 36 } else { 200 };
+        opts.spec.duration =
+            SimDuration::from_secs(if cfg!(debug_assertions) { 30 } else { 60 });
+        run_corpus(&opts, 0x9A9E9)
+    })
+}
+
+/// Fig. 2a: cross-link dominates both selection strategies, especially in
+/// the tail (paper: 37% / 84% / 4.4% at the 90th percentile).
+#[test]
+fn fig2a_crosslink_dominates_selection() {
+    let records = corpus();
+    let cross = strategy_cdf(&records, Strategy::CrossLink, "x").p90;
+    let stronger = strategy_cdf(&records, Strategy::Stronger, "s").p90;
+    let better = strategy_cdf(&records, Strategy::Better, "b").p90;
+    assert!(cross < 0.5 * stronger, "cross {cross} vs stronger {stronger}");
+    assert!(cross < 0.6 * better, "cross {cross} vs better {better}");
+}
+
+/// Fig. 2b: Divert (reactive selection) beats static selection but loses
+/// to cross-link (paper: 10.5% vs 4.4%).
+#[test]
+fn fig2b_divert_between_selection_and_replication() {
+    let records = corpus();
+    let cross = strategy_cdf(&records, Strategy::CrossLink, "x").p90;
+    let divert = strategy_cdf(&records, Strategy::Divert, "d").p90;
+    let stronger = strategy_cdf(&records, Strategy::Stronger, "s").p90;
+    assert!(divert < stronger, "divert {divert} vs stronger {stronger}");
+    assert!(cross <= divert, "cross {cross} vs divert {divert}");
+}
+
+/// Fig. 2c: temporal replication helps, more with larger Δ, but never
+/// catches cross-link (paper: base 37.2 → Δ=100ms 23.7 → cross 4.4).
+/// The Δ ordering is asserted on the corpus *mean* worst-window loss —
+/// the tail percentiles are dominated by temporal-immune impairments
+/// (multi-second mobility fades), where Δ makes no difference either way.
+#[test]
+fn fig2c_temporal_ordering() {
+    let records = corpus();
+    let mean_worst = |s: Strategy| {
+        let vals: Vec<f64> = records
+            .iter()
+            .map(|r| {
+                r.strategy_trace(s)
+                    .worst_window_loss_pct(SimDuration::from_secs(5), diversifi_voip::DEFAULT_DEADLINE)
+            })
+            .collect();
+        mean(&vals)
+    };
+    let base = mean_worst(Strategy::Stronger);
+    let t0 = mean_worst(Strategy::Temporal0);
+    let t100 = mean_worst(Strategy::Temporal100);
+    let cross = mean_worst(Strategy::CrossLink);
+    if cfg!(debug_assertions) {
+        // The debug corpus (36 calls) cannot resolve the Δ refinement;
+        // only sanity-bound it. The strict ordering runs at release scale.
+        assert!(t100 <= base * 1.25 + 0.5, "t100 {t100} vs base {base}");
+        assert!(t100 <= t0 * 1.25 + 0.5, "t100 {t100} vs t0 {t0}");
+    } else {
+        assert!(t100 < base, "t100 {t100} vs base {base}");
+        assert!(t100 <= t0, "t100 {t100} vs t0 {t0} (larger Δ helps)");
+    }
+    assert!(cross < t100, "cross {cross} vs t100 {t100}");
+    // And in the tail, cross-link still dominates everything (p90).
+    let cross_p90 = strategy_cdf(&records, Strategy::CrossLink, "x").p90;
+    let base_p90 = strategy_cdf(&records, Strategy::Stronger, "b").p90;
+    assert!(cross_p90 < base_p90);
+}
+
+/// Fig. 4: within-link autocorrelation exceeds cross-link correlation out
+/// to at least 20 packets (400 ms) of lag.
+#[test]
+fn fig4_correlation_structure() {
+    let records = corpus();
+    let fig = correlation_figure(&records, 20);
+    for lag in 1..=20usize {
+        assert!(
+            fig.auto_corr[lag - 1].1 > fig.cross_corr[lag].1,
+            "lag {lag}: auto {} <= cross {}",
+            fig.auto_corr[lag - 1].1,
+            fig.cross_corr[lag].1
+        );
+    }
+}
+
+/// Fig. 5: cross-link loses fewer packets AND a smaller bursty fraction
+/// than temporal (paper: 25.6/15.9 vs 61.9/51.0).
+#[test]
+fn fig5_burstiness() {
+    let records = corpus();
+    let temporal = burst_summary(&records, Strategy::Temporal100, "t");
+    let cross = burst_summary(&records, Strategy::CrossLink, "x");
+    assert!(cross.mean_lost < temporal.mean_lost);
+    let frac = |b: &diversifi::analysis::BurstSummary| {
+        if b.mean_lost == 0.0 { 0.0 } else { b.mean_bursty / b.mean_lost }
+    };
+    assert!(
+        frac(&cross) <= frac(&temporal) + 0.05,
+        "cross bursty fraction {} vs temporal {}",
+        frac(&cross),
+        frac(&temporal)
+    );
+}
+
+/// Fig. 6: cross-link cuts PCR overall (paper: 2.24x, 12.23% → 5.45%), and
+/// helps least under microwave interference when no 5 GHz escape exists.
+#[test]
+fn fig6_pcr_reduction_and_microwave_exception() {
+    let records = corpus();
+    let q = QualityParams::default();
+    let fig = pcr_by_impairment(&records, &q);
+    assert!(
+        fig.overall_stronger > 1.4 * fig.overall_cross.max(0.5),
+        "overall PCR: stronger {} vs cross {}",
+        fig.overall_stronger,
+        fig.overall_cross
+    );
+    // Overall gain in the paper's neighbourhood (2.24x), not a magic fix.
+    let overall_gain = fig.overall_stronger / fig.overall_cross.max(0.5);
+    assert!(
+        (1.3..12.0).contains(&overall_gain),
+        "overall PCR gain {overall_gain:.1}x out of plausible range (paper 2.24x)"
+    );
+    // The microwave exception: with no 5 GHz escape, replication is NOT a
+    // complete fix — a real cross-link PCR residue remains.
+    let mw_cross = fig
+        .rows
+        .iter()
+        .find(|(l, _, _)| l == ImpairmentKind::Microwave.label())
+        .map(|(_, _, x)| *x)
+        .unwrap_or(0.0);
+    assert!(
+        mw_cross > 0.0,
+        "microwave-class cross-link PCR must stay above zero (paper: ~1.2x gain only)"
+    );
+}
+
+/// Fig. 8 + §6.2/6.3: single-NIC DiversiFi recovers nearly all primary
+/// losses with tiny duplication (paper: 1.97% → 0.05% loss, 0.62% waste).
+#[test]
+fn fig8_and_overhead_headline() {
+    let n_runs = if cfg!(debug_assertions) { 5 } else { 12 };
+    let runs = run_eval_corpus(&EvalOptions { n_runs, ..Default::default() }, 0x61);
+    let o = overhead_summary(&runs);
+    assert!(
+        (0.3..6.0).contains(&o.primary_loss_pct),
+        "primary loss {}% (paper 1.97%)",
+        o.primary_loss_pct
+    );
+    assert!(
+        o.diversifi_loss_pct < 0.25 * o.primary_loss_pct,
+        "residual {}% of primary {}%",
+        o.diversifi_loss_pct,
+        o.primary_loss_pct
+    );
+    assert!(o.wasteful_dup_pct < 2.5, "waste {}% (paper 0.62%)", o.wasteful_dup_pct);
+
+    // PCR ordering: primary ~5%, secondary much worse, DiversiFi ≈ 0.
+    let q = QualityParams::default();
+    let traces = |pick: fn(&diversifi::EvalRun) -> &diversifi::RunReport| {
+        runs.iter().map(|r| pick(r).trace.clone()).collect::<Vec<_>>()
+    };
+    let pcr_p = q.pcr_pct(&traces(|r| &r.primary));
+    let pcr_s = q.pcr_pct(&traces(|r| &r.secondary));
+    let pcr_d = q.pcr_pct(&traces(|r| &r.diversifi));
+    assert!(pcr_s > pcr_p, "secondary {pcr_s}% vs primary {pcr_p}%");
+    assert!(pcr_d <= pcr_p * 0.5, "DiversiFi {pcr_d}% vs primary {pcr_p}%");
+}
+
+/// Fig. 10: TCP throughput impact is small (paper: 2.5%).
+#[test]
+fn fig10_tcp_coexistence() {
+    let pairs = run_tcp_corpus(if cfg!(debug_assertions) { 4 } else { 8 }, 8, 0x10A);
+    let off = mean(&pairs.iter().map(|p| p.off_bps).collect::<Vec<_>>());
+    let on = mean(&pairs.iter().map(|p| p.on_bps).collect::<Vec<_>>());
+    let impact = (off - on) / off;
+    assert!(impact.abs() < 0.10, "TCP impact {:.1}% (paper 2.5%)", impact * 100.0);
+}
+
+/// Table 3: 2.8 ms (AP) vs 5.2 ms (middlebox), with the right components.
+#[test]
+fn table3_delay_breakdown() {
+    let n = if cfg!(debug_assertions) { 15 } else { 40 };
+    let ap = table3_row(&measure_switch_delays(RunMode::DiversifiCustomAp, n, 3));
+    let mb = table3_row(&measure_switch_delays(RunMode::DiversifiMiddlebox, n, 3));
+    assert!((ap.total_ms - 2.8).abs() < 0.7, "AP total {} (paper 2.8)", ap.total_ms);
+    assert!((mb.total_ms - 5.2).abs() < 1.3, "mbox total {} (paper 5.2)", mb.total_ms);
+    assert!(mb.total_ms > ap.total_ms + 1.0);
+    assert!((mb.queuing_ms - 0.9).abs() < 0.4, "queuing {} (paper 0.9)", mb.queuing_ms);
+}
+
+/// §6.4: +~1.1 ms at 1000 concurrent streams.
+#[test]
+fn middlebox_scalability_parity() {
+    let sweep = middlebox_scalability(&[0, 1000]);
+    let delta = sweep[1].1 - sweep[0].1;
+    assert!((delta - 1.1).abs() < 0.2, "Δ {} ms (paper 1.1)", delta);
+}
+
+/// Table 1: the EE/EW/WW ordering with correct signs in every row.
+#[test]
+fn table1_signs_and_ordering() {
+    let calls = population::simulate_calls(
+        &population::PopulationModel::default(),
+        if cfg!(debug_assertions) { 80_000 } else { 200_000 },
+        0x7A,
+    );
+    let t = population::table1(&calls);
+    for (name, row) in [
+        ("all", &t.all),
+        ("wired-majority", &t.wired_majority),
+        ("pc", &t.pc),
+        ("pc+wired", &t.pc_wired_majority),
+    ] {
+        assert!(row.ee > 0.0, "{name}: EE should be better than baseline, got {}", row.ee);
+        assert!(row.ee > row.ew, "{name}: EE {} vs EW {}", row.ee, row.ew);
+        assert!(row.ew > row.ww, "{name}: EW {} vs WW {}", row.ew, row.ww);
+    }
+    assert!(t.all.ww < 0.0, "WW should be worse than baseline: {}", t.all.ww);
+    // Controls shrink the WiFi-attributable gap (rows 3/4 vs 1).
+    assert!(
+        t.pc.ww > t.all.ww,
+        "PC filter should close part of the gap: {} vs {}",
+        t.pc.ww,
+        t.all.ww
+    );
+}
+
+/// Table 2: category ordering EW < WW << EW-relayed < WW-relayed, overall
+/// PCR near 10%.
+#[test]
+fn table2_ordering() {
+    let plan = nettest::NetTestPlan::default();
+    let calls = nettest::simulate(&plan, 0x4E);
+    let t = nettest::table2(&calls, plan.n_clients);
+    assert!(t.rows[0].pcr_pct < t.rows[1].pcr_pct, "EW < WW");
+    assert!(t.rows[1].pcr_pct < t.rows[2].pcr_pct, "WW < EW-relayed");
+    assert!(t.rows[2].pcr_pct < t.rows[3].pcr_pct + 15.0, "EW-relayed ~< WW-relayed");
+    assert!((6.0..17.0).contains(&t.overall_pcr_pct), "overall {}% (paper 10.23%)", t.overall_pcr_pct);
+}
+
+/// Fig. 1: BSSID/channel availability matches the surveyed ranges.
+#[test]
+fn fig1_survey_parity() {
+    let locations = survey::run_survey(8, 0xF1);
+    let s = survey::summarize(&locations);
+    assert!((5..=7).contains(&s.median_bssids), "median {} (paper 6)", s.median_bssids);
+    assert!(s.max_bssids <= 13 && s.min_bssids >= 2);
+    assert!((3..=5).contains(&s.median_channels), "median ch {} (paper 4)", s.median_channels);
+    let res = survey::residential_multi_bssid_fraction(10_000, 0xF1);
+    assert!((0.24..0.37).contains(&res), "residential {res} (paper 0.30)");
+}
