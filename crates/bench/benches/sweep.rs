@@ -1,0 +1,54 @@
+//! Sweep-engine benchmarks: the §4 two-NIC corpus executed serially vs on
+//! the parallel `SweepRunner`.
+//!
+//! The determinism contract says thread count must not change the output;
+//! this bench measures what it *does* change — wall-clock time. On a
+//! multi-core box the parallel run should approach `min(cores, 16)`×; on a
+//! single core the two configurations should be within noise of each other
+//! (the runner degrades to an inline loop at one worker).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use diversifi::analysis::{self, AnalysisOptions};
+use diversifi_simcore::{par, SimDuration};
+
+/// The benchmark corpus: 64 calls, shortened streams so one serial pass
+/// stays in the seconds range at debug scale.
+fn bench_opts(threads: usize) -> AnalysisOptions {
+    let mut opts = AnalysisOptions::paper_corpus();
+    opts.n_calls = 64;
+    opts.spec.duration = SimDuration::from_secs(5);
+    opts.temporal = false;
+    opts.threads = threads;
+    opts
+}
+
+fn bench_corpus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep_corpus_64");
+    g.sample_size(10);
+    for (label, threads) in [("serial", 1usize), ("parallel", par::default_parallelism())] {
+        let opts = bench_opts(threads);
+        g.bench_with_input(BenchmarkId::new(label, threads), &opts, |b, opts| {
+            b.iter(|| black_box(analysis::run_corpus(opts, 0xBE7C)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_runner_overhead(c: &mut Criterion) {
+    // The fixed cost of spinning up the scoped worker pool for a sweep
+    // whose tasks are trivial — the floor below which parallelising a
+    // sweep cannot pay off.
+    let mut g = c.benchmark_group("sweep_runner_overhead");
+    for threads in [1usize, par::default_parallelism()] {
+        let runner = diversifi_simcore::SweepRunner::new(threads);
+        g.bench_with_input(
+            BenchmarkId::new("run_indexed_64_trivial", threads),
+            &runner,
+            |b, runner| b.iter(|| black_box(runner.run_indexed(64, |i| i * i))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_corpus, bench_runner_overhead);
+criterion_main!(benches);

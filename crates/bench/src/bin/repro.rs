@@ -21,7 +21,7 @@ use diversifi::world::RunMode;
 use diversifi::{nettest, population, survey};
 use diversifi_bench::Scale;
 use diversifi_client::cross_link;
-use diversifi_simcore::{mean, Ecdf, SeedFactory, SimDuration};
+use diversifi_simcore::{mean, Ecdf, SeedFactory, SimDuration, SweepRunner};
 use diversifi_voip::{metrics, StreamSpec, DEFAULT_DEADLINE};
 use diversifi_wifi::{Channel, GeParams, LinkConfig};
 
@@ -288,30 +288,34 @@ fn fig3(ctx: &mut Ctx) {
     // a comparable pair.
     let spec = StreamSpec::voip();
     // Scan seeds for the weak-link pair whose per-link loss rates best
-    // match the paper's example (A: 4.3%, B: 15.4%).
-    let mut picked: Option<(diversifi::twonic::TwoNicRun, f64, f64, f64)> = None;
-    let mut best_score = f64::INFINITY;
-    for k in 0..64u64 {
+    // match the paper's example (A: 4.3%, B: 15.4%). Each candidate seed is
+    // independent, so the scan fans out on the sweep runner; keeping only
+    // per-seed scores (rather than 64 full runs) bounds memory, and the
+    // winner — first minimal score in seed order, same tie-break as the old
+    // serial loop — is re-simulated once from its seed.
+    let run_pair = |k: u64| {
         let seeds = SeedFactory::new(ctx.seed ^ (0xF3 + k));
         let mut a = LinkConfig::office(Channel::CH1, 30.0);
         a.ge = GeParams::weak_link();
         let mut b = LinkConfig::office(Channel::CH11, 36.0);
         b.ge = GeParams::weak_link();
-        let run = diversifi::run_two_nic(
-            &diversifi::TwoNicScenario::new(spec, a, b),
-            &seeds,
-        );
+        diversifi::run_two_nic(&diversifi::TwoNicScenario::new(spec, a, b), &seeds)
+    };
+    let scores = SweepRunner::available().run_indexed(64, |k| {
+        let run = run_pair(k as u64);
         let la = run.a.trace.loss_rate(DEFAULT_DEADLINE) * 100.0;
         let lb = run.b.trace.loss_rate(DEFAULT_DEADLINE) * 100.0;
-        let merged = run.a.trace.merged_with(&run.b.trace);
-        let lm = merged.loss_rate(DEFAULT_DEADLINE) * 100.0;
-        let score = (la - 4.3).abs() + 0.5 * (lb - 15.4).abs();
-        if score < best_score {
-            best_score = score;
-            picked = Some((run, la, lb, lm));
+        let lm = run.a.trace.merged_with(&run.b.trace).loss_rate(DEFAULT_DEADLINE) * 100.0;
+        ((la - 4.3).abs() + 0.5 * (lb - 15.4).abs(), la, lb, lm)
+    });
+    let mut best_k = 0usize;
+    for (k, s) in scores.iter().enumerate() {
+        if s.0 < scores[best_k].0 {
+            best_k = k;
         }
     }
-    let Some((run, la, lb, lm)) = picked else { return };
+    let (_, la, lb, lm) = scores[best_k];
+    let run = run_pair(best_k as u64);
     let merged = cross_link(
         &diversifi_client::LinkObservation { trace: run.a.trace.clone(), rssi_dbm: run.a.rssi_dbm },
         &diversifi_client::LinkObservation { trace: run.b.trace.clone(), rssi_dbm: run.b.rssi_dbm },
@@ -435,9 +439,11 @@ fn fig8(ctx: &mut Ctx) {
     save(ctx, "fig8", &[d, p, s]);
 }
 
+type ArmPick = fn(&EvalRun) -> &diversifi::RunReport;
+
 fn fig9(ctx: &mut Ctx) {
     let runs: Vec<EvalRun> = ctx.eval_corpus().to_vec();
-    let arms: [(&str, fn(&EvalRun) -> &diversifi::RunReport); 3] = [
+    let arms: [(&str, ArmPick); 3] = [
         ("Primary", |r| &r.primary),
         ("Secondary", |r| &r.secondary),
         ("DiversiFi", |r| &r.diversifi),
@@ -492,7 +498,7 @@ fn overhead(ctx: &mut Ctx) {
 }
 
 fn table3(ctx: &mut Ctx) {
-    let samples = 100 / ctx.scale.corpus_divisor.min(4).max(1);
+    let samples = 100 / ctx.scale.corpus_divisor.clamp(1, 4);
     let ap = table3_row(&measure_switch_delays(RunMode::DiversifiCustomAp, samples, ctx.seed ^ 0x73));
     let mb = table3_row(&measure_switch_delays(RunMode::DiversifiMiddlebox, samples, ctx.seed ^ 0x73));
     let mut t = TextTable::new(&["Scheme", "Total", "Switching", "Network", "Queuing"]);
@@ -571,19 +577,25 @@ fn fec(ctx: &mut Ctx) {
     let mut spec = StreamSpec::voip();
     spec.duration = SimDuration::from_secs(ctx.scale.call_secs);
     let n = (40 / ctx.scale.corpus_divisor).max(6);
-    let (mut base, mut fec4, mut fec8, mut cross) = (vec![], vec![], vec![], vec![]);
-    for i in 0..n as u64 {
-        let seeds = SeedFactory::new(ctx.seed ^ 0xFEC ^ i);
+    // Each seed's four schemes share one SeedFactory (paired channel
+    // realisations); seeds are independent, so they fan out on the runner.
+    let rows = SweepRunner::available().run_indexed(n, |i| {
+        let seeds = SeedFactory::new(ctx.seed ^ 0xFEC ^ i as u64);
         let mut a = LinkConfig::office(Channel::CH1, 26.0);
         a.ge = GeParams::weak_link();
         let mut b = LinkConfig::office(Channel::CH11, 30.0);
         b.ge = GeParams::weak_link();
-        base.push(run_single(&spec, &a, &seeds, 0).trace.loss_rate(DEFAULT_DEADLINE) * 100.0);
-        fec4.push(run_fec(&spec, &a, &seeds, 4).loss_rate(DEFAULT_DEADLINE) * 100.0);
-        fec8.push(run_fec(&spec, &a, &seeds, 8).loss_rate(DEFAULT_DEADLINE) * 100.0);
+        let base = run_single(&spec, &a, &seeds, 0).trace.loss_rate(DEFAULT_DEADLINE) * 100.0;
+        let fec4 = run_fec(&spec, &a, &seeds, 4).loss_rate(DEFAULT_DEADLINE) * 100.0;
+        let fec8 = run_fec(&spec, &a, &seeds, 8).loss_rate(DEFAULT_DEADLINE) * 100.0;
         let two = run_two_nic(&diversifi::TwoNicScenario::new(spec, a, b), &seeds);
-        cross.push(two.a.trace.merged_with(&two.b.trace).loss_rate(DEFAULT_DEADLINE) * 100.0);
-    }
+        let cross = two.a.trace.merged_with(&two.b.trace).loss_rate(DEFAULT_DEADLINE) * 100.0;
+        (base, fec4, fec8, cross)
+    });
+    let base: Vec<f64> = rows.iter().map(|r| r.0).collect();
+    let fec4: Vec<f64> = rows.iter().map(|r| r.1).collect();
+    let fec8: Vec<f64> = rows.iter().map(|r| r.2).collect();
+    let cross: Vec<f64> = rows.iter().map(|r| r.3).collect();
     let mut t = TextTable::new(&["Scheme", "Mean loss (%)", "Overhead (extra tx)"]);
     t.row(&["Single link".into(), format!("{:.2}", mean(&base)), "0%".into()]);
     t.row(&["FEC k=4".into(), format!("{:.2}", mean(&fec4)), "25% always".into()]);
@@ -601,19 +613,20 @@ fn crosstech(ctx: &mut Ctx) {
     let mut spec = StreamSpec::voip();
     spec.duration = SimDuration::from_secs(ctx.scale.call_secs);
     let n = (20 / ctx.scale.corpus_divisor).max(4);
-    let (mut ww, mut wc) = (vec![], vec![]);
-    for i in 0..n as u64 {
-        let seeds = SeedFactory::new(ctx.seed ^ 0xC7 ^ i);
+    let rows = SweepRunner::available().run_indexed(n, |i| {
+        let seeds = SeedFactory::new(ctx.seed ^ 0xC7 ^ i as u64);
         let oven = MicrowaveOven::default();
         let mut a = LinkConfig::office(Channel::CH6, 14.0);
         a.microwave = Some(oven);
         let mut b = LinkConfig::office(Channel::CH11, 18.0);
         b.microwave = Some(oven);
         let two = run_two_nic(&diversifi::TwoNicScenario::new(spec, a.clone(), b), &seeds);
-        ww.push(two.a.trace.merged_with(&two.b.trace).loss_rate(DEFAULT_DEADLINE) * 100.0);
+        let ww = two.a.trace.merged_with(&two.b.trace).loss_rate(DEFAULT_DEADLINE) * 100.0;
         let xt = run_cross_technology(&spec, &a, &CellularConfig::default(), &seeds);
-        wc.push(xt.merged.loss_rate(DEFAULT_DEADLINE) * 100.0);
-    }
+        (ww, xt.merged.loss_rate(DEFAULT_DEADLINE) * 100.0)
+    });
+    let ww: Vec<f64> = rows.iter().map(|r| r.0).collect();
+    let wc: Vec<f64> = rows.iter().map(|r| r.1).collect();
     let mut t = TextTable::new(&["Replication", "Mean loss under microwave (%)"]);
     t.row(&["WiFi + WiFi (both 2.4 GHz)".into(), format!("{:.2}", mean(&ww))]);
     t.row(&["WiFi + LTE (cross-technology)".into(), format!("{:.2}", mean(&wc))]);
@@ -627,22 +640,25 @@ fn uplink(ctx: &mut Ctx) {
     let mut spec = StreamSpec::voip();
     spec.duration = SimDuration::from_secs(ctx.scale.call_secs);
     let n = (20 / ctx.scale.corpus_divisor).max(4);
-    let (mut single, mut dvf) = (vec![], vec![]);
-    let mut recovered = 0u64;
-    let mut failures = 0u64;
-    for i in 0..n as u64 {
-        let seeds = SeedFactory::new(ctx.seed ^ 0x0B ^ i);
+    let rows = SweepRunner::available().run_indexed(n, |i| {
+        let seeds = SeedFactory::new(ctx.seed ^ 0x0B ^ i as u64);
         let mut a = LinkConfig::office(Channel::CH1, 24.0);
         a.ge = GeParams::weak_link();
         let mut b = LinkConfig::office(Channel::CH11, 28.0);
         b.ge = GeParams::weak_link();
         let (ts, _) = run_uplink(&spec, &a, &b, &seeds, UplinkMode::SingleLink);
         let (td, st) = run_uplink(&spec, &a, &b, &seeds, UplinkMode::Diversifi);
-        single.push(ts.loss_rate(DEFAULT_DEADLINE) * 100.0);
-        dvf.push(td.loss_rate(DEFAULT_DEADLINE) * 100.0);
-        recovered += st.recovered;
-        failures += st.primary_failures;
-    }
+        (
+            ts.loss_rate(DEFAULT_DEADLINE) * 100.0,
+            td.loss_rate(DEFAULT_DEADLINE) * 100.0,
+            st.recovered,
+            st.primary_failures,
+        )
+    });
+    let single: Vec<f64> = rows.iter().map(|r| r.0).collect();
+    let dvf: Vec<f64> = rows.iter().map(|r| r.1).collect();
+    let recovered: u64 = rows.iter().map(|r| r.2).sum();
+    let failures: u64 = rows.iter().map(|r| r.3).sum();
     let mut t = TextTable::new(&["Uplink mode", "Mean loss (%)"]);
     t.row(&["Single link".into(), format!("{:.2}", mean(&single))]);
     t.row(&["DiversiFi (retransmit on secondary)".into(), format!("{:.2}", mean(&dvf))]);
@@ -655,15 +671,13 @@ fn uplink(ctx: &mut Ctx) {
 }
 
 fn multiclient(ctx: &mut Ctx) {
-    use diversifi::multiworld::{office_fleet, MultiWorld};
+    use diversifi::multiworld::fleet_sweep;
     let mut spec = StreamSpec::voip();
     spec.duration = SimDuration::from_secs(ctx.scale.call_secs.min(60));
     let mut t = TextTable::new(&["Fleet size", "Mean loss baseline (%)", "Mean loss DiversiFi (%)", "Secondary air tx / client"]);
     let mut artifact = Vec::new();
-    for n in [2usize, 6, 12] {
-        let seeds = SeedFactory::new(ctx.seed ^ 0x31 ^ n as u64);
-        let base = MultiWorld::new(office_fleet(n, false, spec, &seeds), &seeds).run();
-        let dvf = MultiWorld::new(office_fleet(n, true, spec, &seeds), &seeds).run();
+    let rows = fleet_sweep(&[2, 6, 12], spec, |n| ctx.seed ^ 0x31 ^ n as u64);
+    for (n, base, dvf) in rows {
         let per_client = dvf.secondary_air_tx as f64 / n as f64;
         t.row(&[
             n.to_string(),

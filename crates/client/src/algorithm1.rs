@@ -328,7 +328,7 @@ impl Algorithm1 {
 
         // 1. Declare losses whose deadline has passed.
         if self.base.is_some() {
-            while self.stream_end.map_or(true, |end| self.next_unchecked < end)
+            while self.stream_end.is_none_or(|end| self.next_unchecked < end)
                 && self.loss_deadline(self.next_unchecked) <= now
             {
                 let seq = self.next_unchecked;
@@ -414,7 +414,7 @@ impl Algorithm1 {
             earliest = Some(earliest.map_or(t, |e: SimTime| e.min(t)));
         };
         if self.base.is_some()
-            && self.stream_end.map_or(true, |end| self.next_unchecked < end)
+            && self.stream_end.is_none_or(|end| self.next_unchecked < end)
         {
             consider(self.loss_deadline(self.next_unchecked));
         }
@@ -534,11 +534,9 @@ mod tests {
         // 11 lost; the stream continues on the primary while we wait.
         let mut switched = false;
         let mut now = t;
-        let mut seq = 12;
-        for _ in 0..10 {
+        for seq in 12..22 {
             now += IPS;
             alg.on_packet(seq, now, LinkSide::Primary);
-            seq += 1;
             if alg.on_timer(now).contains(&Command::SwitchToSecondary) {
                 switched = true;
                 break;
@@ -599,11 +597,9 @@ mod tests {
         // 11 lost forever; visit happens but nothing arrives. The rest of
         // the stream keeps flowing (buffered at the primary while away).
         let mut now = t;
-        let mut seq = 12;
-        for _ in 0..12 {
+        for seq in 12..24 {
             now += IPS;
             alg.on_packet(seq, now, LinkSide::Primary);
-            seq += 1;
             let cmds = alg.on_timer(now);
             if cmds.contains(&Command::SwitchToSecondary) {
                 now += alg.config().link_switch_latency;
@@ -679,7 +675,7 @@ mod tests {
             if now >= next_feed {
                 alg.on_packet(seq, now, LinkSide::Primary);
                 seq += 1;
-                next_feed = next_feed + IPS;
+                next_feed += IPS;
             }
             if alg.on_timer(now).contains(&Command::SwitchToSecondary) {
                 break;
@@ -731,7 +727,7 @@ mod tests {
             if now >= next_feed {
                 alg.on_packet(seq, now, LinkSide::Primary);
                 seq += 1;
-                next_feed = next_feed + IPS;
+                next_feed += IPS;
             }
             if alg.on_timer(now).contains(&Command::SwitchToSecondary) {
                 break;

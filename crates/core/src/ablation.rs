@@ -15,7 +15,7 @@
 
 use crate::evaluation::testbed_location;
 use crate::world::{RunMode, World, WorldConfig};
-use diversifi_simcore::{mean, SeedFactory, SimDuration};
+use diversifi_simcore::{mean, SeedFactory, SimDuration, SweepRunner};
 use diversifi_voip::DEFAULT_DEADLINE;
 use serde::Serialize;
 
@@ -35,25 +35,31 @@ pub struct AblationPoint {
 fn run_points(
     n_locations: usize,
     seed: u64,
-    configure: impl Fn(&mut WorldConfig),
+    configure: impl Fn(&mut WorldConfig) + Sync,
     x: f64,
 ) -> AblationPoint {
     let seeds = SeedFactory::new(seed);
-    let mut loss = Vec::new();
-    let mut waste = Vec::new();
-    let mut visits = Vec::new();
-    for i in 0..n_locations {
-        let call_seeds = seeds.subfactory("ablation", i as u64);
-        let mut rng = call_seeds.stream("location", 0);
-        let (p, s) = testbed_location(&mut rng);
-        let mut cfg = WorldConfig::testbed(p, s);
-        cfg.spec.duration = SimDuration::from_secs(60);
-        configure(&mut cfg);
-        let r = World::new(cfg, &call_seeds).run();
-        loss.push(r.trace.loss_rate(DEFAULT_DEADLINE) * 100.0);
-        waste.push(100.0 * r.secondary_wasteful_tx as f64 / r.trace.len() as f64);
-        visits.push(r.alg_stats.recovery_visits as f64);
-    }
+    let rows = SweepRunner::available().run_seeded_indexed(
+        &seeds,
+        "ablation",
+        n_locations,
+        |_, call_seeds| {
+            let mut rng = call_seeds.stream("location", 0);
+            let (p, s) = testbed_location(&mut rng);
+            let mut cfg = WorldConfig::testbed(p, s);
+            cfg.spec.duration = SimDuration::from_secs(60);
+            configure(&mut cfg);
+            let r = World::new(cfg, &call_seeds).run();
+            (
+                r.trace.loss_rate(DEFAULT_DEADLINE) * 100.0,
+                100.0 * r.secondary_wasteful_tx as f64 / r.trace.len() as f64,
+                r.alg_stats.recovery_visits as f64,
+            )
+        },
+    );
+    let loss: Vec<f64> = rows.iter().map(|r| r.0).collect();
+    let waste: Vec<f64> = rows.iter().map(|r| r.1).collect();
+    let visits: Vec<f64> = rows.iter().map(|r| r.2).collect();
     AblationPoint { x, loss_pct: mean(&loss), waste_pct: mean(&waste), visits: mean(&visits) }
 }
 
@@ -120,21 +126,27 @@ pub fn keepalive_ablation(n_locations: usize, seed: u64) -> Vec<AblationPoint> {
         .iter()
         .map(|&s| {
             let seeds = SeedFactory::new(seed);
-            let mut loss = Vec::new();
-            let mut waste = Vec::new();
-            let mut keepalives = Vec::new();
-            for i in 0..n_locations {
-                let call_seeds = seeds.subfactory("ablation-ka", i as u64);
-                let mut rng = call_seeds.stream("location", 0);
-                let (p, sc) = testbed_location(&mut rng);
-                let mut cfg = WorldConfig::testbed(p, sc);
-                cfg.spec.duration = SimDuration::from_secs(60);
-                cfg.alg.keepalive_timeout = SimDuration::from_secs(s);
-                let r = World::new(cfg, &call_seeds).run();
-                loss.push(r.trace.loss_rate(DEFAULT_DEADLINE) * 100.0);
-                waste.push(100.0 * r.secondary_wasteful_tx as f64 / r.trace.len() as f64);
-                keepalives.push(r.alg_stats.keepalive_visits as f64);
-            }
+            let rows = SweepRunner::available().run_seeded_indexed(
+                &seeds,
+                "ablation-ka",
+                n_locations,
+                |_, call_seeds| {
+                    let mut rng = call_seeds.stream("location", 0);
+                    let (p, sc) = testbed_location(&mut rng);
+                    let mut cfg = WorldConfig::testbed(p, sc);
+                    cfg.spec.duration = SimDuration::from_secs(60);
+                    cfg.alg.keepalive_timeout = SimDuration::from_secs(s);
+                    let r = World::new(cfg, &call_seeds).run();
+                    (
+                        r.trace.loss_rate(DEFAULT_DEADLINE) * 100.0,
+                        100.0 * r.secondary_wasteful_tx as f64 / r.trace.len() as f64,
+                        r.alg_stats.keepalive_visits as f64,
+                    )
+                },
+            );
+            let loss: Vec<f64> = rows.iter().map(|r| r.0).collect();
+            let waste: Vec<f64> = rows.iter().map(|r| r.1).collect();
+            let keepalives: Vec<f64> = rows.iter().map(|r| r.2).collect();
             AblationPoint {
                 x: s as f64,
                 loss_pct: mean(&loss),

@@ -4,7 +4,7 @@
 use crate::corpus::{self, CallEnvironment, CorpusMix};
 use crate::twonic::{run_temporal, run_two_nic, TwoNicScenario};
 use diversifi_client::{self as client, DivertConfig, LinkObservation};
-use diversifi_simcore::{Ecdf, SeedFactory, SimDuration};
+use diversifi_simcore::{Ecdf, SeedFactory, SimDuration, SweepRunner};
 use diversifi_voip::{
     conceal, metrics, CodecModel, PcrModel, PlayoutConfig, StreamSpec, StreamTrace,
     DEFAULT_DEADLINE,
@@ -135,7 +135,7 @@ impl AnalysisOptions {
 }
 
 fn num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+    diversifi_simcore::par::default_parallelism()
 }
 
 fn simulate_call(
@@ -164,32 +164,15 @@ fn simulate_call(
     CallRecord { impairment: env.impairment, a: run.a, b: run.b, temporal_0, temporal_100 }
 }
 
-/// Run a corpus in parallel. Deterministic: results are ordered by call
-/// index and each call derives its own seed subfactory.
+/// Run a corpus on the shared [`SweepRunner`]. Deterministic: results are
+/// ordered by call index and each call derives its own seed subfactory, so
+/// output is bit-identical at any thread count.
 pub fn run_corpus(opts: &AnalysisOptions, seed: u64) -> Vec<CallRecord> {
     let seeds = SeedFactory::new(seed);
     let envs =
         corpus::generate_tuned(opts.n_calls, &opts.mix, &seeds, opts.diversity, opts.shared_fate);
-    let mut out: Vec<Option<CallRecord>> = vec![None; opts.n_calls];
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let out_slots = parking_lot::Mutex::new(&mut out);
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..opts.threads.max(1) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= envs.len() {
-                    break;
-                }
-                let (env, call_seeds) = &envs[i];
-                let rec = simulate_call(env, call_seeds, opts.spec, opts.temporal);
-                out_slots.lock()[i] = Some(rec);
-            });
-        }
-    })
-    .expect("corpus worker panicked");
-
-    out.into_iter().map(|r| r.expect("all calls simulated")).collect()
+    SweepRunner::new(opts.threads)
+        .run(&envs, |_, (env, call_seeds)| simulate_call(env, call_seeds, opts.spec, opts.temporal))
 }
 
 /// Standard quality-evaluation parameters shared by every experiment.

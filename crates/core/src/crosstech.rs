@@ -65,7 +65,7 @@ pub fn run_cellular(
         let gap = SimDuration::from_secs_f64(
             rng.exponential(cfg.handover_every.as_secs_f64()).max(1.0),
         );
-        t = t + gap;
+        t += gap;
         if t > SimTime::ZERO + spec.duration {
             break;
         }
@@ -137,9 +137,11 @@ mod tests {
 
     #[test]
     fn handovers_create_outage_bursts() {
-        let mut cfg = CellularConfig::default();
-        cfg.handover_every = SimDuration::from_secs(10);
-        cfg.handover_outage = SimDuration::from_millis(400);
+        let cfg = CellularConfig {
+            handover_every: SimDuration::from_secs(10),
+            handover_outage: SimDuration::from_millis(400),
+            ..CellularConfig::default()
+        };
         let tr = run_cellular(&spec(), &cfg, &SeedFactory::new(2));
         let bursts = tr.burst_lengths(DEFAULT_DEADLINE);
         assert!(

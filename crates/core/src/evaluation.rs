@@ -4,7 +4,7 @@
 
 use crate::world::{RunMode, RunReport, SwitchDelaySample, World, WorldConfig};
 use diversifi_net::{Middlebox, MiddleboxConfig};
-use diversifi_simcore::{mean, RngStream, SeedFactory, SimDuration};
+use diversifi_simcore::{mean, RngStream, SeedFactory, SimDuration, SweepRunner};
 use diversifi_voip::StreamTrace;
 use diversifi_wifi::{Channel, FlowId, GeParams, LinkConfig};
 use serde::Serialize;
@@ -85,7 +85,7 @@ impl Default for EvalOptions {
         EvalOptions {
             n_runs: 61,
             mode: RunMode::DiversifiCustomAp,
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16),
+            threads: diversifi_simcore::par::default_parallelism(),
         }
     }
 }
@@ -103,33 +103,18 @@ pub fn run_eval_corpus(opts: &EvalOptions, seed: u64) -> Vec<EvalRun> {
         })
         .collect();
 
-    let mut out: Vec<Option<EvalRun>> = (0..opts.n_runs).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots = parking_lot::Mutex::new(&mut out);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..opts.threads.max(1) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= locations.len() {
-                    break;
-                }
-                let (p, s, call_seeds) = &locations[i];
-                let run_one = |mode: RunMode| {
-                    let mut cfg = WorldConfig::testbed(p.clone(), s.clone());
-                    cfg.mode = mode;
-                    World::new(cfg, call_seeds).run()
-                };
-                let run = EvalRun {
-                    primary: run_one(RunMode::PrimaryOnly),
-                    secondary: run_one(RunMode::SecondaryOnly),
-                    diversifi: run_one(opts.mode),
-                };
-                slots.lock()[i] = Some(run);
-            });
+    SweepRunner::new(opts.threads).run(&locations, |_, (p, s, call_seeds)| {
+        let run_one = |mode: RunMode| {
+            let mut cfg = WorldConfig::testbed(p.clone(), s.clone());
+            cfg.mode = mode;
+            World::new(cfg, call_seeds).run()
+        };
+        EvalRun {
+            primary: run_one(RunMode::PrimaryOnly),
+            secondary: run_one(RunMode::SecondaryOnly),
+            diversifi: run_one(opts.mode),
         }
     })
-    .expect("eval worker panicked");
-    out.into_iter().map(|r| r.expect("all runs complete")).collect()
 }
 
 /// Traces of one arm of the corpus.
@@ -183,35 +168,20 @@ pub struct TcpPair {
 /// Run the Fig. 10 coexistence corpus (26 paired runs in the paper).
 pub fn run_tcp_corpus(n_runs: usize, threads: usize, seed: u64) -> Vec<TcpPair> {
     let seeds = SeedFactory::new(seed);
-    let mut out: Vec<Option<TcpPair>> = (0..n_runs).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots = parking_lot::Mutex::new(&mut out);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.max(1) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n_runs {
-                    break;
-                }
-                let call_seeds = seeds.subfactory("tcp-run", i as u64);
-                let mut rng = call_seeds.stream("location", 0);
-                let (p, s) = testbed_location(&mut rng);
-                let run_one = |mode: RunMode| {
-                    let mut cfg = WorldConfig::testbed(p.clone(), s.clone());
-                    cfg.mode = mode;
-                    cfg.with_tcp = true;
-                    World::new(cfg, &call_seeds).run().tcp_throughput_bps
-                };
-                let pair = TcpPair {
-                    off_bps: run_one(RunMode::PrimaryOnly),
-                    on_bps: run_one(RunMode::DiversifiCustomAp),
-                };
-                slots.lock()[i] = Some(pair);
-            });
+    SweepRunner::new(threads).run_seeded_indexed(&seeds, "tcp-run", n_runs, |_, call_seeds| {
+        let mut rng = call_seeds.stream("location", 0);
+        let (p, s) = testbed_location(&mut rng);
+        let run_one = |mode: RunMode| {
+            let mut cfg = WorldConfig::testbed(p.clone(), s.clone());
+            cfg.mode = mode;
+            cfg.with_tcp = true;
+            World::new(cfg, &call_seeds).run().tcp_throughput_bps
+        };
+        TcpPair {
+            off_bps: run_one(RunMode::PrimaryOnly),
+            on_bps: run_one(RunMode::DiversifiCustomAp),
         }
     })
-    .expect("tcp worker panicked");
-    out.into_iter().map(|r| r.expect("all runs complete")).collect()
 }
 
 /// Table 3: mean recovery-delay breakdown for the two deployments.
@@ -243,17 +213,31 @@ pub fn table3_row(samples: &[SwitchDelaySample]) -> Table3Row {
 /// measured 100).
 pub fn measure_switch_delays(mode: RunMode, min_samples: usize, seed: u64) -> Vec<SwitchDelaySample> {
     let seeds = SeedFactory::new(seed);
+    let runner = SweepRunner::available();
     let mut samples = Vec::new();
-    let mut i = 0u64;
-    while samples.len() < min_samples && i < 64 {
-        let call_seeds = seeds.subfactory("t3-run", i);
-        let mut rng = call_seeds.stream("location", 0);
-        let (p, s) = testbed_location(&mut rng);
-        let mut cfg = WorldConfig::testbed(p, s);
-        cfg.mode = mode;
-        let report = World::new(cfg, &call_seeds).run();
-        samples.extend(report.switch_delays);
-        i += 1;
+    let mut start = 0usize;
+    // Rounds of speculative parallel runs. Appending stops at exactly the
+    // run where the old serial loop would have stopped (the length check
+    // happens before each run's samples are appended, in index order), so
+    // the output is identical for any worker count — later runs in a round
+    // are just discarded speculation.
+    while samples.len() < min_samples && start < 64 {
+        let n = runner.threads().min(64 - start);
+        let rounds = runner.run_indexed(n, |k| {
+            let call_seeds = seeds.subfactory("t3-run", (start + k) as u64);
+            let mut rng = call_seeds.stream("location", 0);
+            let (p, s) = testbed_location(&mut rng);
+            let mut cfg = WorldConfig::testbed(p, s);
+            cfg.mode = mode;
+            World::new(cfg, &call_seeds).run().switch_delays
+        });
+        for delays in rounds {
+            if samples.len() >= min_samples {
+                break;
+            }
+            samples.extend(delays);
+        }
+        start += n;
     }
     samples
 }

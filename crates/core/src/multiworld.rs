@@ -17,7 +17,7 @@
 use diversifi_client::{
     Algorithm1, Algorithm1Config, Command, DeploymentMode, LinkSide, Residency,
 };
-use diversifi_simcore::{EventQueue, RngStream, SeedFactory, SimDuration, SimTime};
+use diversifi_simcore::{EventQueue, RngStream, SeedFactory, SimDuration, SimTime, SweepRunner};
 use diversifi_voip::{StreamSpec, StreamTrace, DEFAULT_DEADLINE};
 use diversifi_wifi::{
     mac, AccessPoint, AdapterId, ApConfig, ApId, ClientId, FlowId, Frame, LinkConfig, LinkModel,
@@ -323,10 +323,10 @@ impl MultiWorld {
             self.secondary_air_tx += 1;
         }
         let client = (frame.dst_adapter.0 / PER_CLIENT_ADAPTERS) as usize;
-        let listening = match (self.clients[client].side, ap) {
-            (Some(LinkSide::Primary), 0) | (Some(LinkSide::Secondary), 1) => true,
-            _ => false,
-        };
+        let listening = matches!(
+            (self.clients[client].side, ap),
+            (Some(LinkSide::Primary), 0) | (Some(LinkSide::Secondary), 1)
+        );
         if !(outcome.delivered && listening) {
             return;
         }
@@ -428,6 +428,36 @@ pub fn office_fleet(
     }
 }
 
+/// Paired baseline/DiversiFi fleet runs over several fleet sizes, executed
+/// on the shared [`SweepRunner`].
+///
+/// Each fleet size derives its own `SeedFactory` via `seed_for(n)`, and the
+/// two arms of a pair share that factory so they see the same office layout
+/// and channel realisations (A/B pairing). Every run is a pure function of
+/// its own factory, so the output is bit-identical at any worker count.
+/// Returns `(n, baseline, diversifi)` rows in `sizes` order.
+pub fn fleet_sweep(
+    sizes: &[usize],
+    spec: StreamSpec,
+    seed_for: impl Fn(usize) -> u64 + Sync,
+) -> Vec<(usize, MultiWorldReport, MultiWorldReport)> {
+    let reports = SweepRunner::available().run_indexed(sizes.len() * 2, |idx| {
+        let n = sizes[idx / 2];
+        let diversifi = idx % 2 == 1;
+        let seeds = SeedFactory::new(seed_for(n));
+        MultiWorld::new(office_fleet(n, diversifi, spec, &seeds), &seeds).run()
+    });
+    let mut it = reports.into_iter();
+    sizes
+        .iter()
+        .map(|&n| {
+            let base = it.next().expect("two reports per size");
+            let dvf = it.next().expect("two reports per size");
+            (n, base, dvf)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -442,18 +472,27 @@ mod tests {
 
     #[test]
     fn fleet_of_diversifi_clients_all_benefit() {
-        let seeds = SeedFactory::new(0x3171);
+        // One fleet pair at this scale (6 clients, short streams) is too
+        // noisy to bound a ratio, so aggregate over a block of seeds; the
+        // paper-scale halving claim is enforced in tests/paper_parity.rs.
         let n = 6;
-        let base = MultiWorld::new(office_fleet(n, false, spec(), &seeds), &seeds).run();
-        let dvf = MultiWorld::new(office_fleet(n, true, spec(), &seeds), &seeds).run();
-        assert_eq!(base.clients.len(), n);
+        let mut base_sum = 0.0;
+        let mut dvf_sum = 0.0;
+        let mut recovered = 0u64;
+        for s in 0x3171u64..0x3176 {
+            let seeds = SeedFactory::new(s);
+            let base = MultiWorld::new(office_fleet(n, false, spec(), &seeds), &seeds).run();
+            let dvf = MultiWorld::new(office_fleet(n, true, spec(), &seeds), &seeds).run();
+            assert_eq!(base.clients.len(), n);
+            base_sum += base.mean_loss();
+            dvf_sum += dvf.mean_loss();
+            recovered += dvf.clients.iter().map(|c| c.recovered).sum::<u64>();
+        }
         assert!(
-            dvf.mean_loss() < 0.5 * base.mean_loss().max(0.002),
-            "fleet DiversiFi {} vs baseline {}",
-            dvf.mean_loss(),
-            base.mean_loss()
+            dvf_sum < 0.5 * base_sum.max(0.01),
+            "fleet DiversiFi {dvf_sum} vs baseline {base_sum} (summed over 5 fleets)"
         );
-        assert!(dvf.clients.iter().any(|c| c.recovered > 0));
+        assert!(recovered > 0, "cross-link recovery never fired");
     }
 
     #[test]

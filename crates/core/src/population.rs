@@ -19,7 +19,7 @@
 //!
 //! The outputs are the same relative ΔPCR cells the paper reports.
 
-use diversifi_simcore::{RngStream, SeedFactory};
+use diversifi_simcore::{RngStream, SeedFactory, SweepRunner};
 use diversifi_voip::emodel::{mos_from_stats, CodecModel};
 use serde::Serialize;
 
@@ -136,16 +136,26 @@ fn wifi_hop(rng: &mut RngStream) -> (f64, f64) {
 }
 
 /// Simulate `n_calls` rated calls.
+///
+/// Runs on the shared [`SweepRunner`]: the subnet universe is drawn once
+/// from the "population" stream, then each call draws from its own
+/// "pop-call" stream, so the output is a pure function of `seed` at any
+/// worker count.
 pub fn simulate_calls(model: &PopulationModel, n_calls: usize, seed: u64) -> Vec<RatedCall> {
     let seeds = SeedFactory::new(seed);
     let mut rng = seeds.stream("population", 0);
-    let subnets: Vec<Subnet> = (0..model.n_subnets).map(|_| sample_subnet(&mut rng)).collect();
+    let subnets: Vec<Subnet> = (0..model.n_subnets)
+        .map(|_| sample_subnet(&mut rng))
+        .collect();
 
     let draw_endpoint = |rng: &mut RngStream| -> Endpoint {
         let subnet = rng.index(subnets.len());
         let sn = subnets[subnet];
-        let device =
-            if rng.chance(model.pc_fraction) { DeviceClass::Pc } else { DeviceClass::Mobile };
+        let device = if rng.chance(model.pc_fraction) {
+            DeviceClass::Pc
+        } else {
+            DeviceClass::Mobile
+        };
         // Mobiles are always on WiFi; PCs follow their subnet's wiring.
         let last_hop = match device {
             DeviceClass::Mobile => LastHop::Wifi,
@@ -157,53 +167,60 @@ pub fn simulate_calls(model: &PopulationModel, n_calls: usize, seed: u64) -> Vec
                 }
             }
         };
-        Endpoint { subnet, last_hop, device }
+        Endpoint {
+            subnet,
+            last_hop,
+            device,
+        }
     };
 
-    (0..n_calls)
-        .map(|_| {
-            let a = draw_endpoint(&mut rng);
-            let b = draw_endpoint(&mut rng);
-            let sa = subnets[a.subnet];
-            let sb = subnets[b.subnet];
+    SweepRunner::available().run_indexed(n_calls, |i| {
+        let mut rng = seeds.stream("pop-call", i as u64);
+        let a = draw_endpoint(&mut rng);
+        let b = draw_endpoint(&mut rng);
+        let sa = subnets[a.subnet];
+        let sb = subnets[b.subnet];
 
-            // Compose loss multiplicatively and delay additively.
-            let mut loss_pct = sa.backhaul_loss_pct + sb.backhaul_loss_pct;
-            let mut burst = 1.0f64;
-            let mut delay_ms = sa.backhaul_delay_ms + sb.backhaul_delay_ms + 60.0;
-            for (hop, sn) in [(a.last_hop, sa), (b.last_hop, sb)] {
-                if hop == LastHop::Wifi {
-                    let (l, br) = wifi_hop(&mut rng);
-                    // Dense enterprise deployments trade backhaul quality
-                    // for more co-channel contention on the air.
-                    let density = if sn.ethernet_fraction >= 0.5 { 1.5 } else { 1.0 };
-                    loss_pct += l * density;
-                    burst = burst.max(br);
-                    delay_ms += rng.range_f64(2.0, 15.0);
-                }
+        // Compose loss multiplicatively and delay additively.
+        let mut loss_pct = sa.backhaul_loss_pct + sb.backhaul_loss_pct;
+        let mut burst = 1.0f64;
+        let mut delay_ms = sa.backhaul_delay_ms + sb.backhaul_delay_ms + 60.0;
+        for (hop, sn) in [(a.last_hop, sa), (b.last_hop, sb)] {
+            if hop == LastHop::Wifi {
+                let (l, br) = wifi_hop(&mut rng);
+                // Dense enterprise deployments trade backhaul quality
+                // for more co-channel contention on the air.
+                let density = if sn.ethernet_fraction >= 0.5 {
+                    1.5
+                } else {
+                    1.0
+                };
+                loss_pct += l * density;
+                burst = burst.max(br);
+                delay_ms += rng.range_f64(2.0, 15.0);
             }
-            let q = mos_from_stats(&CodecModel::g711_plc(), loss_pct, burst, delay_ms);
-            let mut mos = q.mos;
-            for dev in [a.device, b.device] {
-                if dev == DeviceClass::Mobile {
-                    mos -= model.mobile_mos_penalty;
-                }
+        }
+        let q = mos_from_stats(&CodecModel::g711_plc(), loss_pct, burst, delay_ms);
+        let mut mos = q.mos;
+        for dev in [a.device, b.device] {
+            if dev == DeviceClass::Mobile {
+                mos -= model.mobile_mos_penalty;
             }
-            // Rating model: logistic in MOS on top of a constant floor.
-            let logistic = 1.0
-                / (1.0 + ((mos - model.rating_midpoint_mos) * model.rating_steepness).exp());
-            let p_poor = model.rating_floor + (1.0 - model.rating_floor) * logistic;
-            let rated_poor = rng.chance(p_poor);
+        }
+        // Rating model: logistic in MOS on top of a constant floor.
+        let logistic =
+            1.0 / (1.0 + ((mos - model.rating_midpoint_mos) * model.rating_steepness).exp());
+        let p_poor = model.rating_floor + (1.0 - model.rating_floor) * logistic;
+        let rated_poor = rng.chance(p_poor);
 
-            let wired_majority = sa.ethernet_fraction >= 0.5 && sb.ethernet_fraction >= 0.5;
-            RatedCall {
-                hops: (a.last_hop, b.last_hop),
-                devices: (a.device, b.device),
-                wired_majority_subnets: wired_majority,
-                rated_poor,
-            }
-        })
-        .collect()
+        let wired_majority = sa.ethernet_fraction >= 0.5 && sb.ethernet_fraction >= 0.5;
+        RatedCall {
+            hops: (a.last_hop, b.last_hop),
+            devices: (a.device, b.device),
+            wired_majority_subnets: wired_majority,
+            rated_poor,
+        }
+    })
 }
 
 /// The EE / EW / WW relative-ΔPCR cells of one Table 1 row.
@@ -248,9 +265,21 @@ fn hop_class(c: &RatedCall) -> (u8, u8) {
 pub fn table1_row<'a>(calls: impl Iterator<Item = &'a RatedCall>, pcr_all: f64) -> Table1Row {
     let calls: Vec<&RatedCall> = calls.collect();
     let all = pcr_all;
-    let ee: Vec<&RatedCall> = calls.iter().copied().filter(|c| hop_class(c) == (0, 0)).collect();
-    let ew: Vec<&RatedCall> = calls.iter().copied().filter(|c| hop_class(c) == (0, 1)).collect();
-    let ww: Vec<&RatedCall> = calls.iter().copied().filter(|c| hop_class(c) == (1, 1)).collect();
+    let ee: Vec<&RatedCall> = calls
+        .iter()
+        .copied()
+        .filter(|c| hop_class(c) == (0, 0))
+        .collect();
+    let ew: Vec<&RatedCall> = calls
+        .iter()
+        .copied()
+        .filter(|c| hop_class(c) == (0, 1))
+        .collect();
+    let ww: Vec<&RatedCall> = calls
+        .iter()
+        .copied()
+        .filter(|c| hop_class(c) == (1, 1))
+        .collect();
     Table1Row {
         ee: relative_delta(all, pcr(&ee)),
         ew: relative_delta(all, pcr(&ew)),
@@ -274,9 +303,7 @@ pub struct Table1 {
 
 /// Produce Table 1 from a simulated population.
 pub fn table1(calls: &[RatedCall]) -> Table1 {
-    let pc_only = |c: &&RatedCall| {
-        c.devices.0 == DeviceClass::Pc && c.devices.1 == DeviceClass::Pc
-    };
+    let pc_only = |c: &&RatedCall| c.devices.0 == DeviceClass::Pc && c.devices.1 == DeviceClass::Pc;
     let all_refs: Vec<&RatedCall> = calls.iter().collect();
     let pcr_all = pcr(&all_refs);
     Table1 {
@@ -284,7 +311,10 @@ pub fn table1(calls: &[RatedCall]) -> Table1 {
         wired_majority: table1_row(calls.iter().filter(|c| c.wired_majority_subnets), pcr_all),
         pc: table1_row(calls.iter().filter(pc_only), pcr_all),
         pc_wired_majority: table1_row(
-            calls.iter().filter(|c| c.wired_majority_subnets).filter(pc_only),
+            calls
+                .iter()
+                .filter(|c| c.wired_majority_subnets)
+                .filter(pc_only),
             pcr_all,
         ),
     }
@@ -304,7 +334,11 @@ mod tests {
         // Row 1: EE clearly better than baseline, WW clearly worse.
         assert!(t.all.ee > 10.0, "EE {:+.1}%", t.all.ee);
         assert!(t.all.ww < -8.0, "WW {:+.1}%", t.all.ww);
-        assert!(t.all.ew > t.all.ww && t.all.ew < t.all.ee, "EW {:+.1}%", t.all.ew);
+        assert!(
+            t.all.ew > t.all.ww && t.all.ew < t.all.ee,
+            "EW {:+.1}%",
+            t.all.ew
+        );
     }
 
     #[test]
@@ -327,7 +361,10 @@ mod tests {
     fn pc_filter_removes_device_confound_but_wifi_gap_persists() {
         let t = table1(&calls());
         let gap_pc = t.pc.ee - t.pc.ww;
-        assert!(gap_pc > 20.0, "PC-class EE–WW gap {gap_pc:+.1} should persist");
+        assert!(
+            gap_pc > 20.0,
+            "PC-class EE–WW gap {gap_pc:+.1} should persist"
+        );
         // Removing the device confound closes part of the WW deficit
         // (paper: −18.4% → −5.4%), relative to the same global baseline.
         assert!(

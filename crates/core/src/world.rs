@@ -433,11 +433,10 @@ impl World {
     }
 
     fn client_listening(&self, ap: usize) -> bool {
-        match (self.client_side, ap) {
-            (Some(LinkSide::Primary), 0) => true,
-            (Some(LinkSide::Secondary), 1) => true,
-            _ => false,
-        }
+        matches!(
+            (self.client_side, ap),
+            (Some(LinkSide::Primary), 0) | (Some(LinkSide::Secondary), 1)
+        )
     }
 
     fn on_tx_done(

@@ -266,7 +266,8 @@ impl TcpSender {
         self.timeouts += 1;
         self.backoff = (self.backoff + 1).min(10);
         self.ssthresh = (self.in_flight() as f64 / 2.0).max(2.0);
-        self.cwnd = self.cfg.init_cwnd.min(1.0).max(1.0);
+        // RFC 5681 loss window: one segment after a timeout.
+        self.cwnd = 1.0;
         self.recovery = None;
         self.dup_acks = 0;
         // Go-back-N: everything past the hole is presumed lost. Rolling
@@ -408,8 +409,8 @@ mod tests {
 
     #[test]
     fn congestion_avoidance_is_linear() {
-        let mut cfg = TcpConfig::default();
-        cfg.init_ssthresh = 2.0; // start in CA immediately
+        // start in CA immediately
+        let cfg = TcpConfig { init_ssthresh: 2.0, ..TcpConfig::default() };
         let mut snd = TcpSender::new(cfg);
         let t = SimTime::from_millis(1);
         while snd.poll_send(t).is_some() {}

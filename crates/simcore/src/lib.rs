@@ -20,12 +20,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod par;
 mod queue;
 mod rng;
 pub mod stats;
 mod time;
 mod trace;
 
+pub use par::SweepRunner;
 pub use queue::{EventId, EventQueue};
 pub use rng::{RngStream, SeedFactory};
 pub use stats::{autocorrelation, cross_correlation, mean, pearson, BucketHistogram, Ecdf, Summary};

@@ -1,0 +1,243 @@
+//! Deterministic parallel sweep execution.
+//!
+//! Every batch experiment in the workspace — corpus-scale call rating,
+//! multi-world fleets, ablations, population studies — is a map over
+//! *independent* simulation tasks: task `i` derives its own RNG streams
+//! from a [`SeedFactory`] sub-stream, runs a `World`, and yields a record.
+//! [`SweepRunner`] is the single execution substrate for those maps.
+//!
+//! # Determinism contract
+//!
+//! `run`/`run_indexed`/`run_seeded` guarantee **bit-identical output
+//! regardless of thread count**, because:
+//!
+//! 1. every task is a pure function of its index and input — RNG state is
+//!    never shared across tasks (each derives `seeds.subfactory(label, i)`);
+//! 2. results are written into a pre-sized slot vector at the task's own
+//!    index, so output order is input order, not completion order;
+//! 3. the scheduler only decides *which thread* runs a task, never what
+//!    the task computes.
+//!
+//! # Execution model
+//!
+//! Workers claim task indices from a shared atomic counter (work-stealing
+//! by next-index claim, so a slow task never stalls the queue behind it)
+//! and publish results through per-slot [`OnceLock`]s — there is no mutex
+//! around the result vector and no cross-thread ordering requirement
+//! beyond the scope join. With one worker (or one task) the runner
+//! degrades to a plain inline loop with zero thread overhead.
+
+use crate::rng::SeedFactory;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Cap on auto-detected workers; sweeps are memory-light but a fleet of
+/// `World`s past this point is scheduler churn, not speedup.
+const MAX_AUTO_THREADS: usize = 16;
+
+/// Hardware parallelism, clamped to [1, `MAX_AUTO_THREADS`].
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_AUTO_THREADS)
+}
+
+/// A deterministic parallel executor for independent simulation tasks.
+///
+/// See the [module docs](self) for the determinism contract.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        SweepRunner::available()
+    }
+}
+
+impl SweepRunner {
+    /// A runner with an explicit worker count; `0` means auto-detect
+    /// (`available_parallelism`, capped at 16).
+    pub fn new(threads: usize) -> SweepRunner {
+        let threads = if threads == 0 { default_parallelism() } else { threads };
+        SweepRunner { threads }
+    }
+
+    /// A runner using all available hardware parallelism.
+    pub fn available() -> SweepRunner {
+        SweepRunner::new(0)
+    }
+
+    /// The serial reference runner (one worker, inline execution).
+    pub fn serial() -> SweepRunner {
+        SweepRunner { threads: 1 }
+    }
+
+    /// The worker count this runner will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Map `f` over `0..n`, returning results in index order.
+    ///
+    /// `f` must be a pure function of the index for the determinism
+    /// contract to hold; a panic in any task propagates after all workers
+    /// stop claiming new tasks.
+    pub fn run_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send + Sync,
+        F: Fn(usize) -> R + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+
+        let slots: Vec<OnceLock<R>> = (0..n).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        // Each index is claimed exactly once, so the slot
+                        // is always empty here.
+                        assert!(slots[i].set(f(i)).is_ok(), "sweep slot {i} written twice");
+                    })
+                })
+                .collect();
+            for handle in handles {
+                // Re-raise a task panic with its original payload instead
+                // of scope's generic "a scoped thread panicked".
+                if let Err(payload) = handle.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.into_inner().unwrap_or_else(|| panic!("sweep task {i} did not complete"))
+            })
+            .collect()
+    }
+
+    /// Map `f` over an indexed task slice, returning results in task order.
+    pub fn run<T, R, F>(&self, tasks: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send + Sync,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.run_indexed(tasks.len(), |i| f(i, &tasks[i]))
+    }
+
+    /// Map `f` over an indexed task slice, handing task `i` its own
+    /// deterministic seed sub-stream `seeds.subfactory(label, i)`.
+    ///
+    /// This is the canonical shape for simulation sweeps: the sub-factory
+    /// derivation is what makes results independent of worker count.
+    pub fn run_seeded<T, R, F>(&self, seeds: &SeedFactory, label: &str, tasks: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send + Sync,
+        F: Fn(usize, &T, SeedFactory) -> R + Sync,
+    {
+        self.run(tasks, |i, task| f(i, task, seeds.subfactory(label, i as u64)))
+    }
+
+    /// Like [`run_indexed`](Self::run_indexed) but with a per-index seed
+    /// sub-stream, for sweeps defined by a count rather than a task list.
+    pub fn run_seeded_indexed<R, F>(&self, seeds: &SeedFactory, label: &str, n: usize, f: F) -> Vec<R>
+    where
+        R: Send + Sync,
+        F: Fn(usize, SeedFactory) -> R + Sync,
+    {
+        self.run_indexed(n, |i| f(i, seeds.subfactory(label, i as u64)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic, seed-dependent stand-in for a simulation task.
+    fn fake_sim(i: usize, seeds: &SeedFactory) -> Vec<u64> {
+        let mut rng = seeds.stream("work", i as u64);
+        (0..16).map(|_| rng.range_u64(0, 1 << 48)).collect()
+    }
+
+    #[test]
+    fn results_are_in_task_order() {
+        let out = SweepRunner::new(4).run_indexed(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_output() {
+        let seeds = SeedFactory::new(0xDEAD);
+        let reference: Vec<Vec<u64>> = (0..33)
+            .map(|i| fake_sim(i, &seeds.subfactory("task", i as u64)))
+            .collect();
+        for threads in [1, 2, 3, 8] {
+            let got = SweepRunner::new(threads).run_seeded_indexed(
+                &seeds,
+                "task",
+                33,
+                |i, sub| fake_sim(i, &sub),
+            );
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_over_slice_passes_matching_task() {
+        let tasks: Vec<u64> = (0..57).map(|i| i * 7).collect();
+        let out = SweepRunner::new(8).run(&tasks, |i, &t| (i as u64, t));
+        for (i, (idx, t)) in out.iter().enumerate() {
+            assert_eq!(*idx, i as u64);
+            assert_eq!(*t, (i as u64) * 7);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_sweeps() {
+        let out: Vec<u32> = SweepRunner::available().run_indexed(0, |_| unreachable!());
+        assert!(out.is_empty());
+        let one = SweepRunner::available().run_indexed(1, |i| i + 41);
+        assert_eq!(one, vec![41]);
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let r = SweepRunner::new(0);
+        assert!(r.threads() >= 1);
+        assert_eq!(SweepRunner::serial().threads(), 1);
+    }
+
+    #[test]
+    fn more_workers_than_tasks_is_fine() {
+        let out = SweepRunner::new(16).run_indexed(3, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn task_panic_propagates() {
+        SweepRunner::new(2).run_indexed(8, |i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

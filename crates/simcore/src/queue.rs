@@ -4,18 +4,42 @@
 //! scheduled (FIFO tie-break via a monotonically increasing sequence number),
 //! so a simulation run is a pure function of (scenario, seed) — never of heap
 //! internals or hash ordering.
+//!
+//! Cancellation is O(1): each scheduled event owns a slot in a generation-
+//! stamped slab, and cancelling flips the slot's liveness flag; the heap
+//! entry is discarded lazily when it reaches the head. A stale [`EventId`]
+//! (already fired, or already cancelled) fails the generation check and the
+//! cancel is a true no-op — it can never skew [`EventQueue::len`].
 
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// A handle to a scheduled event, usable for cancellation.
+///
+/// Encodes (slot, generation); a handle outlives its event harmlessly —
+/// cancelling after the event fired is a no-op.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct EventId(u64);
+
+impl EventId {
+    fn new(slot: u32, gen: u32) -> EventId {
+        EventId((slot as u64) << 32 | gen as u64)
+    }
+
+    fn slot(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    fn gen(self) -> u32 {
+        self.0 as u32
+    }
+}
 
 struct Scheduled<E> {
     at: SimTime,
     seq: u64,
+    slot: u32,
     event: E,
 }
 
@@ -38,6 +62,16 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// One slab slot: the generation of the handle it currently backs, and
+/// whether that event is still due to fire. A slot is freed (and its
+/// generation bumped) only when its heap entry drains, so slot indices in
+/// the heap are always valid.
+#[derive(Clone, Copy)]
+struct Slot {
+    gen: u32,
+    live: bool,
+}
+
 /// A time-ordered queue of events of type `E`.
 ///
 /// This is the only scheduling primitive in the simulator. Higher layers
@@ -58,9 +92,12 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Heap entries whose slot was cancelled (they drain lazily).
+    cancelled: usize,
     next_seq: u64,
     now: SimTime,
-    cancelled: Vec<u64>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -72,11 +109,19 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty queue pre-sized for `cap` pending events, so steady-state
+    /// scheduling never reallocates the heap or the slot slab.
+    pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(cap),
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            cancelled: 0,
             next_seq: 0,
             now: SimTime::ZERO,
-            cancelled: Vec::new(),
         }
     }
 
@@ -88,7 +133,7 @@ impl<E> EventQueue<E> {
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.heap.len() - self.cancelled
     }
 
     /// `true` if no events are pending.
@@ -109,34 +154,69 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
-        EventId(seq)
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize].live = true;
+                s
+            }
+            None => {
+                self.slots.push(Slot { gen: 0, live: true });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.heap.push(Scheduled { at, seq, slot, event });
+        EventId::new(slot, self.slots[slot as usize].gen)
     }
 
-    /// Cancel a previously scheduled event. Cancellation is lazy (the entry
-    /// is skipped when it reaches the head), which keeps `cancel` O(log n)
-    /// amortised. Cancelling an already-fired or already-cancelled event is a
-    /// no-op.
+    /// Schedule `event` at `now() + delta` — the dominant caller pattern
+    /// (frame service times, retry backoffs, periodic timers).
+    pub fn schedule_after(&mut self, delta: SimDuration, event: E) -> EventId {
+        let at = self.now + delta;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize].live = true;
+                s
+            }
+            None => {
+                self.slots.push(Slot { gen: 0, live: true });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.heap.push(Scheduled { at, seq, slot, event });
+        EventId::new(slot, self.slots[slot as usize].gen)
+    }
+
+    /// Cancel a previously scheduled event. O(1): the slot is flagged dead
+    /// and the heap entry is skipped when it reaches the head. Cancelling an
+    /// already-fired or already-cancelled event is a true no-op (the
+    /// generation check rejects stale handles).
     pub fn cancel(&mut self, id: EventId) {
-        // Binary-search keeps the cancelled list sorted for `is_cancelled`.
-        if let Err(pos) = self.cancelled.binary_search(&id.0) {
-            self.cancelled.insert(pos, id.0);
+        let slot = id.slot() as usize;
+        if let Some(s) = self.slots.get_mut(slot) {
+            if s.gen == id.gen() && s.live {
+                s.live = false;
+                self.cancelled += 1;
+            }
         }
     }
 
-    fn take_cancelled(&mut self, seq: u64) -> bool {
-        if let Ok(pos) = self.cancelled.binary_search(&seq) {
-            self.cancelled.remove(pos);
-            true
-        } else {
-            false
-        }
+    /// Free `slot` for reuse, invalidating all outstanding handles to it.
+    fn release(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.gen = s.gen.wrapping_add(1);
+        s.live = false;
+        self.free.push(slot);
     }
 
     /// Pop the earliest pending event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(s) = self.heap.pop() {
-            if self.take_cancelled(s.seq) {
+            let live = self.slots[s.slot as usize].live;
+            self.release(s.slot);
+            if !live {
+                self.cancelled -= 1;
                 continue;
             }
             debug_assert!(s.at >= self.now, "event queue produced time travel");
@@ -147,15 +227,18 @@ impl<E> EventQueue<E> {
     }
 
     /// Timestamp of the earliest pending event without popping it.
+    ///
+    /// A single `heap.peek()` per iteration: cancelled entries at the head
+    /// are drained as they are discovered.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         loop {
-            let seq = self.heap.peek()?.seq;
-            if self.cancelled.binary_search(&seq).is_ok() {
-                self.heap.pop();
-                self.take_cancelled(seq);
-                continue;
+            let head = self.heap.peek()?;
+            if self.slots[head.slot as usize].live {
+                return Some(head.at);
             }
-            return Some(self.heap.peek().map(|s| s.at).unwrap());
+            let dead = self.heap.pop().expect("peeked entry vanished");
+            self.release(dead.slot);
+            self.cancelled -= 1;
         }
     }
 }
@@ -229,12 +312,91 @@ mod tests {
     }
 
     #[test]
+    fn cancel_after_fire_keeps_len_consistent() {
+        // Regression: cancelling fired events used to insert tombstones
+        // that never drained, permanently skewing len()/is_empty() and
+        // eventually underflowing the length arithmetic.
+        let mut q = EventQueue::new();
+        let ids: Vec<_> =
+            (0..8).map(|i| q.schedule(SimTime::from_millis(i), Tag(i as u32))).collect();
+        for _ in 0..8 {
+            q.pop().unwrap();
+        }
+        assert!(q.is_empty());
+        for id in &ids {
+            q.cancel(*id); // all stale — every one must be a no-op
+        }
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+        q.schedule(SimTime::from_millis(100), Tag(42));
+        assert_eq!(q.len(), 1, "stale cancels must not offset live counts");
+        assert_eq!(q.pop().unwrap().1, Tag(42));
+    }
+
+    #[test]
+    fn double_cancel_counted_once() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_millis(1), Tag(1));
+        q.schedule(SimTime::from_millis(2), Tag(2));
+        q.cancel(a);
+        q.cancel(a);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, Tag(2));
+    }
+
+    #[test]
+    fn stale_handle_does_not_cancel_slot_reuser() {
+        // After an event fires its slot is recycled; the old handle's
+        // generation no longer matches and must not kill the new tenant.
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_millis(1), Tag(1));
+        q.pop().unwrap();
+        let _b = q.schedule(SimTime::from_millis(2), Tag(2)); // reuses a's slot
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, Tag(2), "stale cancel must not hit reused slot");
+    }
+
+    #[test]
     fn peek_time_skips_cancelled() {
         let mut q = EventQueue::new();
         let a = q.schedule(SimTime::from_millis(1), Tag(1));
         q.schedule(SimTime::from_millis(3), Tag(3));
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(SimTime::from_millis(3)));
+    }
+
+    #[test]
+    fn peek_time_drains_cancelled_head_and_preserves_len() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_millis(1), Tag(1));
+        let b = q.schedule(SimTime::from_millis(2), Tag(2));
+        q.schedule(SimTime::from_millis(3), Tag(3));
+        q.cancel(a);
+        q.cancel(b);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(3)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, Tag(3));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn schedule_after_uses_current_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), Tag(0));
+        q.pop().unwrap();
+        q.schedule_after(SimDuration::from_millis(20), Tag(1));
+        assert_eq!(q.pop().unwrap().0, SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn schedule_after_is_cancellable_and_fifo() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_after(SimDuration::from_millis(5), Tag(1));
+        q.schedule_after(SimDuration::from_millis(5), Tag(2));
+        q.cancel(a);
+        assert_eq!(q.pop().unwrap().1, Tag(2));
     }
 
     #[test]
@@ -258,5 +420,50 @@ mod tests {
         }
         assert_eq!(q.len(), 6);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn with_capacity_behaves_identically() {
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::with_capacity(64);
+        for i in 0..32u32 {
+            a.schedule(SimTime::from_millis((i % 7) as u64), Tag(i));
+            b.schedule(SimTime::from_millis((i % 7) as u64), Tag(i));
+        }
+        loop {
+            match (a.pop(), b.pop()) {
+                (None, None) => break,
+                (x, y) => assert_eq!(x, y),
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_churn_stays_consistent() {
+        // Schedule/cancel/pop interleaving with slot reuse; len must track
+        // exactly and ordering must hold throughout.
+        let mut q = EventQueue::new();
+        let mut live = std::collections::VecDeque::new();
+        let mut expect_len = 0usize;
+        for round in 0u64..200 {
+            let id = q.schedule(SimTime::from_millis(round / 2 + 1), Tag(round as u32));
+            live.push_back(id);
+            expect_len += 1;
+            if round % 3 == 0 {
+                if let Some(id) = live.pop_front() {
+                    q.cancel(id);
+                    expect_len -= 1;
+                }
+            }
+            if round % 5 == 0 && expect_len > 0 {
+                // The earliest (time, seq) pending event is the oldest live
+                // one: times are non-decreasing in schedule order here.
+                let popped = q.pop();
+                assert!(popped.is_some());
+                expect_len -= 1;
+                live.pop_front();
+            }
+            assert_eq!(q.len(), expect_len, "round {round}");
+        }
     }
 }

@@ -316,7 +316,7 @@ mod adaptive_tests {
         // why MTD must respect the receiver's playout policy.
         let mut pattern: Vec<Option<u64>> = vec![Some(8); 500];
         pattern.push(Some(100)); // recovered via secondary
-        pattern.extend(std::iter::repeat(Some(8)).take(10));
+        pattern.extend(std::iter::repeat_n(Some(8), 10));
         let tr = trace_with_delays(&pattern);
         let mut buf = AdaptivePlayout::interactive();
         let stats = conceal_adaptive(&tr, &mut buf);
@@ -332,7 +332,7 @@ mod adaptive_tests {
         // recoveries are on time.
         let mut pattern: Vec<Option<u64>> = vec![Some(8); 100];
         pattern.push(Some(110));
-        pattern.extend(std::iter::repeat(Some(8)).take(50));
+        pattern.extend(std::iter::repeat_n(Some(8), 50));
         pattern.push(Some(100));
         let tr = trace_with_delays(&pattern);
         let mut buf = AdaptivePlayout::interactive();

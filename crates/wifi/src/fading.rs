@@ -140,7 +140,7 @@ impl GilbertElliott {
                 GeState::Bad => GeState::Good,
             };
             let dwell = self.sample_dwell(self.state);
-            self.until = self.until + dwell;
+            self.until += dwell;
         }
         self.state
     }

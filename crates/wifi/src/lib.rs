@@ -94,7 +94,7 @@ mod proptests {
                         }
                     }
                     _ => {
-                        let sleeping = seq % 2 == 0;
+                        let sleeping = seq.is_multiple_of(2);
                         ap.set_power_save(a, sleeping);
                     }
                 }

@@ -114,7 +114,7 @@ pub fn transmit(link: &mut LinkModel, mac: &MacConfig, frame: &Frame, start: Sim
         // Failure: widen the window, maybe fall back a rate.
         cw = ((cw + 1) * 2 - 1).min(mac.cw_max);
         consecutive_failures += 1;
-        if consecutive_failures % mac.failures_per_fallback.max(1) == 0 {
+        if consecutive_failures.is_multiple_of(mac.failures_per_fallback.max(1)) {
             rate = fallback_rate(rate);
         }
     }

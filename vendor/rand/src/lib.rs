@@ -1,0 +1,317 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no registry cache, so the
+//! workspace vendors the narrow slice of the rand 0.8 API it actually uses:
+//! `SmallRng` (xoshiro256++ with SplitMix64 seeding, matching rand 0.8's
+//! 64-bit `SmallRng` construction), `Rng::gen::<f64>()`, and
+//! `Rng::gen_range` over integer/float ranges.
+//!
+//! Determinism is the only contract that matters here: every generator is a
+//! pure function of its seed, so simulation runs remain pure functions of
+//! (scenario, seed) exactly as `diversifi-simcore`'s determinism contract
+//! requires.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (upper half of `next_u64`).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed via SplitMix64 expansion
+    /// (the same scheme rand 0.8 uses for `seed_from_u64`).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable from the "standard" distribution (`Rng::gen`).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A range samplable by `Rng::gen_range`.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Integer uniform sampling, bit-compatible with rand 0.8's
+/// `UniformInt::sample_single{,_inclusive}` (Lemire's widening-multiply
+/// rejection method). The half-open form delegates to the inclusive form on
+/// `[low, high-1]`, exactly as upstream does, so draw consumption matches.
+///
+/// `$u_large` is the wide sampling type upstream uses for each width (u32
+/// for sub-32-bit integers, the native width otherwise) — it determines how
+/// many generator words one draw consumes.
+macro_rules! int_sample_range {
+    ($($t:ty, $unsigned:ty, $u_large:ty, $wmul:ident;)*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                (self.start..=self.end - 1).sample_single(rng)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "empty gen_range");
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                if range == 0 {
+                    // The full integer span: every bit pattern is valid.
+                    return <$u_large as Standard>::sample(rng) as $t;
+                }
+                let zone = if <$unsigned>::MAX <= u16::MAX as $unsigned {
+                    let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                    <$u_large>::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v = <$u_large as Standard>::sample(rng);
+                    let (hi, lo) = $wmul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Widening multiply: (high word, low word) of `a * b`.
+fn wmul32(a: u32, b: u32) -> (u32, u32) {
+    let m = (a as u64) * (b as u64);
+    ((m >> 32) as u32, m as u32)
+}
+
+/// Widening multiply: (high word, low word) of `a * b`.
+fn wmul64(a: u64, b: u64) -> (u64, u64) {
+    let m = (a as u128) * (b as u128);
+    ((m >> 64) as u64, m as u64)
+}
+
+/// Widening multiply for the native word size.
+fn wmul_usize(a: usize, b: usize) -> (usize, usize) {
+    let (hi, lo) = wmul64(a as u64, b as u64);
+    (hi as usize, lo as usize)
+}
+
+int_sample_range! {
+    u8, u8, u32, wmul32;
+    u16, u16, u32, wmul32;
+    u32, u32, u32, wmul32;
+    u64, u64, u64, wmul64;
+    usize, usize, usize, wmul_usize;
+    i64, u64, u64, wmul64;
+}
+
+/// Float uniform sampling, bit-compatible with rand 0.8's
+/// `UniformFloat::sample_single`: draw the fraction bits of a value in
+/// `[1, 2)` via the exponent trick, then scale into `[low, high)`.
+macro_rules! float_sample_range {
+    ($($t:ty, $uty:ty, $bits_to_discard:expr, $exp_bias:expr, $fraction_bits:expr;)*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = (self.start, self.end);
+                assert!(low < high, "empty gen_range");
+                let mut scale = high - low;
+                loop {
+                    let bits = <$uty as Standard>::sample(rng) >> $bits_to_discard;
+                    let value1_2 =
+                        <$t>::from_bits(bits | (($exp_bias as $uty) << $fraction_bits));
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                    assert!(scale.is_finite(), "gen_range: non-finite float range");
+                    // Boundary rounding produced `high`; shave one ULP off
+                    // the scale and retry (upstream's edge-case loop).
+                    scale = <$t>::from_bits(scale.to_bits() - 1);
+                }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "empty gen_range");
+                let scale = high - low;
+                let bits = <$uty as Standard>::sample(rng) >> $bits_to_discard;
+                let value1_2 = <$t>::from_bits(bits | (($exp_bias as $uty) << $fraction_bits));
+                let value0_1 = value1_2 - 1.0;
+                value0_1 * scale + low
+            }
+        }
+    )*};
+}
+
+float_sample_range! {
+    f32, u32, 9, 127u32, 23;
+    f64, u64, 12, 1023u64, 52;
+}
+
+/// User-facing sampling methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// Sample from the standard distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Sample a bool that is true with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the algorithm behind rand 0.8's 64-bit `SmallRng`.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as used by rand_core's default
+            // seed_from_u64.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn unit_interval_is_half_open() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.gen::<f64>();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = SmallRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(0usize..=3);
+            assert!(w <= 3);
+            let f = r.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert!(same < 4);
+    }
+}

@@ -1,0 +1,66 @@
+//! Round-trip tests for the derive macros (integration test so the
+//! generated `serde::` paths resolve).
+
+use serde::{Deserialize, Serialize, Value};
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct P {
+    x: u32,
+    label: String,
+    tags: Vec<i32>,
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+enum E {
+    Unit,
+    One(u32),
+    Two(u32, String),
+    Named { a: f64, b: bool },
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Id(u64);
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Nested {
+    id: Id,
+    e: E,
+    opt: Option<P>,
+    pair: (f64, u32),
+}
+
+#[test]
+fn derive_struct_and_enum_round_trip() {
+    let p = P { x: 3, label: "k".into(), tags: vec![-1, 2] };
+    assert_eq!(P::from_value(&p.to_value()).unwrap(), p);
+
+    for e in [E::Unit, E::One(9), E::Two(1, "z".into()), E::Named { a: 0.25, b: true }] {
+        assert_eq!(E::from_value(&e.to_value()).unwrap(), e);
+    }
+}
+
+#[test]
+fn derive_newtype_is_transparent() {
+    assert_eq!(Id(77).to_value(), Value::U64(77));
+    assert_eq!(Id::from_value(&Value::U64(77)).unwrap(), Id(77));
+}
+
+#[test]
+fn derive_nested_round_trip() {
+    let n = Nested {
+        id: Id(5),
+        e: E::Two(8, "w".into()),
+        opt: Some(P { x: 1, label: "a".into(), tags: vec![] }),
+        pair: (2.5, 9),
+    };
+    assert_eq!(Nested::from_value(&n.to_value()).unwrap(), n);
+
+    let none = Nested { id: Id(0), e: E::Unit, opt: None, pair: (0.0, 0) };
+    assert_eq!(Nested::from_value(&none.to_value()).unwrap(), none);
+}
+
+#[test]
+fn unknown_variant_is_an_error() {
+    assert!(E::from_value(&Value::Str("Bogus".into())).is_err());
+    assert!(P::from_value(&Value::Array(vec![])).is_err());
+}

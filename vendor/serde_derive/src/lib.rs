@@ -1,0 +1,397 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored serde's Value-based `Serialize`/`Deserialize`
+//! traits by parsing the raw token stream directly (no `syn`/`quote` in an
+//! offline build). Supports non-generic structs (unit, newtype, tuple,
+//! named) and enums (unit, tuple, struct variants) with serde's external
+//! tagging; `#[serde(...)]` attributes and generics are rejected with a
+//! clear compile error, which is the full surface this workspace uses.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the vendored `serde::Serialize` (render into a `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+/// Derive the vendored `serde::Deserialize` (parse from a `serde::Value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let generated = match parse(input) {
+        Ok(item) => match which {
+            Trait::Serialize => gen_serialize(&item),
+            Trait::Deserialize => gen_deserialize(&item),
+        },
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    generated.parse().expect("serde_derive generated invalid Rust")
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = expect_ident(&toks, &mut i)?;
+    let name = expect_ident(&toks, &mut i)?;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("vendored serde_derive does not support generics (type {name})"));
+    }
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Kind::Unit,
+        },
+        "enum" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => return Err(format!("malformed enum {name}")),
+            };
+            Kind::Enum(parse_variants(body)?)
+        }
+        other => return Err(format!("expected struct or enum, found `{other}`")),
+    };
+    Ok(Item { name, kind })
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!("expected identifier, found {other:?}")),
+    }
+}
+
+/// Advance past one type (or discriminant expression): everything up to the
+/// next comma at angle-bracket depth zero. Consumes the comma.
+fn skip_to_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let field = expect_ident(&toks, &mut i)?;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field {field}, found {other:?}")),
+        }
+        skip_to_comma(&toks, &mut i);
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut n = 0;
+    while i < toks.len() {
+        skip_to_comma(&toks, &mut i);
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i)?;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional `= discriminant` through to the separating comma.
+        skip_to_comma(&toks, &mut i);
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------ generation
+
+fn gen_serialize(item: &Item) -> String {
+    let n = &item.name;
+    let body = match &item.kind {
+        Kind::Unit => "serde::Value::Null".to_string(),
+        Kind::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(c) => {
+            let items: Vec<String> =
+                (0..*c).map(|i| format!("serde::Serialize::to_value(&self.{i})")).collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Named(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("serde::Value::Object(vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{n}::{vn} => serde::Value::Str({vn:?}.to_string()),"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{n}::{vn}(f0) => serde::Value::Object(vec![({vn:?}.to_string(), \
+                         serde::Serialize::to_value(f0))]),"
+                    )),
+                    Shape::Tuple(c) => {
+                        let binds: Vec<String> = (0..*c).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> =
+                            (0..*c).map(|i| format!("serde::Serialize::to_value(f{i})")).collect();
+                        arms.push_str(&format!(
+                            "{n}::{vn}({}) => serde::Value::Object(vec![({vn:?}.to_string(), \
+                             serde::Value::Array(vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("({f:?}.to_string(), serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{n}::{vn} {{ {} }} => serde::Value::Object(vec![({vn:?}.to_string(), \
+                             serde::Value::Object(vec![{}]))]),",
+                            fields.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived] impl serde::Serialize for {n} {{ \
+         fn to_value(&self) -> serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let n = &item.name;
+    let body = match &item.kind {
+        Kind::Unit => format!(
+            "match v {{ serde::Value::Null => Ok({n}), \
+             _ => Err(format!(\"expected null for {n}, got {{v:?}}\")) }}"
+        ),
+        Kind::Tuple(1) => format!("Ok({n}(serde::Deserialize::from_value(v)?))"),
+        Kind::Tuple(c) => {
+            let items: Vec<String> =
+                (0..*c).map(|i| format!("serde::Deserialize::from_value(&arr[{i}])?")).collect();
+            format!(
+                "{{ let arr = v.as_array().ok_or_else(|| \
+                 format!(\"expected array for {n}, got {{v:?}}\"))?; \
+                 if arr.len() != {c} {{ return Err(format!(\
+                 \"expected {c} elements for {n}, got {{}}\", arr.len())); }} \
+                 Ok({n}({})) }}",
+                items.join(", ")
+            )
+        }
+        Kind::Named(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(serde::get_field(obj, {f:?})\
+                         .ok_or_else(|| format!(\"{n}: missing field {f}\"))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "{{ let obj = v.as_object().ok_or_else(|| \
+                 format!(\"expected object for {n}, got {{v:?}}\"))?; \
+                 Ok({n} {{ {} }}) }}",
+                items.join(" ")
+            )
+        }
+        Kind::Enum(variants) => gen_enum_deserialize(n, variants),
+    };
+    format!(
+        "#[automatically_derived] impl serde::Deserialize for {n} {{ \
+         fn from_value(v: &serde::Value) -> Result<Self, String> {{ {body} }} }}"
+    )
+}
+
+fn gen_enum_deserialize(n: &str, variants: &[Variant]) -> String {
+    let unit: Vec<&Variant> = variants.iter().filter(|v| matches!(v.shape, Shape::Unit)).collect();
+    let payload: Vec<&Variant> =
+        variants.iter().filter(|v| !matches!(v.shape, Shape::Unit)).collect();
+
+    let str_arm = if unit.is_empty() {
+        format!(
+            "serde::Value::Str(s) => Err(format!(\"unknown variant {{s}} for {n}\")),"
+        )
+    } else {
+        let arms: Vec<String> =
+            unit.iter().map(|v| format!("{:?} => Ok({n}::{}),", v.name, v.name)).collect();
+        format!(
+            "serde::Value::Str(s) => match s.as_str() {{ {} \
+             other => Err(format!(\"unknown unit variant {{other}} for {n}\")) }},",
+            arms.join(" ")
+        )
+    };
+
+    let obj_arm = if payload.is_empty() {
+        String::new()
+    } else {
+        let arms: Vec<String> = payload
+            .iter()
+            .map(|v| {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unreachable!(),
+                    Shape::Tuple(1) => {
+                        format!("{vn:?} => Ok({n}::{vn}(serde::Deserialize::from_value(inner)?)),")
+                    }
+                    Shape::Tuple(c) => {
+                        let items: Vec<String> = (0..*c)
+                            .map(|i| format!("serde::Deserialize::from_value(&arr[{i}])?"))
+                            .collect();
+                        format!(
+                            "{vn:?} => {{ let arr = inner.as_array().ok_or_else(|| \
+                             format!(\"expected array for {n}::{vn}\"))?; \
+                             if arr.len() != {c} {{ return Err(format!(\
+                             \"expected {c} elements for {n}::{vn}, got {{}}\", arr.len())); }} \
+                             Ok({n}::{vn}({})) }}",
+                            items.join(", ")
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: serde::Deserialize::from_value(serde::get_field(obj, \
+                                     {f:?}).ok_or_else(|| format!(\
+                                     \"{n}::{vn}: missing field {f}\"))?)?,"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{vn:?} => {{ let obj = inner.as_object().ok_or_else(|| \
+                             format!(\"expected object for {n}::{vn}\"))?; \
+                             Ok({n}::{vn} {{ {} }}) }}",
+                            items.join(" ")
+                        )
+                    }
+                }
+            })
+            .collect();
+        format!(
+            "serde::Value::Object(o) if o.len() == 1 => {{ \
+             let (k, inner) = &o[0]; let _ = inner; match k.as_str() {{ {} \
+             other => Err(format!(\"unknown variant {{other}} for {n}\")) }} }},",
+            arms.join(" ")
+        )
+    };
+
+    format!(
+        "match v {{ {str_arm} {obj_arm} \
+         _ => Err(format!(\"cannot deserialize {n} from {{v:?}}\")) }}"
+    )
+}
