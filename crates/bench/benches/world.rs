@@ -47,7 +47,7 @@ fn bench_world_modes(c: &mut Criterion) {
                 cfg.mode = mode;
                 cfg.with_tcp = tcp;
                 cfg.spec.duration = SimDuration::from_secs(10);
-                black_box(World::new(cfg, &SeedFactory::new(k)).run())
+                black_box(World::new(&cfg, &SeedFactory::new(k)).run())
             })
         });
     }
@@ -66,7 +66,7 @@ fn bench_high_rate(c: &mut Criterion) {
                 interval: SimDuration::from_micros(1600),
                 duration: SimDuration::from_secs(2),
             };
-            black_box(World::new(cfg, &SeedFactory::new(k)).run())
+            black_box(World::new(&cfg, &SeedFactory::new(k)).run())
         })
     });
 }

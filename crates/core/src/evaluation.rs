@@ -6,7 +6,7 @@ use crate::world::{RunMode, RunReport, SwitchDelaySample, World, WorldConfig};
 use diversifi_net::{Middlebox, MiddleboxConfig};
 use diversifi_simcore::{mean, RngStream, SeedFactory, SimDuration, SweepRunner};
 use diversifi_voip::StreamTrace;
-use diversifi_wifi::{Channel, FlowId, GeParams, LinkConfig};
+use diversifi_wifi::{Channel, FlowId, GeParams, LinkConfig, RealizationCache};
 use serde::Serialize;
 
 /// One office location of the §6.1 testbed: a decent primary and a much
@@ -78,6 +78,12 @@ pub struct EvalOptions {
     pub mode: RunMode,
     /// Worker threads.
     pub threads: usize,
+    /// Fetch channel realisations through a per-worker cache so the three
+    /// paired arms of a location sample each `(link, seed)` environment
+    /// exactly once. Output is bit-identical either way (replay is the only
+    /// sampling path); `false` re-materialises per arm, kept for parity
+    /// testing and cache-overhead measurement.
+    pub use_realization_cache: bool,
 }
 
 impl Default for EvalOptions {
@@ -86,6 +92,7 @@ impl Default for EvalOptions {
             n_runs: 61,
             mode: RunMode::DiversifiCustomAp,
             threads: diversifi_simcore::par::default_parallelism(),
+            use_realization_cache: true,
         }
     }
 }
@@ -103,18 +110,26 @@ pub fn run_eval_corpus(opts: &EvalOptions, seed: u64) -> Vec<EvalRun> {
         })
         .collect();
 
-    SweepRunner::new(opts.threads).run(&locations, |_, (p, s, call_seeds)| {
-        let run_one = |mode: RunMode| {
+    SweepRunner::new(opts.threads).run_with(
+        &locations,
+        || RealizationCache::new(16),
+        |_, (p, s, call_seeds), cache| {
             let mut cfg = WorldConfig::testbed(p.clone(), s.clone());
-            cfg.mode = mode;
-            World::new(cfg, call_seeds).run()
-        };
-        EvalRun {
-            primary: run_one(RunMode::PrimaryOnly),
-            secondary: run_one(RunMode::SecondaryOnly),
-            diversifi: run_one(opts.mode),
-        }
-    })
+            let mut run_one = |mode: RunMode| {
+                cfg.mode = mode;
+                if opts.use_realization_cache {
+                    World::new_cached(&cfg, call_seeds, cache).run()
+                } else {
+                    World::new(&cfg, call_seeds).run()
+                }
+            };
+            EvalRun {
+                primary: run_one(RunMode::PrimaryOnly),
+                secondary: run_one(RunMode::SecondaryOnly),
+                diversifi: run_one(opts.mode),
+            }
+        },
+    )
 }
 
 /// Traces of one arm of the corpus.
@@ -168,20 +183,25 @@ pub struct TcpPair {
 /// Run the Fig. 10 coexistence corpus (26 paired runs in the paper).
 pub fn run_tcp_corpus(n_runs: usize, threads: usize, seed: u64) -> Vec<TcpPair> {
     let seeds = SeedFactory::new(seed);
-    SweepRunner::new(threads).run_seeded_indexed(&seeds, "tcp-run", n_runs, |_, call_seeds| {
-        let mut rng = call_seeds.stream("location", 0);
-        let (p, s) = testbed_location(&mut rng);
-        let run_one = |mode: RunMode| {
-            let mut cfg = WorldConfig::testbed(p.clone(), s.clone());
-            cfg.mode = mode;
+    SweepRunner::new(threads).run_indexed_with(
+        n_runs,
+        || RealizationCache::new(8),
+        |i, cache| {
+            let call_seeds = seeds.subfactory("tcp-run", i as u64);
+            let mut rng = call_seeds.stream("location", 0);
+            let (p, s) = testbed_location(&mut rng);
+            let mut cfg = WorldConfig::testbed(p, s);
             cfg.with_tcp = true;
-            World::new(cfg, &call_seeds).run().tcp_throughput_bps
-        };
-        TcpPair {
-            off_bps: run_one(RunMode::PrimaryOnly),
-            on_bps: run_one(RunMode::DiversifiCustomAp),
-        }
-    })
+            let mut run_one = |mode: RunMode| {
+                cfg.mode = mode;
+                World::new_cached(&cfg, &call_seeds, cache).run().tcp_throughput_bps
+            };
+            TcpPair {
+                off_bps: run_one(RunMode::PrimaryOnly),
+                on_bps: run_one(RunMode::DiversifiCustomAp),
+            }
+        },
+    )
 }
 
 /// Table 3: mean recovery-delay breakdown for the two deployments.
@@ -229,7 +249,7 @@ pub fn measure_switch_delays(mode: RunMode, min_samples: usize, seed: u64) -> Ve
             let (p, s) = testbed_location(&mut rng);
             let mut cfg = WorldConfig::testbed(p, s);
             cfg.mode = mode;
-            World::new(cfg, &call_seeds).run().switch_delays
+            World::new(&cfg, &call_seeds).run().switch_delays
         });
         for delays in rounds {
             if samples.len() >= min_samples {

@@ -42,7 +42,7 @@
 //! let mut cfg = WorldConfig::testbed(primary, secondary);
 //! cfg.spec.duration = diversifi_simcore::SimDuration::from_secs(10); // short demo
 //! cfg.mode = RunMode::DiversifiCustomAp;
-//! let report = World::new(cfg, &SeedFactory::new(42)).run();
+//! let report = World::new(&cfg, &SeedFactory::new(42)).run();
 //! assert!(report.trace.loss_rate(DEFAULT_DEADLINE) < 0.05);
 //! ```
 

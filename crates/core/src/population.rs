@@ -263,28 +263,29 @@ fn hop_class(c: &RatedCall) -> (u8, u8) {
 /// PCR_all over all 2014 calls, which is why row 2's cells improve across
 /// the board when only well-connected subnets are considered).
 pub fn table1_row<'a>(calls: impl Iterator<Item = &'a RatedCall>, pcr_all: f64) -> Table1Row {
-    let calls: Vec<&RatedCall> = calls.collect();
-    let all = pcr_all;
-    let ee: Vec<&RatedCall> = calls
-        .iter()
-        .copied()
-        .filter(|c| hop_class(c) == (0, 0))
-        .collect();
-    let ew: Vec<&RatedCall> = calls
-        .iter()
-        .copied()
-        .filter(|c| hop_class(c) == (0, 1))
-        .collect();
-    let ww: Vec<&RatedCall> = calls
-        .iter()
-        .copied()
-        .filter(|c| hop_class(c) == (1, 1))
-        .collect();
+    // One pass, no intermediate vectors: a 120k-call population previously
+    // materialised four Vec<&RatedCall> per row. Count (poor, total) per
+    // hop class instead; the per-class PCR is the same ratio `pcr()` would
+    // compute over the filtered subset.
+    let mut poor = [0u64; 3];
+    let mut total = [0u64; 3];
+    for c in calls {
+        let class = match hop_class(c) {
+            (0, 0) => 0,
+            (0, 1) => 1,
+            _ => 2,
+        };
+        total[class] += 1;
+        if c.rated_poor {
+            poor[class] += 1;
+        }
+    }
+    let pcr_of = |i: usize| if total[i] == 0 { 0.0 } else { poor[i] as f64 / total[i] as f64 };
     Table1Row {
-        ee: relative_delta(all, pcr(&ee)),
-        ew: relative_delta(all, pcr(&ew)),
-        ww: relative_delta(all, pcr(&ww)),
-        baseline_pcr: all,
+        ee: relative_delta(pcr_all, pcr_of(0)),
+        ew: relative_delta(pcr_all, pcr_of(1)),
+        ww: relative_delta(pcr_all, pcr_of(2)),
+        baseline_pcr: pcr_all,
     }
 }
 
@@ -398,6 +399,24 @@ mod tests {
             assert_eq!(x.rated_poor, y.rated_poor);
             assert_eq!(x.hops, y.hops);
         }
+    }
+
+    #[test]
+    fn table1_row_single_pass_matches_subset_filtering() {
+        // The counting rewrite must reproduce the collect-and-filter
+        // reference bit for bit.
+        let calls = simulate_calls(&PopulationModel::default(), 20_000, 0x7AB1E2);
+        let all_refs: Vec<&RatedCall> = calls.iter().collect();
+        let pcr_all = pcr(&all_refs);
+        let row = table1_row(calls.iter(), pcr_all);
+        let reference = |class: (u8, u8)| {
+            let subset: Vec<&RatedCall> =
+                calls.iter().filter(|c| hop_class(c) == class).collect();
+            relative_delta(pcr_all, pcr(&subset))
+        };
+        assert_eq!(row.ee.to_bits(), reference((0, 0)).to_bits());
+        assert_eq!(row.ew.to_bits(), reference((0, 1)).to_bits());
+        assert_eq!(row.ww.to_bits(), reference((1, 1)).to_bits());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use diversifi_client::LinkObservation;
 use diversifi_simcore::{RngStream, SeedFactory, SimDuration, SimTime};
 use diversifi_voip::{StreamSpec, StreamTrace};
 use diversifi_wifi::{
-    mac, AdapterId, ClientId, FlowId, Frame, LinkConfig, LinkModel, MacConfig,
+    mac, AdapterId, ClientId, FlowId, Frame, LinkConfig, LinkModel, MacConfig, RealizationCache,
 };
 use serde::{Deserialize, Serialize};
 
@@ -79,7 +79,47 @@ fn run_link(
     pipeline: &PipelineConfig,
     copies: &[SimDuration],
 ) -> LinkObservation {
-    let mut link = LinkModel::new(link_cfg.clone(), seeds, index);
+    let link = LinkModel::new(link_cfg.clone(), seeds, index);
+    run_link_on(spec, link, seeds, index, lan_delay, pipeline, copies)
+}
+
+/// Horizon to which a link's channel realisation must be materialised for
+/// a stream of `spec`: the call itself plus the AP-backlog and MAC-retry
+/// slack that can push transmissions past the last send instant.
+fn channel_horizon(spec: &StreamSpec) -> SimTime {
+    SimTime::ZERO + spec.duration + SimDuration::from_millis(500) + SimDuration::from_secs(2)
+}
+
+/// [`run_link`] with the channel realisation replayed from `cache` instead
+/// of sampled lazily. Bit-identical output (the replay parity is pinned in
+/// `diversifi-wifi`); the point is that paired runs over the same
+/// `(link, seed, index)` — e.g. the temporal-replication arms — materialise
+/// the radio environment once.
+#[allow(clippy::too_many_arguments)]
+fn run_link_cached(
+    spec: &StreamSpec,
+    link_cfg: &LinkConfig,
+    seeds: &SeedFactory,
+    index: u64,
+    lan_delay: SimDuration,
+    pipeline: &PipelineConfig,
+    copies: &[SimDuration],
+    cache: &RealizationCache,
+) -> LinkObservation {
+    let real = cache.get_or_materialize(link_cfg, seeds, index, channel_horizon(spec));
+    let link = LinkModel::from_realization(link_cfg.clone(), real, seeds, index);
+    run_link_on(spec, link, seeds, index, lan_delay, pipeline, copies)
+}
+
+fn run_link_on(
+    spec: &StreamSpec,
+    mut link: LinkModel,
+    seeds: &SeedFactory,
+    index: u64,
+    lan_delay: SimDuration,
+    pipeline: &PipelineConfig,
+    copies: &[SimDuration],
+) -> LinkObservation {
     let mut trace = StreamTrace::new(*spec, SimTime::ZERO);
     let mut jitter_rng: RngStream = seeds.stream("lan-jitter", index);
 
@@ -129,6 +169,24 @@ pub fn run_two_nic(scn: &TwoNicScenario, seeds: &SeedFactory) -> TwoNicRun {
     TwoNicRun { a, b }
 }
 
+/// [`run_two_nic`] replaying both links' realisations from `cache` —
+/// bit-identical to the lazy path, but arms of a paired experiment that
+/// revisit the same `(link, seed)` sample the channel only once.
+pub fn run_two_nic_cached(
+    scn: &TwoNicScenario,
+    seeds: &SeedFactory,
+    cache: &RealizationCache,
+) -> TwoNicRun {
+    let pipeline = PipelineConfig::default();
+    let a = run_link_cached(
+        &scn.spec, &scn.link_a, seeds, 0, scn.lan_delay, &pipeline, &[SimDuration::ZERO], cache,
+    );
+    let b = run_link_cached(
+        &scn.spec, &scn.link_b, seeds, 1, scn.lan_delay, &pipeline, &[SimDuration::ZERO], cache,
+    );
+    TwoNicRun { a, b }
+}
+
 /// Temporal replication (§4.2): two copies of every packet on the *same*
 /// link, the second delayed by `delta`. The trace keeps the earliest copy.
 pub fn run_temporal(
@@ -140,6 +198,30 @@ pub fn run_temporal(
     let pipeline = PipelineConfig::default();
     run_link(spec, link_cfg, seeds, 0, SimDuration::from_micros(500), &pipeline, &[SimDuration::ZERO, delta])
         .trace
+}
+
+/// [`run_temporal`] with the channel realisation replayed from `cache`.
+/// Since temporal replication runs on the same link/seed as the cross-link
+/// experiment's link 0, this is a pure cache hit in paired analyses.
+pub fn run_temporal_cached(
+    spec: &StreamSpec,
+    link_cfg: &LinkConfig,
+    seeds: &SeedFactory,
+    delta: SimDuration,
+    cache: &RealizationCache,
+) -> StreamTrace {
+    let pipeline = PipelineConfig::default();
+    run_link_cached(
+        spec,
+        link_cfg,
+        seeds,
+        0,
+        SimDuration::from_micros(500),
+        &pipeline,
+        &[SimDuration::ZERO, delta],
+        cache,
+    )
+    .trace
 }
 
 /// A single unreplicated stream over one link (the §4.2 baseline).
@@ -239,6 +321,38 @@ mod tests {
         assert_eq!(r1.a.trace.fates, r2.a.trace.fates);
         assert_eq!(r1.b.trace.fates, r2.b.trace.fates);
         assert_eq!(r1.a.rssi_dbm, r2.a.rssi_dbm);
+    }
+
+    #[test]
+    fn cached_runs_are_bit_identical_and_share_realizations() {
+        let spec = StreamSpec {
+            packet_bytes: 160,
+            interval: SimDuration::from_millis(20),
+            duration: SimDuration::from_secs(30),
+        };
+        let mut weak = LinkConfig::office(Channel::CH1, 28.0);
+        weak.ge = diversifi_wifi::GeParams::weak_link();
+        let scn = TwoNicScenario::new(spec, weak, LinkConfig::office(Channel::CH11, 33.0));
+        let s = seeds(9);
+        let lazy = run_two_nic(&scn, &s);
+        let cache = RealizationCache::new(8);
+        let cached = run_two_nic_cached(&scn, &s, &cache);
+        assert_eq!(lazy.a.trace.fates, cached.a.trace.fates);
+        assert_eq!(lazy.b.trace.fates, cached.b.trace.fates);
+        assert_eq!(lazy.a.rssi_dbm.to_bits(), cached.a.rssi_dbm.to_bits());
+
+        // Temporal replication on link A replays the already-materialised
+        // channel: two more paired arms, zero more materialisations.
+        let (_, misses_before) = cache.stats();
+        let t100 =
+            run_temporal_cached(&scn.spec, &scn.link_a, &s, SimDuration::from_millis(100), &cache);
+        let t0 = run_temporal_cached(&scn.spec, &scn.link_a, &s, SimDuration::ZERO, &cache);
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, misses_before, "temporal arms must hit the cache");
+        assert!(hits >= 2, "expected replay hits, got {hits}");
+        assert_eq!(t0.len(), lazy.a.trace.len());
+        let lazy_t100 = run_temporal(&scn.spec, &scn.link_a, &s, SimDuration::from_millis(100));
+        assert_eq!(lazy_t100.fates, t100.fates);
     }
 
     #[test]

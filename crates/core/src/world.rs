@@ -25,10 +25,11 @@ use diversifi_net::{Middlebox, MiddleboxConfig, StreamPacket, TcpConfig, TcpRece
 use diversifi_simcore::{EventQueue, RngStream, SeedFactory, SimDuration, SimTime};
 use diversifi_voip::{StreamSpec, StreamTrace};
 use diversifi_wifi::{
-    mac, AccessPoint, AdapterId, ApConfig, ApId, ClientId, FlowId, Frame, FrameKind,
-    LinkConfig, LinkModel, QueueDiscipline, TxOutcome,
+    mac, AccessPoint, AdapterId, ApConfig, ApId, ChannelRealization, ClientId, FlowId, Frame,
+    FrameKind, LinkConfig, LinkModel, QueueDiscipline, RealizationCache, TxOutcome,
 };
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Which client behaviour this run uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -189,9 +190,10 @@ enum Ev {
     Done,
 }
 
-/// The world simulator.
-pub struct World {
-    cfg: WorldConfig,
+/// The world simulator. Borrows its configuration so paired arms (N modes ×
+/// one seed) share a single `WorldConfig` instead of cloning it per run.
+pub struct World<'a> {
+    cfg: &'a WorldConfig,
     q: EventQueue<Ev>,
     aps: [AccessPoint; 2],
     links: [LinkModel; 2],
@@ -214,9 +216,67 @@ pub struct World {
     done: bool,
 }
 
-impl World {
+impl<'a> World<'a> {
     /// Build a world for `cfg`, seeding all components from `seeds`.
-    pub fn new(cfg: WorldConfig, seeds: &SeedFactory) -> World {
+    ///
+    /// The channel realisations for both links are materialised up-front
+    /// over the run horizon and replayed, so a run is a pure function of
+    /// `(cfg, seed)` and [`World::new_cached`] is bit-identical to this
+    /// by construction.
+    pub fn new(cfg: &'a WorldConfig, seeds: &SeedFactory) -> World<'a> {
+        let horizon = Self::channel_horizon(cfg);
+        let links = [
+            LinkModel::from_realization(
+                cfg.primary.clone(),
+                Arc::new(ChannelRealization::materialize(&cfg.primary, seeds, 0, horizon)),
+                seeds,
+                0,
+            ),
+            LinkModel::from_realization(
+                cfg.secondary.clone(),
+                Arc::new(ChannelRealization::materialize(&cfg.secondary, seeds, 1, horizon)),
+                seeds,
+                1,
+            ),
+        ];
+        Self::with_links(cfg, links, seeds)
+    }
+
+    /// Like [`World::new`], but fetches the channel realisations from
+    /// `cache` so paired arms and repeated seeds materialise each
+    /// `(link, seed)` environment exactly once.
+    pub fn new_cached(
+        cfg: &'a WorldConfig,
+        seeds: &SeedFactory,
+        cache: &RealizationCache,
+    ) -> World<'a> {
+        let horizon = Self::channel_horizon(cfg);
+        let links = [
+            LinkModel::from_realization(
+                cfg.primary.clone(),
+                cache.get_or_materialize(&cfg.primary, seeds, 0, horizon),
+                seeds,
+                0,
+            ),
+            LinkModel::from_realization(
+                cfg.secondary.clone(),
+                cache.get_or_materialize(&cfg.secondary, seeds, 1, horizon),
+                seeds,
+                1,
+            ),
+        ];
+        Self::with_links(cfg, links, seeds)
+    }
+
+    /// Horizon the realisations must cover: the measurement window plus the
+    /// drain tail, plus slack for MAC exchanges straddling the end. Queries
+    /// past it freeze deterministically, so the slack only has to be
+    /// generous, not exact.
+    fn channel_horizon(cfg: &WorldConfig) -> SimTime {
+        SimTime::ZERO + cfg.spec.duration + SimDuration::from_millis(500) + SimDuration::from_secs(2)
+    }
+
+    fn with_links(cfg: &'a WorldConfig, links: [LinkModel; 2], seeds: &SeedFactory) -> World<'a> {
         let mut ap0_cfg = ApConfig::new(ApId(0), cfg.primary.channel);
         ap0_cfg.wake_batch = cfg.wake_batch;
         let mut ap1_cfg = ApConfig::new(ApId(1), cfg.secondary.channel);
@@ -236,11 +296,6 @@ impl World {
             _ => QueueDiscipline::stock(),
         };
         ap1.associate(SECONDARY, secondary_disc);
-
-        let links = [
-            LinkModel::new(cfg.primary.clone(), seeds, 0),
-            LinkModel::new(cfg.secondary.clone(), seeds, 1),
-        ];
 
         let deployment = match cfg.mode {
             RunMode::DiversifiMiddlebox => DeploymentMode::Middlebox,
@@ -702,7 +757,7 @@ mod tests {
         let mut cfg = WorldConfig::testbed(a, b);
         cfg.mode = RunMode::PrimaryOnly;
         short(&mut cfg, 20);
-        let report = World::new(cfg, &seeds(1)).run();
+        let report = World::new(&cfg, &seeds(1)).run();
         let loss = report.trace.loss_rate(DEFAULT_DEADLINE);
         assert!(loss > 0.0, "weak link should lose something");
         assert!(loss < 0.5, "but mostly deliver: {loss}");
@@ -723,8 +778,8 @@ mod tests {
         let mut dvf_loss = 0.0;
         for i in 0..5 {
             let s = seeds(100 + i);
-            base_loss += World::new(base.clone(), &s).run().trace.loss_rate(DEFAULT_DEADLINE);
-            dvf_loss += World::new(dvf.clone(), &s).run().trace.loss_rate(DEFAULT_DEADLINE);
+            base_loss += World::new(&base, &s).run().trace.loss_rate(DEFAULT_DEADLINE);
+            dvf_loss += World::new(&dvf, &s).run().trace.loss_rate(DEFAULT_DEADLINE);
         }
         assert!(
             dvf_loss < base_loss * 0.35,
@@ -736,7 +791,7 @@ mod tests {
     fn diversifi_duplication_overhead_is_small() {
         let (a, b) = testbed_pair();
         let cfg = WorldConfig::testbed(a, b); // full 2-minute call
-        let report = World::new(cfg, &seeds(2)).run();
+        let report = World::new(&cfg, &seeds(2)).run();
         let n = report.trace.len() as f64;
         let wasteful = report.secondary_wasteful_tx as f64 / n;
         assert!(
@@ -760,12 +815,12 @@ mod tests {
         let mut cfg = WorldConfig::testbed(a.clone(), b.clone());
         cfg.mode = RunMode::DiversifiMiddlebox;
         short(&mut cfg, 60);
-        let mbox_report = World::new(cfg, &seeds(3)).run();
+        let mbox_report = World::new(&cfg, &seeds(3)).run();
 
         let mut base = WorldConfig::testbed(a, b);
         base.mode = RunMode::PrimaryOnly;
         short(&mut base, 60);
-        let base_report = World::new(base, &seeds(3)).run();
+        let base_report = World::new(&base, &seeds(3)).run();
 
         assert!(
             mbox_report.trace.loss_rate(DEFAULT_DEADLINE)
@@ -779,12 +834,12 @@ mod tests {
         let (a, b) = weak_pair();
         let mut ap_cfg = WorldConfig::testbed(a.clone(), b.clone());
         short(&mut ap_cfg, 60);
-        let ap_report = World::new(ap_cfg, &seeds(4)).run();
+        let ap_report = World::new(&ap_cfg, &seeds(4)).run();
 
         let mut mb_cfg = WorldConfig::testbed(a, b);
         mb_cfg.mode = RunMode::DiversifiMiddlebox;
         short(&mut mb_cfg, 60);
-        let mb_report = World::new(mb_cfg, &seeds(4)).run();
+        let mb_report = World::new(&mb_cfg, &seeds(4)).run();
 
         assert!(!ap_report.switch_delays.is_empty());
         assert!(!mb_report.switch_delays.is_empty());
@@ -808,7 +863,7 @@ mod tests {
         cfg.mode = RunMode::PrimaryOnly;
         cfg.with_tcp = true;
         short(&mut cfg, 30);
-        let report = World::new(cfg, &seeds(5)).run();
+        let report = World::new(&cfg, &seeds(5)).run();
         assert!(
             report.tcp_throughput_bps > 1e6,
             "TCP should achieve >1 Mbps, got {}",
@@ -832,8 +887,8 @@ mod tests {
         let mut t_on = 0.0;
         for i in 0..4 {
             let s = seeds(200 + i);
-            t_off += World::new(off.clone(), &s).run().tcp_throughput_bps;
-            t_on += World::new(on.clone(), &s).run().tcp_throughput_bps;
+            t_off += World::new(&off, &s).run().tcp_throughput_bps;
+            t_on += World::new(&on, &s).run().tcp_throughput_bps;
         }
         let degradation = (t_off - t_on) / t_off;
         assert!(
@@ -855,8 +910,8 @@ mod tests {
         let mut waste_e2e = 0;
         for i in 0..4 {
             let s = seeds(300 + i);
-            waste_custom += World::new(custom.clone(), &s).run().secondary_wasteful_tx;
-            waste_e2e += World::new(e2e.clone(), &s).run().secondary_wasteful_tx;
+            waste_custom += World::new(&custom, &s).run().secondary_wasteful_tx;
+            waste_e2e += World::new(&e2e, &s).run().secondary_wasteful_tx;
         }
         assert!(
             waste_e2e > waste_custom,
@@ -869,8 +924,8 @@ mod tests {
         let (a, b) = weak_pair();
         let mut cfg = WorldConfig::testbed(a, b);
         short(&mut cfg, 20);
-        let r1 = World::new(cfg.clone(), &seeds(9)).run();
-        let r2 = World::new(cfg, &seeds(9)).run();
+        let r1 = World::new(&cfg, &seeds(9)).run();
+        let r2 = World::new(&cfg, &seeds(9)).run();
         assert_eq!(r1.trace.fates, r2.trace.fates);
         assert_eq!(r1.secondary_air_tx, r2.secondary_air_tx);
     }

@@ -11,6 +11,8 @@
 //!   and A/B comparisons are paired.
 //! - [`stats`] — summaries, ECDFs, burst histograms, auto-/cross-correlation
 //!   (the machinery behind every figure in the paper).
+//! - [`MetricsScratch`] — reusable per-worker buffers so corpus-scale
+//!   metric evaluation runs allocation-free inside sweep workers.
 //! - [`TraceSink`] — zero-cost-by-default structured tracing.
 //!
 //! The design follows the smoltcp idiom: components are poll-driven state
@@ -23,6 +25,7 @@
 pub mod par;
 mod queue;
 mod rng;
+pub mod scratch;
 pub mod stats;
 mod time;
 mod trace;
@@ -30,7 +33,11 @@ mod trace;
 pub use par::SweepRunner;
 pub use queue::{EventId, EventQueue};
 pub use rng::{RngStream, SeedFactory};
-pub use stats::{autocorrelation, cross_correlation, mean, pearson, BucketHistogram, Ecdf, Summary};
+pub use scratch::MetricsScratch;
+pub use stats::{
+    autocorrelation, cross_correlation, mean, pearson, quantile_unsorted, BucketHistogram, Ecdf,
+    Summary,
+};
 pub use time::{SimDuration, SimTime};
 pub use trace::{NullSink, RecordingSink, TraceEvent, TraceKind, TraceSink};
 

@@ -131,6 +131,78 @@ impl SweepRunner {
             .collect()
     }
 
+    /// Like [`run_indexed`](Self::run_indexed), but hands every task a
+    /// mutable per-worker scratch value built by `init` (one per worker
+    /// thread, created on that thread).
+    ///
+    /// This is the zero-alloc hook: workers reuse buffers, caches and
+    /// arenas across the tasks they claim instead of allocating per task.
+    /// The determinism contract still requires `f(i, scratch)` to return a
+    /// value independent of the scratch's *history* — scratch state may
+    /// only serve as a buffer or a cache of pure functions, never carry
+    /// task-to-task information into results.
+    pub fn run_indexed_with<S, R, I, F>(&self, n: usize, init: I, f: F) -> Vec<R>
+    where
+        R: Send + Sync,
+        I: Fn() -> S + Sync,
+        F: Fn(usize, &mut S) -> R + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            let mut scratch = init();
+            return (0..n).map(|i| f(i, &mut scratch)).collect();
+        }
+
+        let slots: Vec<OnceLock<R>> = (0..n).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut scratch = init();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            assert!(
+                                slots[i].set(f(i, &mut scratch)).is_ok(),
+                                "sweep slot {i} written twice"
+                            );
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.into_inner().unwrap_or_else(|| panic!("sweep task {i} did not complete"))
+            })
+            .collect()
+    }
+
+    /// Map `f` over an indexed task slice with a per-worker scratch value;
+    /// see [`run_indexed_with`](Self::run_indexed_with).
+    pub fn run_with<T, S, R, I, F>(&self, tasks: &[T], init: I, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send + Sync,
+        I: Fn() -> S + Sync,
+        F: Fn(usize, &T, &mut S) -> R + Sync,
+    {
+        self.run_indexed_with(tasks.len(), init, |i, scratch| f(i, &tasks[i], scratch))
+    }
+
     /// Map `f` over an indexed task slice, returning results in task order.
     pub fn run<T, R, F>(&self, tasks: &[T], f: F) -> Vec<R>
     where
@@ -207,6 +279,45 @@ mod tests {
             assert_eq!(*idx, i as u64);
             assert_eq!(*t, (i as u64) * 7);
         }
+    }
+
+    #[test]
+    fn scratch_runner_is_thread_count_invariant() {
+        let seeds = SeedFactory::new(0xBEEF);
+        let reference: Vec<Vec<u64>> = (0..29)
+            .map(|i| fake_sim(i, &seeds.subfactory("task", i as u64)))
+            .collect();
+        for threads in [1, 2, 3, 8] {
+            // Scratch reuses a buffer across tasks; output must not change.
+            let got = SweepRunner::new(threads).run_indexed_with(
+                29,
+                Vec::<u64>::new,
+                |i, buf| {
+                    buf.clear();
+                    buf.extend(fake_sim(i, &seeds.subfactory("task", i as u64)));
+                    buf.clone()
+                },
+            );
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scratch_is_created_per_worker_not_per_task() {
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let runner = SweepRunner::new(4);
+        let out = runner.run_indexed_with(
+            64,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |i, _| i,
+        );
+        assert_eq!(out.len(), 64);
+        let created = inits.load(Ordering::Relaxed);
+        assert!(created <= 4, "expected at most one scratch per worker, got {created}");
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Reusable per-worker metric buffers.
+//!
+//! Corpus-scale experiments evaluate thousands of traces, and the naive
+//! metric path allocates fresh vectors for every one of them: a loss
+//! indicator per correlation call, a delay vector per E-model evaluation,
+//! a sorted copy per quantile. [`MetricsScratch`] is the antidote: one
+//! bundle of growable buffers owned by each sweep worker (see
+//! `SweepRunner::run_indexed_with`) and lent to every metric `_with`
+//! variant the worker calls. Buffers grow to the high-water mark of the
+//! tasks a worker claims and are then reused allocation-free.
+//!
+//! # Determinism
+//!
+//! Scratch state is *only* a buffer: every `_with` function clears what it
+//! uses before writing, so results never depend on which tasks a worker
+//! happened to claim earlier. This is exactly the contract
+//! `run_indexed_with` requires.
+
+/// A bundle of reusable buffers for the metrics pipeline.
+///
+/// The fields are public on purpose: metric helpers in other crates borrow
+/// whichever buffers they need (e.g. `values` and `aux` for the two loss
+/// indicators of a cross-correlation). Callers must treat the contents as
+/// undefined between calls.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsScratch {
+    /// Primary `f64` buffer (loss indicators, delays, quantile samples).
+    pub values: Vec<f64>,
+    /// Secondary `f64` buffer (the second series of a cross-correlation).
+    pub aux: Vec<f64>,
+    /// Integer run-length buffer (loss-burst lengths).
+    pub runs: Vec<usize>,
+}
+
+impl MetricsScratch {
+    /// A scratch with empty buffers (no allocation until first use).
+    pub fn new() -> MetricsScratch {
+        MetricsScratch::default()
+    }
+
+    /// Clear all buffers, keeping their capacity.
+    pub fn clear(&mut self) {
+        self.values.clear();
+        self.aux.clear();
+        self.runs.clear();
+    }
+
+    /// Total capacity currently held across all buffers, in elements —
+    /// a cheap gauge for high-water-mark diagnostics.
+    pub fn capacity(&self) -> usize {
+        self.values.capacity() + self.aux.capacity() + self.runs.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut s = MetricsScratch::new();
+        s.values.extend([1.0; 100]);
+        s.runs.extend([1usize; 50]);
+        let cap = s.capacity();
+        s.clear();
+        assert!(s.values.is_empty() && s.runs.is_empty());
+        assert_eq!(s.capacity(), cap);
+    }
+}

@@ -139,6 +139,24 @@ impl Ecdf {
     }
 }
 
+/// The `q`-quantile (`q` in `[0,1]`) of an *unsorted* sample, in place and
+/// without allocating: nearest-rank selection via `select_nth_unstable`.
+///
+/// Returns exactly the value [`Ecdf::quantile`] would return after
+/// `Ecdf::new(xs.to_vec())` — the nearest-rank index is computed the same
+/// way — but in O(n) and reusing the caller's buffer, which is the point:
+/// sweep workers feed their scratch buffer here instead of building a
+/// sorted [`Ecdf`] per quantile. The slice is reordered (partially sorted
+/// around the selected rank); NaNs panic, as in [`Ecdf::new`].
+pub fn quantile_unsorted(xs: &mut [f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    assert!(!xs.is_empty(), "quantile of empty sample");
+    assert!(xs.iter().all(|x| !x.is_nan()), "quantile sample contains NaN");
+    let n = xs.len();
+    let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+    *xs.select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).unwrap()).1
+}
+
 /// Integer-bucketed histogram, e.g. the paper's burst-length distributions
 /// (Figures 5 and 9) with buckets 1..=10 and ">10".
 #[derive(Clone, Debug, Serialize)]
@@ -320,6 +338,35 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn ecdf_rejects_nan() {
         Ecdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn quantile_unsorted_matches_ecdf_exactly() {
+        // Deterministic pseudo-random sample with duplicates and negatives.
+        let sample: Vec<f64> = (0..257)
+            .map(|i| (((i * 2654435761u64 % 1000) as f64) - 500.0) / 7.0)
+            .collect();
+        let e = Ecdf::new(sample.clone());
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let mut buf = sample.clone();
+            let got = quantile_unsorted(&mut buf, q);
+            assert_eq!(got.to_bits(), e.quantile(q).to_bits(), "q={q}");
+        }
+        // Singleton and small samples hit the clamp path.
+        for n in 1..=5usize {
+            let xs: Vec<f64> = (0..n).map(|i| i as f64 * 3.0).collect();
+            let e = Ecdf::new(xs.clone());
+            for q in [0.0, 0.5, 0.9, 1.0] {
+                let mut buf = xs.clone();
+                assert_eq!(quantile_unsorted(&mut buf, q), e.quantile(q), "n={n} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn quantile_unsorted_rejects_nan() {
+        quantile_unsorted(&mut [1.0, f64::NAN], 0.5);
     }
 
     #[test]

@@ -84,11 +84,21 @@ fn r_to_mos(r: f64) -> f64 {
 /// Burst ratio: mean observed loss-burst length divided by the expected
 /// mean burst length if the same loss rate were i.i.d. (1/(1−p)).
 pub fn burst_ratio(burst_lengths: &[usize], loss_rate: f64) -> f64 {
-    if burst_lengths.is_empty() || loss_rate <= 0.0 {
+    burst_ratio_from_totals(
+        burst_lengths.len(),
+        burst_lengths.iter().sum::<usize>(),
+        loss_rate,
+    )
+}
+
+/// [`burst_ratio`] from the two totals that actually matter — lets the
+/// evaluation path stream over a trace without materialising the
+/// burst-length vector.
+fn burst_ratio_from_totals(n_bursts: usize, total_len: usize, loss_rate: f64) -> f64 {
+    if n_bursts == 0 || loss_rate <= 0.0 {
         return 1.0;
     }
-    let mean_burst =
-        burst_lengths.iter().sum::<usize>() as f64 / burst_lengths.len() as f64;
+    let mean_burst = total_len as f64 / n_bursts as f64;
     let random_mean = 1.0 / (1.0 - loss_rate.min(0.99));
     (mean_burst / random_mean).max(1.0)
 }
@@ -110,11 +120,36 @@ pub fn evaluate(
     let lost = (concealment.interpolated + concealment.extrapolated) as f64;
     let loss_pct = if total > 0.0 { 100.0 * lost / total } else { 0.0 };
 
-    let bursts = trace.burst_lengths(deadline);
-    let br = burst_ratio(&bursts, lost / total.max(1.0));
+    // One allocation-free pass: burst_ratio needs only the burst count and
+    // their total length, and the delay term only the mean — summed in
+    // trace order, so results are bit-identical to the collect-then-reduce
+    // path this replaces. This runs per call per strategy across entire
+    // corpora; it must not allocate.
+    let mut n_bursts = 0usize;
+    let mut burst_total = 0usize;
+    let mut run = 0usize;
+    let mut delay_sum = 0.0f64;
+    let mut delivered = 0usize;
+    for f in &trace.fates {
+        if f.effectively_lost(deadline) {
+            run += 1;
+        } else if run > 0 {
+            n_bursts += 1;
+            burst_total += run;
+            run = 0;
+        }
+        if let Some(d) = f.delay() {
+            delay_sum += d.as_millis_f64();
+            delivered += 1;
+        }
+    }
+    if run > 0 {
+        n_bursts += 1;
+        burst_total += run;
+    }
+    let br = burst_ratio_from_totals(n_bursts, burst_total, lost / total.max(1.0));
 
-    let delays = trace.delays_ms();
-    let mean_net_delay = diversifi_simcore::mean(&delays);
+    let mean_net_delay = if delivered == 0 { 0.0 } else { delay_sum / delivered as f64 };
     let delay_ms = mean_net_delay + extra_delay.as_millis_f64();
 
     let r = 93.2 - delay_impairment(delay_ms) - ie_eff(codec, loss_pct, br);
@@ -273,6 +308,22 @@ mod tests {
         let low = evaluate(&tr, &c, &codec, DEFAULT_DEADLINE, SimDuration::from_millis(50));
         let high = evaluate(&tr, &c, &codec, DEFAULT_DEADLINE, SimDuration::from_millis(350));
         assert!(low.mos - high.mos > 0.4, "low {} high {}", low.mos, high.mos);
+    }
+
+    #[test]
+    fn streaming_evaluate_matches_collected_stats() {
+        // The single-pass burst/delay accounting inside `evaluate` must
+        // reproduce the collect-then-reduce path bit for bit.
+        let tr = trace_with_loss(3000, |i| i % 37 < 3 || i % 113 == 0);
+        let c = conceal(&tr, &PlayoutConfig::default());
+        let q = quality(&tr);
+        let lost = (c.interpolated + c.extrapolated) as f64;
+        let bursts = tr.burst_lengths(DEFAULT_DEADLINE);
+        let br = burst_ratio(&bursts, lost / tr.len() as f64);
+        assert_eq!(q.burst_ratio.to_bits(), br.to_bits());
+        let delays = tr.delays_ms();
+        let expected_delay = diversifi_simcore::mean(&delays) + 60.0;
+        assert_eq!(q.delay_ms.to_bits(), expected_delay.to_bits());
     }
 
     #[test]

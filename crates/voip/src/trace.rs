@@ -91,20 +91,45 @@ impl StreamTrace {
     /// Binary loss indicator per packet (1.0 = lost) — the series behind
     /// the paper's correlation analysis (Fig. 4).
     pub fn loss_indicator(&self, deadline: SimDuration) -> Vec<f64> {
-        self.fates
-            .iter()
-            .map(|f| if f.effectively_lost(deadline) { 1.0 } else { 0.0 })
-            .collect()
+        let mut out = Vec::new();
+        self.loss_indicator_into(deadline, &mut out);
+        out
+    }
+
+    /// [`loss_indicator`](Self::loss_indicator) into a reused buffer
+    /// (cleared first) — the zero-alloc path for sweep workers.
+    pub fn loss_indicator_into(&self, deadline: SimDuration, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            self.fates.iter().map(|f| if f.effectively_lost(deadline) { 1.0 } else { 0.0 }),
+        );
     }
 
     /// Loss rate (percent) in the worst `window` of the call, sliding by
     /// whole windows, as in every "worst 5-second period" figure.
+    ///
+    /// Single pass with running counters: windows are consecutive
+    /// `per_window`-packet blocks (the last may be shorter), each flushed
+    /// into the running maximum as it completes. Equivalent to — and
+    /// regression-tested against — the original `chunks()` scan.
     pub fn worst_window_loss_pct(&self, window: SimDuration, deadline: SimDuration) -> f64 {
         let per_window = (window / self.spec.interval).max(1) as usize;
         let mut worst: f64 = 0.0;
-        for chunk in self.fates.chunks(per_window) {
-            let lost = chunk.iter().filter(|f| f.effectively_lost(deadline)).count();
-            worst = worst.max(lost as f64 / chunk.len() as f64);
+        let mut lost = 0usize;
+        let mut in_window = 0usize;
+        for f in &self.fates {
+            if f.effectively_lost(deadline) {
+                lost += 1;
+            }
+            in_window += 1;
+            if in_window == per_window {
+                worst = worst.max(lost as f64 / per_window as f64);
+                lost = 0;
+                in_window = 0;
+            }
+        }
+        if in_window > 0 {
+            worst = worst.max(lost as f64 / in_window as f64);
         }
         worst * 100.0
     }
@@ -112,19 +137,26 @@ impl StreamTrace {
     /// Lengths of maximal runs of consecutive lost packets.
     pub fn burst_lengths(&self, deadline: SimDuration) -> Vec<usize> {
         let mut bursts = Vec::new();
+        self.burst_lengths_into(deadline, &mut bursts);
+        bursts
+    }
+
+    /// [`burst_lengths`](Self::burst_lengths) into a reused buffer
+    /// (cleared first).
+    pub fn burst_lengths_into(&self, deadline: SimDuration, out: &mut Vec<usize>) {
+        out.clear();
         let mut run = 0usize;
         for f in &self.fates {
             if f.effectively_lost(deadline) {
                 run += 1;
             } else if run > 0 {
-                bursts.push(run);
+                out.push(run);
                 run = 0;
             }
         }
         if run > 0 {
-            bursts.push(run);
+            out.push(run);
         }
-        bursts
     }
 
     /// Total lost packets and the subset lost in bursts of ≥ 2 — the two
@@ -138,7 +170,15 @@ impl StreamTrace {
 
     /// One-way delays of delivered packets, in milliseconds.
     pub fn delays_ms(&self) -> Vec<f64> {
-        self.fates.iter().filter_map(|f| f.delay()).map(|d| d.as_millis_f64()).collect()
+        let mut out = Vec::new();
+        self.delays_ms_into(&mut out);
+        out
+    }
+
+    /// [`delays_ms`](Self::delays_ms) into a reused buffer (cleared first).
+    pub fn delays_ms_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.fates.iter().filter_map(|f| f.delay()).map(|d| d.as_millis_f64()));
     }
 
     /// RFC 3550 interarrival jitter estimate (ms): smoothed absolute
@@ -257,6 +297,73 @@ mod tests {
         ]);
         let w = tr.worst_window_loss_pct(SimDuration::from_millis(100), DEFAULT_DEADLINE);
         assert!((w - 40.0).abs() < 1e-9);
+    }
+
+    /// The pre-rewrite `chunks()`-based windowed scan, kept verbatim as the
+    /// regression reference for the single-pass implementation.
+    fn worst_window_loss_pct_reference(
+        tr: &StreamTrace,
+        window: SimDuration,
+        deadline: SimDuration,
+    ) -> f64 {
+        let per_window = (window / tr.spec.interval).max(1) as usize;
+        let mut worst: f64 = 0.0;
+        for chunk in tr.fates.chunks(per_window) {
+            let lost = chunk.iter().filter(|f| f.effectively_lost(deadline)).count();
+            worst = worst.max(lost as f64 / chunk.len() as f64);
+        }
+        worst * 100.0
+    }
+
+    #[test]
+    fn worst_window_single_pass_matches_chunked_reference() {
+        // A fixed corpus of adversarial patterns: clean, all-lost, bursts
+        // straddling window boundaries, loss concentrated in the ragged
+        // tail window, and pseudo-random mixes.
+        let mut corpus: Vec<StreamTrace> = vec![
+            mk_trace(&[Some(5); 17]),
+            mk_trace(&[None; 13]),
+            mk_trace(&(0..23).map(|i| if (3..9).contains(&i) { None } else { Some(5) }).collect::<Vec<_>>()),
+            mk_trace(&(0..11).map(|i| if i >= 9 { None } else { Some(5) }).collect::<Vec<_>>()),
+        ];
+        for seed in 0..8u64 {
+            let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let pattern: Vec<Option<u64>> = (0..97)
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    if x >> 61 == 0 {
+                        None
+                    } else {
+                        Some(1 + (x >> 32) % 400) // some arrivals past the deadline
+                    }
+                })
+                .collect();
+            corpus.push(mk_trace(&pattern));
+        }
+        // Window sizes spanning sub-packet, even-divisor, ragged-tail and
+        // larger-than-call cases.
+        for win_ms in [1u64, 20, 60, 100, 140, 500, 10_000] {
+            let window = SimDuration::from_millis(win_ms);
+            for (i, tr) in corpus.iter().enumerate() {
+                let got = tr.worst_window_loss_pct(window, DEFAULT_DEADLINE);
+                let want = worst_window_loss_pct_reference(tr, window, DEFAULT_DEADLINE);
+                assert_eq!(got.to_bits(), want.to_bits(), "trace {i}, window {win_ms} ms");
+            }
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_paths_and_clear_stale_state() {
+        let tr = mk_trace(&[Some(5), None, None, Some(500), Some(5), None]);
+        let mut vals = vec![99.0; 32];
+        tr.loss_indicator_into(DEFAULT_DEADLINE, &mut vals);
+        assert_eq!(vals, tr.loss_indicator(DEFAULT_DEADLINE));
+        let mut delays = vec![7.0; 8];
+        tr.delays_ms_into(&mut delays);
+        assert_eq!(delays, tr.delays_ms());
+        let mut runs = vec![42usize; 5];
+        tr.burst_lengths_into(DEFAULT_DEADLINE, &mut runs);
+        assert_eq!(runs, tr.burst_lengths(DEFAULT_DEADLINE));
     }
 
     #[test]

@@ -164,6 +164,49 @@ impl GilbertElliott {
     pub fn params(&self) -> &GeParams {
         &self.params
     }
+
+    /// Consume the process and materialise its dwell timeline as piecewise
+    /// segments covering at least `[0, horizon]`.
+    ///
+    /// The segments are produced by the exact same draw sequence that
+    /// [`state_at`](Self::state_at) would consume, so replaying them yields
+    /// bit-identical channel states to lazy sampling — the foundation of the
+    /// realisation-replay contract (see `diversifi-wifi`'s `realization`
+    /// module).
+    pub fn materialize_until(mut self, horizon: SimTime) -> Vec<GeSegment> {
+        let mut segs = vec![GeSegment {
+            state: self.state,
+            long: self.state == GeState::Bad && self.bad_is_long,
+            until: self.until,
+        }];
+        while segs.last().expect("seed segment").until <= horizon {
+            self.state = match self.state {
+                GeState::Good => GeState::Bad,
+                GeState::Bad => GeState::Good,
+            };
+            let dwell = self.sample_dwell(self.state);
+            self.until += dwell;
+            segs.push(GeSegment {
+                state: self.state,
+                long: self.state == GeState::Bad && self.bad_is_long,
+                until: self.until,
+            });
+        }
+        segs
+    }
+}
+
+/// One dwell interval of a materialised Gilbert–Elliott timeline: the channel
+/// holds `state` until (exclusive) `until`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GeSegment {
+    /// Channel state during this dwell.
+    pub state: GeState,
+    /// Whether a Bad dwell is a *long* (shadowing-class) episode; always
+    /// `false` for Good dwells.
+    pub long: bool,
+    /// End of the dwell; the next segment starts here.
+    pub until: SimTime,
 }
 
 /// Mean-reverting Gaussian (Ornstein–Uhlenbeck) process for shadowing, in dB.
@@ -305,6 +348,27 @@ mod tests {
             t += SimDuration::from_millis(2);
         }
         assert!(seen_good && seen_bad, "long run should visit both states");
+    }
+
+    #[test]
+    fn materialized_segments_match_lazy_sampling() {
+        // Same seed, two consumers: one lazily queried on a fine grid, one
+        // materialised up-front. Replay from segments must agree everywhere.
+        let horizon = SimTime::from_secs(30);
+        let segs = GilbertElliott::new(GeParams::weak_link(), rng(10)).materialize_until(horizon);
+        assert!(segs.last().unwrap().until > horizon);
+        let mut lazy = GilbertElliott::new(GeParams::weak_link(), rng(10));
+        let mut idx = 0usize;
+        let mut t = SimTime::ZERO;
+        while t <= horizon {
+            while idx + 1 < segs.len() && segs[idx].until <= t {
+                idx += 1;
+            }
+            assert_eq!(segs[idx].state, lazy.state_at(t), "state diverged at {t}");
+            let long = segs[idx].state == GeState::Bad && segs[idx].long;
+            assert_eq!(long, lazy.bad_is_long_at(t), "long-flag diverged at {t}");
+            t += SimDuration::from_micros(1731);
+        }
     }
 
     #[test]

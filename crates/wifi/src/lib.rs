@@ -14,6 +14,8 @@
 //!   correlated across links* (the two facts DiversiFi exploits).
 //! - [`impairment`] — microwave ovens, congestion, mobility (the paper's
 //!   Fig. 6 categories).
+//! - [`realization`] — pre-materialised channel timelines and the LRU cache
+//!   that lets paired experiment arms replay one realisation N times.
 //! - [`link`] — the composite per-(AP, adapter, channel) loss model.
 //! - [`mac`] — DCF timing, retries, backoff and rate fallback for a single
 //!   frame exchange.
@@ -35,18 +37,22 @@ pub mod impairment;
 pub mod link;
 pub mod mac;
 pub mod radio;
+pub mod realization;
 pub mod scan;
 pub mod wire;
 
 pub use ap::{AccessPoint, ApConfig, Enqueued, QueueDiscipline};
 pub use channel::{Band, Channel};
-pub use fading::{GeParams, GeState, GilbertElliott, OrnsteinUhlenbeck};
+pub use fading::{GeParams, GeSegment, GeState, GilbertElliott, OrnsteinUhlenbeck};
 pub use frame::{Frame, FrameKind};
 pub use ids::{AdapterId, ApId, ClientId, FlowId};
 pub use impairment::{Congestion, ImpairmentKind, MicrowaveOven, MobilityPattern};
 pub use link::{LinkConfig, LinkModel};
 pub use mac::{frame_airtime, transmit, MacConfig, TxOutcome};
 pub use radio::{PhyRate, NOISE_FLOOR_DBM, RATE_LADDER};
+pub use realization::{
+    ChannelRealization, RealizationCache, RealizationKey, ShadowCursor, SHADOW_TICK,
+};
 pub use scan::{DeployedAp, Deployment, ScanEntry, CONNECTABLE_RSSI_DBM};
 pub use wire::{QueueMgmtIe, WireError, WireFrame, WireFrameType};
 

@@ -24,8 +24,10 @@ use crate::channel::Channel;
 use crate::fading::{GeParams, GeState, GilbertElliott, OrnsteinUhlenbeck};
 use crate::impairment::{Congestion, MicrowaveOven, MobilityPattern};
 use crate::radio::{self, PhyRate};
+use crate::realization::{ChannelRealization, ShadowCursor};
 use diversifi_simcore::{RngStream, SeedFactory, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Static description of one AP↔client link.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -84,13 +86,32 @@ impl LinkConfig {
     }
 }
 
+/// Where a link's channel state comes from: processes advanced live, or a
+/// pre-materialised realisation replayed read-only. Both consume identical
+/// `"link-ge"` / `"link-shadow"` randomness, so the two modes are
+/// bit-identical within the realisation horizon.
+#[derive(Clone, Debug)]
+enum ChannelSource {
+    Live {
+        ge: GilbertElliott,
+        shadow: ShadowCursor,
+    },
+    Replay {
+        real: Arc<ChannelRealization>,
+        /// Last GE segment index, so forward replay is O(1) amortised.
+        cursor: usize,
+        last_query: SimTime,
+    },
+}
+
 /// The live link: config plus its stochastic processes.
 #[derive(Clone, Debug)]
 pub struct LinkModel {
     cfg: LinkConfig,
-    ge: GilbertElliott,
-    shadow: OrnsteinUhlenbeck,
+    source: ChannelSource,
     rng: RngStream,
+    /// Geometry-implied mean RSSI, cached (it is pure config).
+    mean_rssi_dbm: f64,
     /// Smoothed RSSI as the OS would report it (updated on query).
     reported_rssi: f64,
 }
@@ -100,14 +121,65 @@ impl LinkModel {
     /// `index` distinguishes multiple links of one scenario.
     pub fn new(cfg: LinkConfig, seeds: &SeedFactory, index: u64) -> LinkModel {
         let ge = GilbertElliott::new(cfg.ge, seeds.stream("link-ge", index));
-        let shadow = OrnsteinUhlenbeck::new(
+        let shadow = ShadowCursor::new(OrnsteinUhlenbeck::new(
             cfg.shadow_sigma_db,
             cfg.shadow_tau,
             seeds.stream("link-shadow", index),
-        );
+        ));
+        Self::with_source(cfg, ChannelSource::Live { ge, shadow }, seeds, index)
+    }
+
+    /// Instantiate a link that replays a pre-materialised realisation
+    /// instead of advancing its own channel processes.
+    ///
+    /// `seeds`/`index` still seed the per-attempt erasure/backoff stream —
+    /// that randomness is per-arm and is never part of the shared
+    /// realisation.
+    pub fn from_realization(
+        cfg: LinkConfig,
+        real: Arc<ChannelRealization>,
+        seeds: &SeedFactory,
+        index: u64,
+    ) -> LinkModel {
+        let source =
+            ChannelSource::Replay { real, cursor: 0, last_query: SimTime::ZERO };
+        Self::with_source(cfg, source, seeds, index)
+    }
+
+    fn with_source(
+        cfg: LinkConfig,
+        source: ChannelSource,
+        seeds: &SeedFactory,
+        index: u64,
+    ) -> LinkModel {
         let rng = seeds.stream("link-attempts", index);
-        let reported_rssi = cfg.mean_rssi_dbm();
-        LinkModel { cfg, ge, shadow, rng, reported_rssi }
+        let mean_rssi_dbm = cfg.mean_rssi_dbm();
+        LinkModel { cfg, source, rng, mean_rssi_dbm, reported_rssi: mean_rssi_dbm }
+    }
+
+    /// Shadowing offset (dB) at `t` from whichever channel source backs us.
+    fn shadow_db_at(&mut self, t: SimTime) -> f64 {
+        match &mut self.source {
+            ChannelSource::Live { shadow, .. } => shadow.at(t),
+            ChannelSource::Replay { real, .. } => real.shadow_at(t),
+        }
+    }
+
+    /// Fading state at `t`: `(state, is-long-bad-episode)`.
+    fn fade_at(&mut self, t: SimTime) -> (GeState, bool) {
+        match &mut self.source {
+            ChannelSource::Live { ge, .. } => {
+                let state = ge.state_at(t);
+                (state, ge.bad_is_long_at(t))
+            }
+            ChannelSource::Replay { real, cursor, last_query } => {
+                assert!(t >= *last_query, "GilbertElliott queried backwards in time");
+                *last_query = t;
+                *cursor = real.ge_index_at(*cursor, t);
+                let seg = real.ge_segments()[*cursor];
+                (seg.state, seg.state == GeState::Bad && seg.long)
+            }
+        }
     }
 
     /// The static configuration.
@@ -123,7 +195,7 @@ impl LinkModel {
     /// Instantaneous RSSI (dBm) at `t`, including shadowing and mobility.
     /// Queries must be non-decreasing in `t` (event order).
     pub fn rssi_at(&mut self, t: SimTime) -> f64 {
-        let mut rssi = self.cfg.mean_rssi_dbm() + self.shadow.at(t);
+        let mut rssi = self.mean_rssi_dbm + self.shadow_db_at(t);
         if let Some(m) = &self.cfg.mobility {
             rssi -= m.extra_loss_db(t);
         }
@@ -159,11 +231,11 @@ impl LinkModel {
         let p_phy = radio::phy_per(snr, rate, bytes).powf(d);
 
         // Burst fading — diversity helps only multipath-class (short) fades.
-        let p_fade = match self.ge.state_at(t) {
-            GeState::Good => self.ge.params().good_loss,
-            GeState::Bad => {
-                let base = self.ge.params().bad_loss;
-                if self.ge.bad_is_long_at(t) {
+        let p_fade = match self.fade_at(t) {
+            (GeState::Good, _) => self.cfg.ge.good_loss,
+            (GeState::Bad, long) => {
+                let base = self.cfg.ge.bad_loss;
+                if long {
                     base
                 } else {
                     base.powf(d)
@@ -363,6 +435,36 @@ mod tests {
         let rep = link.reported_rssi();
         // Smoothed value should be in the neighbourhood of the mean.
         assert!((rep - link.config().mean_rssi_dbm()).abs() < 8.0, "rep {rep} inst {inst}");
+    }
+
+    #[test]
+    fn replay_link_is_bit_identical_to_live_link() {
+        let mut cfg = LinkConfig::office(Channel::CH11, 28.0);
+        cfg.ge = GeParams::weak_link();
+        cfg.microwave = Some(MicrowaveOven::default());
+        cfg.congestion = Some(Congestion::heavy());
+        cfg.mobility = Some(MobilityPattern::walking(3.0));
+        let horizon = SimTime::from_secs(12);
+        let real = std::sync::Arc::new(crate::realization::ChannelRealization::materialize(
+            &cfg, &seeds(), 2, horizon,
+        ));
+        let mut live = LinkModel::new(cfg.clone(), &seeds(), 2);
+        let mut replay = LinkModel::from_realization(cfg, real, &seeds(), 2);
+        let mut t = SimTime::ZERO;
+        while t <= horizon {
+            assert_eq!(live.rssi_at(t).to_bits(), replay.rssi_at(t).to_bits(), "rssi at {t}");
+            assert_eq!(live.reported_rssi().to_bits(), replay.reported_rssi().to_bits());
+            let rate = live.select_rate_at(t);
+            assert_eq!(rate, replay.select_rate_at(t));
+            assert_eq!(
+                live.attempt_erasure(t, rate, 160).to_bits(),
+                replay.attempt_erasure(t, rate, 160).to_bits(),
+                "erasure at {t}"
+            );
+            assert_eq!(live.sample_attempt(t, rate, 160), replay.sample_attempt(t, rate, 160));
+            assert_eq!(live.access_wait(), replay.access_wait());
+            t += SimDuration::from_micros(4_321);
+        }
     }
 
     #[test]

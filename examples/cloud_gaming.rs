@@ -60,7 +60,7 @@ fn main() {
         cfg.spec = spec;
         cfg.alg = alg;
         cfg.mode = mode;
-        let report = World::new(cfg, &seeds).run();
+        let report = World::new(&cfg, &seeds).run();
 
         let n = report.trace.len() as f64;
         let loss = report.trace.loss_rate(DEFAULT_DEADLINE) * 100.0;

@@ -43,7 +43,7 @@ fn main() {
     secondary.ge = GeParams::weak_link();
     let mut cfg = WorldConfig::testbed(primary, secondary);
     cfg.mode = RunMode::DiversifiMiddlebox;
-    let report = World::new(cfg, &SeedFactory::new(0x5D11)).run();
+    let report = World::new(&cfg, &SeedFactory::new(0x5D11)).run();
     println!(
         "   residual loss {:.2}%, recovered {} packets via middlebox, {} start/stop visits\n",
         report.trace.loss_rate(DEFAULT_DEADLINE) * 100.0,

@@ -39,7 +39,7 @@ fn main() {
         cfg.mode = mode;
         // Same seed family for every mode → identical channel conditions:
         // this is a paired experiment.
-        let report = World::new(cfg, &seeds).run();
+        let report = World::new(&cfg, &seeds).run();
 
         let loss = report.trace.loss_rate(DEFAULT_DEADLINE) * 100.0;
         let worst = report

@@ -142,8 +142,8 @@ fn whole_stack_determinism() {
     cfg.with_tcp = true;
     cfg.spec.duration = SimDuration::from_secs(20);
     let seeds = SeedFactory::new(0xDEED);
-    let r1 = World::new(cfg.clone(), &seeds).run();
-    let r2 = World::new(cfg, &seeds).run();
+    let r1 = World::new(&cfg, &seeds).run();
+    let r2 = World::new(&cfg, &seeds).run();
     assert_eq!(r1.trace.fates, r2.trace.fates);
     assert_eq!(r1.secondary_air_tx, r2.secondary_air_tx);
     assert_eq!(r1.secondary_wasteful_tx, r2.secondary_wasteful_tx);

@@ -30,7 +30,7 @@ fn full_call_all_four_modes() {
         let mut cfg = WorldConfig::testbed(a.clone(), b.clone());
         cfg.mode = mode;
         cfg.spec.duration = SimDuration::from_secs(60);
-        let report = World::new(cfg, &seeds).run();
+        let report = World::new(&cfg, &seeds).run();
         results.push((mode, report.trace.loss_rate(DEFAULT_DEADLINE)));
     }
     let primary = results[0].1;
@@ -56,7 +56,7 @@ fn both_deployments_recover_comparably() {
             let mut cfg = WorldConfig::testbed(a.clone(), b.clone());
             cfg.mode = mode;
             cfg.spec.duration = SimDuration::from_secs(60);
-            *acc += World::new(cfg, &seeds).run().trace.loss_rate(DEFAULT_DEADLINE);
+            *acc += World::new(&cfg, &seeds).run().trace.loss_rate(DEFAULT_DEADLINE);
         }
     }
     // The middlebox adds ~2.4 ms to recovery; both should land in the same
@@ -117,7 +117,7 @@ fn paired_seeds_make_modes_comparable() {
     let mut cfg1 = WorldConfig::testbed(a.clone(), b.clone());
     cfg1.mode = RunMode::PrimaryOnly;
     cfg1.spec.duration = SimDuration::from_secs(20);
-    let r1 = World::new(cfg1.clone(), &seeds).run();
-    let r2 = World::new(cfg1, &seeds).run();
+    let r1 = World::new(&cfg1, &seeds).run();
+    let r2 = World::new(&cfg1, &seeds).run();
     assert_eq!(r1.trace.fates, r2.trace.fates, "identical seeds → identical runs");
 }

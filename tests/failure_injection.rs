@@ -31,10 +31,10 @@ fn dead_secondary_link_degrades_gracefully() {
     let seeds = SeedFactory::new(1);
     let mut dvf = base_cfg(primary.clone(), dead.clone());
     dvf.mode = RunMode::DiversifiCustomAp;
-    let r_dvf = World::new(dvf, &seeds).run();
+    let r_dvf = World::new(&dvf, &seeds).run();
     let mut base = base_cfg(primary, dead);
     base.mode = RunMode::PrimaryOnly;
-    let r_base = World::new(base, &seeds).run();
+    let r_base = World::new(&base, &seeds).run();
 
     let ld = r_dvf.trace.loss_rate(DEFAULT_DEADLINE);
     let lb = r_base.trace.loss_rate(DEFAULT_DEADLINE);
@@ -61,7 +61,7 @@ fn double_outage_terminates() {
     };
     let mut cfg = base_cfg(mk(Channel::CH1, 60.0), mk(Channel::CH11, 70.0));
     cfg.mode = RunMode::DiversifiCustomAp;
-    let r = World::new(cfg, &SeedFactory::new(2)).run();
+    let r = World::new(&cfg, &SeedFactory::new(2)).run();
     let loss = r.trace.loss_rate(DEFAULT_DEADLINE);
     assert!(loss > 0.5, "this scenario is designed to be terrible: {loss}");
     assert_eq!(r.trace.len(), 1500);
@@ -79,7 +79,7 @@ fn lossy_uplink_control_plane() {
         cfg.mode = mode;
         cfg.uplink_loss = 0.45; // hostile
         let seeds = SeedFactory::new(3);
-        let r = World::new(cfg, &seeds).run();
+        let r = World::new(&cfg, &seeds).run();
         // Sanity: stream mostly delivered; no livelock.
         assert!(
             r.trace.loss_rate(DEFAULT_DEADLINE) < 0.30,
@@ -102,7 +102,7 @@ fn kitchen_sink_impairments() {
     let mut cfg = base_cfg(mk(Channel::CH6, 20.0, 0.0), mk(Channel::CH11, 25.0, 0.5));
     cfg.mode = RunMode::DiversifiCustomAp;
     cfg.with_tcp = true;
-    let r = World::new(cfg, &SeedFactory::new(4)).run();
+    let r = World::new(&cfg, &SeedFactory::new(4)).run();
     assert_eq!(r.trace.len(), 1500);
     assert!(r.trace.delivered_count() > 0, "something must get through");
 }
@@ -121,7 +121,7 @@ fn degenerate_stream_shapes() {
         duration: SimDuration::from_millis(20),
     };
     cfg.mode = RunMode::DiversifiCustomAp;
-    let r = World::new(cfg, &SeedFactory::new(5)).run();
+    let r = World::new(&cfg, &SeedFactory::new(5)).run();
     assert_eq!(r.trace.len(), 1);
 
     // Very tight spacing (queueing stress).
@@ -132,7 +132,7 @@ fn degenerate_stream_shapes() {
         duration: SimDuration::from_secs(2),
     };
     cfg.mode = RunMode::DiversifiCustomAp;
-    let r = World::new(cfg, &SeedFactory::new(6)).run();
+    let r = World::new(&cfg, &SeedFactory::new(6)).run();
     assert_eq!(r.trace.len(), 4000);
     assert!(r.trace.loss_rate(DEFAULT_DEADLINE) < 0.6);
 }
@@ -150,10 +150,10 @@ fn end_to_end_strawman_is_worse_than_custom_ap() {
         let seeds = SeedFactory::new(100 + i);
         let mut e2e = base_cfg(primary.clone(), secondary.clone());
         e2e.mode = RunMode::EndToEndPsm;
-        waste_e2e += World::new(e2e, &seeds).run().secondary_wasteful_tx;
+        waste_e2e += World::new(&e2e, &seeds).run().secondary_wasteful_tx;
         let mut custom = base_cfg(primary.clone(), secondary.clone());
         custom.mode = RunMode::DiversifiCustomAp;
-        waste_custom += World::new(custom, &seeds).run().secondary_wasteful_tx;
+        waste_custom += World::new(&custom, &seeds).run().secondary_wasteful_tx;
     }
     assert!(
         waste_e2e > waste_custom,
@@ -173,6 +173,6 @@ fn zero_delay_configuration() {
     cfg.uplink_delay = SimDuration::ZERO;
     cfg.middlebox_net_delay = SimDuration::ZERO;
     cfg.mode = RunMode::DiversifiMiddlebox;
-    let r = World::new(cfg, &SeedFactory::new(7)).run();
+    let r = World::new(&cfg, &SeedFactory::new(7)).run();
     assert_eq!(r.trace.len(), 1500);
 }

@@ -7,6 +7,14 @@
 //! loop: warm up, auto-scale iterations so one sample lands near
 //! `measurement_time / sample_size`, then report the median and min/max of
 //! the per-iteration times.
+//!
+//! Two environment variables hook the harness into CI:
+//!
+//! - `BENCH_JSON=<path>` appends one JSON line per benchmark
+//!   (`{"name":...,"median_ns":...,"lo_ns":...,"hi_ns":...,...}`) so runs
+//!   can be diffed without scraping stdout.
+//! - `BENCH_SMOKE=1` clamps every benchmark to a single sample of a
+//!   single iteration — an execution check, not a measurement.
 
 #![forbid(unsafe_code)]
 
@@ -201,6 +209,16 @@ impl Bencher {
 }
 
 fn run_bench(cfg: &Config, name: &str, mut f: impl FnMut(&mut Bencher)) {
+    // BENCH_SMOKE=1: clamp the run to a single sample of a single
+    // iteration with no warm-up — a CI-friendly "does every bench still
+    // execute" pass, not a measurement.
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some_and(|v| v == "1");
+    let cfg = if smoke {
+        Config { sample_size: 1, warm_up: Duration::ZERO, measurement: Duration::ZERO }
+    } else {
+        *cfg
+    };
+
     // Warm-up: run with doubling iteration counts until the warm-up budget
     // is spent; this also calibrates the per-iteration estimate.
     let warm_start = Instant::now();
@@ -240,6 +258,30 @@ fn run_bench(cfg: &Config, name: &str, mut f: impl FnMut(&mut Bencher)) {
         samples.len(),
         sample_iters
     );
+
+    // BENCH_JSON=<path>: append one JSON line per benchmark so harnesses
+    // can diff runs without scraping stdout. Hand-rolled formatting keeps
+    // the stand-in dependency-free.
+    if let Some(path) = std::env::var_os("BENCH_JSON") {
+        let line = format!(
+            "{{\"name\":\"{}\",\"median_ns\":{:.1},\"lo_ns\":{:.1},\"hi_ns\":{:.1},\"samples\":{},\"iters\":{}}}\n",
+            name.replace('\\', "\\\\").replace('"', "\\\""),
+            median,
+            lo,
+            hi,
+            samples.len(),
+            sample_iters
+        );
+        use std::io::Write as _;
+        let res = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut fh| fh.write_all(line.as_bytes()));
+        if let Err(e) = res {
+            eprintln!("BENCH_JSON: failed to append to {}: {e}", path.to_string_lossy());
+        }
+    }
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -300,5 +342,27 @@ mod tests {
             b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
         });
         g.finish();
+    }
+
+    #[test]
+    fn smoke_mode_appends_json_lines() {
+        let path = std::env::temp_dir().join(format!("bench-json-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("BENCH_SMOKE", "1");
+        std::env::set_var("BENCH_JSON", &path);
+        let mut c = Criterion::default();
+        c.bench_function("json-smoke", |b| b.iter(|| black_box(2 + 2)));
+        std::env::remove_var("BENCH_JSON");
+        std::env::remove_var("BENCH_SMOKE");
+
+        let body = std::fs::read_to_string(&path).expect("BENCH_JSON file written");
+        let line = body
+            .lines()
+            .find(|l| l.contains("\"name\":\"json-smoke\""))
+            .expect("bench emitted a JSON line");
+        assert!(line.starts_with('{') && line.ends_with('}'), "line is a JSON object: {line}");
+        assert!(line.contains("\"median_ns\":"), "median recorded: {line}");
+        assert!(line.contains("\"iters\":1"), "smoke mode runs one iteration: {line}");
+        let _ = std::fs::remove_file(&path);
     }
 }
