@@ -162,6 +162,9 @@ pub struct Algorithm1 {
     visit_reason: VisitReason,
     last_secondary_contact: SimTime,
     started_at: SimTime,
+    /// Timestamp of the most recent input (audit only: the world must feed
+    /// the state machine in causal order).
+    last_input: SimTime,
     /// One past the last sequence number of the stream, once known; loss
     /// detection never looks past it.
     stream_end: Option<u64>,
@@ -185,6 +188,7 @@ impl Algorithm1 {
             visit_reason: VisitReason::Keepalive,
             last_secondary_contact: start,
             started_at: start,
+            last_input: start,
             stream_end: None,
             stats: Alg1Stats::default(),
         }
@@ -254,8 +258,31 @@ impl Algorithm1 {
         self.received[idx] = true;
     }
 
+    /// Audit: inputs arrive in causal order (the world feeds the state
+    /// machine from a monotone event loop; a violation means an event was
+    /// delivered out of order or with a stale timestamp).
+    fn audit_input(&mut self, now: SimTime) {
+        diversifi_simcore::sim_assert!(
+            now >= self.last_input,
+            "Algorithm 1 fed out of causal order: input at {now:?} after {:?}",
+            self.last_input
+        );
+        self.last_input = now;
+    }
+
     /// Feed one received stream packet (on either link). Returns commands.
     pub fn on_packet(&mut self, seq: u64, now: SimTime, via: LinkSide) -> Vec<Command> {
+        self.audit_input(now);
+        // Algorithm 1 legality: the NIC can only hear the secondary link
+        // after the hop completed (and until the return hop retunes away) —
+        // a secondary reception in any other residency means the world's
+        // radio gating is broken.
+        diversifi_simcore::sim_assert!(
+            via != LinkSide::Secondary
+                || matches!(self.residency, Residency::Secondary | Residency::ToPrimary),
+            "secondary-link packet {seq} received while residency is {:?}",
+            self.residency
+        );
         if self.base.is_none() {
             // Calibrate the expected-arrival clock off the first packet.
             self.base = Some(now - self.cfg.inter_packet_spacing * seq);
@@ -281,12 +308,28 @@ impl Algorithm1 {
             && self.visit_reason == VisitReason::Recovery
             && self.outstanding.is_empty()
         {
-            return self.leave_secondary();
+            return self.leave_secondary(now);
         }
         Vec::new()
     }
 
-    fn leave_secondary(&mut self) -> Vec<Command> {
+    fn leave_secondary(&mut self, now: SimTime) -> Vec<Command> {
+        // Algorithm 1 legality: hop dwell is bounded — a recovery visit by
+        // PLT, a keepalive visit by SRT (plus one IPS of timer-quantisation
+        // grace). An unbounded stay would starve the primary link.
+        if let Some(arrived) = self.visit_arrived {
+            let max_stay = match self.visit_reason {
+                VisitReason::Recovery => self.cfg.packet_loss_timeout,
+                VisitReason::Keepalive => self.cfg.secondary_residency,
+            };
+            diversifi_simcore::sim_assert!(
+                now.saturating_since(arrived) <= max_stay + self.cfg.inter_packet_spacing,
+                "secondary dwell {:?} exceeded bound {:?} ({:?} visit)",
+                now.saturating_since(arrived),
+                max_stay + self.cfg.inter_packet_spacing,
+                self.visit_reason
+            );
+        }
         self.residency = Residency::ToPrimary;
         self.visit_arrived = None;
         let mut cmds = Vec::new();
@@ -299,6 +342,19 @@ impl Algorithm1 {
 
     /// The world reports that a switch finished.
     pub fn on_residency(&mut self, residency: Residency, now: SimTime) -> Vec<Command> {
+        self.audit_input(now);
+        // Algorithm 1 legality: a completed retune must match the hop in
+        // progress — Secondary only lands from ToSecondary, Primary only
+        // from ToPrimary. Anything else is a phantom switch.
+        diversifi_simcore::sim_assert!(
+            match residency {
+                Residency::Secondary => self.residency == Residency::ToSecondary,
+                Residency::Primary => self.residency == Residency::ToPrimary,
+                _ => false,
+            },
+            "illegal residency transition {:?} -> {residency:?}",
+            self.residency
+        );
         self.residency = residency;
         match residency {
             Residency::Secondary => {
@@ -324,6 +380,7 @@ impl Algorithm1 {
     /// Timer poke: run all due bookkeeping and return any commands.
     /// The world should call this at (or after) [`Self::next_wakeup`].
     pub fn on_timer(&mut self, now: SimTime) -> Vec<Command> {
+        self.audit_input(now);
         let mut cmds = Vec::new();
 
         // 1. Declare losses whose deadline has passed.
@@ -399,7 +456,7 @@ impl Algorithm1 {
                     || (self.visit_reason == VisitReason::Recovery
                         && self.outstanding.is_empty());
                 if done {
-                    cmds.extend(self.leave_secondary());
+                    cmds.extend(self.leave_secondary(now));
                 }
             }
             Residency::ToSecondary | Residency::ToPrimary => {}
@@ -572,12 +629,11 @@ mod tests {
         assert_eq!(alg.outstanding_count(), 1);
         alg.on_packet(11, expected_11 + SimDuration::from_millis(60), LinkSide::Primary);
         assert_eq!(alg.outstanding_count(), 0);
-        // The stream continues cleanly on the primary.
-        alg.on_packet(12, expected_11 + IPS, LinkSide::Primary);
-        alg.on_packet(13, expected_11 + IPS * 2, LinkSide::Primary);
-        alg.on_packet(14, expected_11 + IPS * 3, LinkSide::Primary);
-        alg.on_packet(15, expected_11 + IPS * 4, LinkSide::Primary);
-        alg.on_packet(16, expected_11 + IPS * 5, LinkSide::Primary);
+        // 12..16 drain from the primary AP's queue right behind it.
+        for k in 0..5u64 {
+            let at = expected_11 + SimDuration::from_millis(62) + SimDuration::from_millis(2) * k;
+            alg.on_packet(12 + k, at, LinkSide::Primary);
+        }
         // When the planned visit time comes, it is cancelled.
         let cmds = alg.on_timer(expected_11 + SimDuration::from_millis(120));
         assert!(cmds.is_empty());
@@ -694,8 +750,36 @@ mod tests {
         let mut alg = mk(DeploymentMode::CustomizedAp);
         let t = SimTime::from_millis(5);
         alg.on_packet(0, t, LinkSide::Primary);
-        alg.on_packet(0, t + SimDuration::from_millis(1), LinkSide::Secondary);
+        // A retransmitted copy shows up right behind the original.
+        alg.on_packet(0, t + SimDuration::from_millis(1), LinkSide::Primary);
         assert_eq!(alg.stats.duplicate_packets, 1);
+    }
+
+    #[test]
+    fn secondary_packet_outside_visit_trips_audit() {
+        if !diversifi_simcore::check::AUDIT_COMPILED {
+            return; // nothing to catch in an audit-free build
+        }
+        // The legality checker must reject a secondary-link reception while
+        // the NIC is resident on the primary (the radio cannot hear it).
+        let mut alg = mk(DeploymentMode::CustomizedAp);
+        let t = SimTime::from_millis(5);
+        alg.on_packet(0, t, LinkSide::Primary);
+        let r = std::panic::catch_unwind(move || {
+            alg.on_packet(1, t + SimDuration::from_millis(1), LinkSide::Secondary)
+        });
+        assert!(r.is_err(), "audit must reject the phantom secondary reception");
+    }
+
+    #[test]
+    fn out_of_order_input_trips_audit() {
+        if !diversifi_simcore::check::AUDIT_COMPILED {
+            return; // nothing to catch in an audit-free build
+        }
+        let mut alg = mk(DeploymentMode::CustomizedAp);
+        alg.on_packet(0, SimTime::from_millis(50), LinkSide::Primary);
+        let r = std::panic::catch_unwind(move || alg.on_timer(SimTime::from_millis(10)));
+        assert!(r.is_err(), "audit must reject time travel in the input feed");
     }
 
     #[test]

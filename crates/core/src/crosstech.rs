@@ -208,4 +208,66 @@ mod tests {
         let b = run_cross_technology(&spec(), &wifi, &CellularConfig::default(), &SeedFactory::new(3));
         assert_eq!(a.merged.fates, b.merged.fates);
     }
+
+    #[test]
+    fn microwave_duty_cycle_matches_configured_fraction() {
+        // The magnetron follows the mains: 16.667 ms period, radiating 55%
+        // of it. Sample on the VoIP packet grid (20 ms) with a small prime
+        // drift so the incommensurate period is swept through every phase —
+        // the fraction of samples that land in the on-phase must converge
+        // to the configured duty.
+        let mw = MicrowaveOven::default();
+        let n = 20_000u64;
+        let on = (0..n)
+            .filter(|k| {
+                let t = SimTime::from_nanos(k * 20_000_000 + k * 7_919);
+                mw.radiating(t)
+            })
+            .count();
+        let duty = on as f64 / n as f64;
+        assert!((duty - mw.duty).abs() < 0.01, "sampled duty {duty} vs configured {}", mw.duty);
+    }
+
+    #[test]
+    fn microwave_off_phase_is_the_complement() {
+        // Within any single period the on-window is exactly [0, duty·T).
+        let mw = MicrowaveOven::default();
+        let t_on = SimTime::from_nanos((0.54 * mw.period.as_nanos() as f64) as u64);
+        let t_off = SimTime::from_nanos((0.56 * mw.period.as_nanos() as f64) as u64);
+        assert!(mw.radiating(t_on));
+        assert!(!mw.radiating(t_off));
+        // And the pattern is periodic.
+        assert!(mw.radiating(t_on + mw.period + mw.period));
+        assert!(!mw.radiating(t_off + mw.period + mw.period));
+    }
+
+    #[test]
+    fn handover_outage_duty_matches_expectation() {
+        // With residual loss disabled and jitter far below the deadline,
+        // every effective loss is a handover outage: the long-run loss rate
+        // must track outage / mean-handover-interval. (Gaps are
+        // exponential with a 1 s floor, so the effective mean interval is
+        // E[max(Exp(5 s), 1 s)] ≈ 5.09 s.)
+        let cfg = CellularConfig {
+            handover_every: SimDuration::from_secs(5),
+            handover_outage: SimDuration::from_millis(300),
+            loss: 0.0,
+            ..CellularConfig::default()
+        };
+        let long = StreamSpec {
+            packet_bytes: 160,
+            interval: SimDuration::from_millis(20),
+            duration: SimDuration::from_secs(600),
+        };
+        let mut rate = 0.0;
+        for seed in 0..3u64 {
+            let tr = run_cellular(&long, &cfg, &SeedFactory::new(0xD117 + seed));
+            rate += tr.loss_rate(DEFAULT_DEADLINE) / 3.0;
+        }
+        let expected = cfg.handover_outage.as_secs_f64() / 5.09;
+        assert!(
+            (rate - expected).abs() < 0.02,
+            "outage duty {rate} should be near {expected}"
+        );
+    }
 }

@@ -25,8 +25,8 @@ use diversifi_net::{Middlebox, MiddleboxConfig, StreamPacket, TcpConfig, TcpRece
 use diversifi_simcore::{EventQueue, RngStream, SeedFactory, SimDuration, SimTime};
 use diversifi_voip::{StreamSpec, StreamTrace};
 use diversifi_wifi::{
-    mac, AccessPoint, AdapterId, ApConfig, ApId, ChannelRealization, ClientId, FlowId, Frame,
-    FrameKind, LinkConfig, LinkModel, QueueDiscipline, RealizationCache, TxOutcome,
+    mac, AccessPoint, AdapterId, ApConfig, ApId, ChannelRealization, ClientId, Enqueued, FlowId,
+    Frame, FrameKind, LinkConfig, LinkModel, QueueDiscipline, RealizationCache, TxOutcome,
 };
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -86,6 +86,20 @@ pub struct WorldConfig {
     /// Frames the secondary AP hands to its hardware queue in one go when
     /// the client wakes (§5.3.1's residual-duplication source).
     pub wake_batch: usize,
+    /// Fault injection: power-cycle one AP mid-run (associations torn down,
+    /// queues destroyed, PM state forgotten). `None` in normal runs.
+    pub reboot: Option<ApReboot>,
+}
+
+/// A scheduled AP power cycle (fault injection).
+#[derive(Clone, Copy, Debug)]
+pub struct ApReboot {
+    /// Which AP: 0 = primary, 1 = secondary.
+    pub ap: usize,
+    /// When the AP goes down.
+    pub at: SimTime,
+    /// How long it stays down before accepting re-associations.
+    pub outage: SimDuration,
 }
 
 impl WorldConfig {
@@ -105,6 +119,7 @@ impl WorldConfig {
             uplink_loss: 0.05,
             uplink_delay: SimDuration::from_micros(250),
             wake_batch: 1,
+            reboot: None,
         }
     }
 }
@@ -186,6 +201,8 @@ enum Ev {
     TcpAck(u64),
     /// Periodic TCP RTO check.
     TcpTimer,
+    /// Fault injection: an AP powers down (`up == false`) or comes back.
+    ApReboot { ap: usize, up: bool },
     /// End of measurement.
     Done,
 }
@@ -214,6 +231,11 @@ pub struct World<'a> {
     pending_switch_started: Option<SimTime>,
     client_timer_armed: Option<SimTime>,
     done: bool,
+    /// Packet-conservation audit over every VoIP copy that enters the
+    /// network (TCP is excluded: retransmission breaks one-copy-one-fate).
+    /// Counter updates are unconditional and behaviour-neutral; the
+    /// assertions they feed are gated on `simcore::check`.
+    ledger: diversifi_simcore::check::PacketLedger,
 }
 
 impl<'a> World<'a> {
@@ -289,13 +311,7 @@ impl<'a> World<'a> {
         // queue discipline the deployment calls for.
         ap0.associate(DEF, QueueDiscipline::stock());
         ap0.associate(PRIMARY, QueueDiscipline::stock());
-        let secondary_disc = match cfg.mode {
-            RunMode::DiversifiCustomAp => {
-                QueueDiscipline::HeadDrop { cap: cfg.alg.ap_queue_len() }
-            }
-            _ => QueueDiscipline::stock(),
-        };
-        ap1.associate(SECONDARY, secondary_disc);
+        ap1.associate(SECONDARY, Self::secondary_discipline(cfg));
 
         let deployment = match cfg.mode {
             RunMode::DiversifiMiddlebox => DeploymentMode::Middlebox,
@@ -334,6 +350,7 @@ impl<'a> World<'a> {
             pending_switch_started: None,
             client_timer_armed: None,
             done: false,
+            ledger: diversifi_simcore::check::PacketLedger::new(),
             cfg,
         }
     }
@@ -354,6 +371,9 @@ impl<'a> World<'a> {
             self.q.schedule(SimTime::ZERO, Ev::TcpKick);
             self.q.schedule(SimTime::from_millis(50), Ev::TcpTimer);
         }
+        if let Some(rb) = self.cfg.reboot {
+            self.q.schedule(rb.at, Ev::ApReboot { ap: rb.ap, up: false });
+        }
         let end = SimTime::ZERO + self.cfg.spec.duration + SimDuration::from_millis(500);
         self.q.schedule(end, Ev::Done);
 
@@ -363,6 +383,16 @@ impl<'a> World<'a> {
             }
             self.handle(now, ev);
         }
+
+        // Horizon audit: every emitted VoIP copy must have reached exactly
+        // one fate or still be in a stage the devices corroborate. The DEF
+        // association never carries VoIP, so the audited queues are the
+        // PRIMARY station on AP 0 and the SECONDARY station on AP 1.
+        let queued_truth = self.aps[0].queue_len(PRIMARY)
+            + self.aps[0].hw_len(PRIMARY)
+            + self.aps[1].queue_len(SECONDARY)
+            + self.aps[1].hw_len(SECONDARY);
+        self.ledger.finalize(queued_truth, self.mbox.buffered(VOIP_FLOW), 2);
 
         let duration = self.cfg.spec.duration.as_secs_f64();
         let tcp_throughput_bps = self.tcp_tx.acked_bytes() as f64 * 8.0 / duration;
@@ -387,6 +417,16 @@ impl<'a> World<'a> {
         self.cfg.mode.replicates()
     }
 
+    /// The queue-management IE the client's secondary association requests.
+    fn secondary_discipline(cfg: &WorldConfig) -> QueueDiscipline {
+        match cfg.mode {
+            RunMode::DiversifiCustomAp => {
+                QueueDiscipline::HeadDrop { cap: cfg.alg.ap_queue_len() }
+            }
+            _ => QueueDiscipline::stock(),
+        }
+    }
+
     fn handle(&mut self, now: SimTime, ev: Ev) {
         match ev {
             Ev::Done => self.done = true,
@@ -401,6 +441,10 @@ impl<'a> World<'a> {
                 // Only now does the client stop hearing its current channel
                 // (the driver retunes strictly after the PS message is
                 // delivered — the ath9k fix described in §5.4).
+                diversifi_simcore::sim_assert!(
+                    self.client_side.is_some(),
+                    "retune began while a previous retune was still in flight"
+                );
                 self.client_side = None;
                 self.q.schedule(
                     now + SimDuration::from_micros(2300),
@@ -413,8 +457,17 @@ impl<'a> World<'a> {
                 self.q.schedule(now, Ev::ApKick(ap));
             }
             Ev::MiddleboxIngest(pkt) => {
+                let rolled_before = self.mbox.rolled_over;
                 if let Some(fwd) = self.mbox.ingest(pkt) {
+                    // Streaming state: the copy passes straight through and
+                    // stays in transit toward the secondary AP.
+                    self.ledger.mbox_forward_live();
                     self.forward_from_middlebox(now, fwd);
+                } else {
+                    self.ledger.mbox_buffer();
+                    if self.mbox.rolled_over > rolled_before {
+                        self.ledger.mbox_rollover();
+                    }
                 }
             }
             Ev::MiddleboxControl { start } => self.on_middlebox_control(now, start),
@@ -428,7 +481,31 @@ impl<'a> World<'a> {
                 self.q.schedule(now, Ev::TcpKick);
                 self.q.schedule(now + SimDuration::from_millis(50), Ev::TcpTimer);
             }
+            Ev::ApReboot { ap, up } => self.on_ap_reboot(now, ap, up),
         }
+    }
+
+    /// Fault injection: power-cycle an AP. Going down destroys every
+    /// association and buffered frame; coming back up restores the steady-
+    /// state associations (the client driver re-associates promptly) but the
+    /// AP has forgotten all power-save state — stations start awake, which
+    /// is exactly the desynchronisation a real power cycle causes.
+    fn on_ap_reboot(&mut self, now: SimTime, ap: usize, up: bool) {
+        if !up {
+            let lost = self.aps[ap].power_cycle();
+            let voip_lost = lost.iter().filter(|f| f.flow == VOIP_FLOW).count();
+            self.ledger.flushed(voip_lost);
+            let outage = self.cfg.reboot.map(|r| r.outage).unwrap_or_default();
+            self.q.schedule(now + outage, Ev::ApReboot { ap, up: true });
+            return;
+        }
+        if ap == 0 {
+            self.aps[0].associate(DEF, QueueDiscipline::stock());
+            self.aps[0].associate(PRIMARY, QueueDiscipline::stock());
+        } else {
+            self.aps[1].associate(SECONDARY, Self::secondary_discipline(self.cfg));
+        }
+        self.q.schedule(now, Ev::ApKick(ap));
     }
 
     fn on_source_emit(&mut self, now: SimTime, seq: u64) {
@@ -442,6 +519,7 @@ impl<'a> World<'a> {
         // Primary copy (except in the secondary-only baseline).
         if self.cfg.mode != RunMode::SecondaryOnly {
             let frame = Frame::data(VOIP_FLOW, seq, bytes, now, CLIENT, PRIMARY);
+            self.ledger.emit();
             self.q.schedule(now + lan, Ev::ApArrival { ap: 0, frame });
         }
 
@@ -450,14 +528,17 @@ impl<'a> World<'a> {
             RunMode::PrimaryOnly => {}
             RunMode::SecondaryOnly => {
                 let frame = Frame::data(VOIP_FLOW, seq, bytes, now, CLIENT, SECONDARY);
+                self.ledger.emit();
                 self.q.schedule(now + lan, Ev::ApArrival { ap: 1, frame });
             }
             RunMode::DiversifiCustomAp | RunMode::EndToEndPsm => {
                 let frame = Frame::data(VOIP_FLOW, seq, bytes, now, CLIENT, SECONDARY);
+                self.ledger.emit();
                 self.q.schedule(now + lan, Ev::ApArrival { ap: 1, frame });
             }
             RunMode::DiversifiMiddlebox => {
                 let pkt = StreamPacket::new(VOIP_FLOW, seq, bytes, now);
+                self.ledger.emit();
                 self.q.schedule(
                     now + lan + self.cfg.middlebox_net_delay,
                     Ev::MiddleboxIngest(pkt),
@@ -468,9 +549,23 @@ impl<'a> World<'a> {
 
     fn on_ap_arrival(&mut self, now: SimTime, ap: usize, frame: Frame) {
         let adapter = frame.dst_adapter;
+        let seq = frame.seq;
+        let is_voip = frame.flow == VOIP_FLOW;
         // Queue drops (head- or tail-) are final for this copy; recovery,
         // if any, happens through the other path.
-        let _ = self.aps[ap].enqueue(adapter, frame);
+        let outcome = self.aps[ap].enqueue(adapter, frame);
+        if is_voip {
+            match outcome {
+                Enqueued::Ok => self.ledger.enqueue_ok(),
+                // The victim is the offered frame itself (tail-drop full, or
+                // no association — e.g. mid-reboot): rejected at the door.
+                Enqueued::Dropped { dropped } if dropped.seq == seq => {
+                    self.ledger.enqueue_rejected()
+                }
+                // Head-drop: admitted, displacing the oldest queued copy.
+                Enqueued::Dropped { .. } => self.ledger.enqueue_displaced(),
+            }
+        }
         self.q.schedule(now, Ev::ApKick(ap));
     }
 
@@ -481,6 +576,9 @@ impl<'a> World<'a> {
             return;
         }
         let Some((adapter, frame)) = self.aps[ap].next_tx() else { return };
+        if frame.flow == VOIP_FLOW {
+            self.ledger.tx_start();
+        }
         self.busy[ap] = true;
         let mac_cfg = self.aps[ap].config().mac;
         let outcome = mac::transmit(&mut self.links[ap], &mac_cfg, &frame, now);
@@ -510,6 +608,15 @@ impl<'a> World<'a> {
         }
 
         let heard = outcome.delivered && self.client_listening(ap);
+        if frame.flow == VOIP_FLOW {
+            if heard {
+                self.ledger.tx_heard();
+            } else if outcome.delivered {
+                self.ledger.tx_unheard();
+            } else {
+                self.ledger.tx_lost();
+            }
+        }
         if !heard {
             if ap == 1 && frame.kind == FrameKind::Data {
                 // Transmitted on the secondary air for nothing.
@@ -682,7 +789,11 @@ impl<'a> World<'a> {
     fn on_middlebox_control(&mut self, now: SimTime, start: Option<u64>) {
         match start {
             Some(from_seq) => {
+                let buffered_before = self.mbox.buffered(VOIP_FLOW);
                 let (service, burst) = self.mbox.start(VOIP_FLOW, from_seq);
+                // The drain empties the ring: copies newer than the request
+                // head for the secondary AP, older ones are useless.
+                self.ledger.mbox_drain(burst.len(), buffered_before - burst.len());
                 for (i, pkt) in burst.into_iter().enumerate() {
                     let d = service
                         + self.cfg.middlebox_net_delay

@@ -114,6 +114,15 @@ impl Middlebox {
             self.rolled_over += 1;
         }
         fb.ring.push_back(packet);
+        // §5.3.2 invariant: the per-flow ring is a shallow head-drop buffer
+        // that never exceeds its depth, however fast packets arrive.
+        diversifi_simcore::sim_assert!(
+            fb.ring.len() <= fb.cap,
+            "middlebox ring depth {} exceeded cap {} on flow {:?}",
+            fb.ring.len(),
+            fb.cap,
+            packet.flow
+        );
         None
     }
 

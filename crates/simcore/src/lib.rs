@@ -14,6 +14,9 @@
 //! - [`MetricsScratch`] — reusable per-worker buffers so corpus-scale
 //!   metric evaluation runs allocation-free inside sweep workers.
 //! - [`TraceSink`] — zero-cost-by-default structured tracing.
+//! - [`check`] — the invariant-audit layer: [`sim_assert!`]/[`sim_assert_eq!`]
+//!   plus the packet-conservation [`check::PacketLedger`], active in debug
+//!   builds and `--features audit` release builds.
 //!
 //! The design follows the smoltcp idiom: components are poll-driven state
 //! machines with no I/O, no threads in the data path, and no wall-clock
@@ -22,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod par;
 mod queue;
 mod rng;
@@ -151,6 +155,83 @@ mod proptests {
             let mut b = f.stream("x", idx);
             for _ in 0..16 {
                 prop_assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+            }
+        }
+
+        /// Model-based check of the slab/generation event queue against a
+        /// naive reference (a flat list popped by min `(at, seq)`): random
+        /// interleavings of schedule / cancel / pop must agree on every
+        /// popped timestamp and payload, on `len()`, on `peek_time()`, and
+        /// cancelling an already-popped handle must stay a no-op.
+        #[test]
+        fn event_queue_matches_reference_model(
+            ops in proptest::collection::vec(0u32..1_000_000, 1..300),
+        ) {
+            struct Ref {
+                at: SimTime,
+                seq: u64,
+                tag: u64,
+                live: bool,
+            }
+            let mut q = EventQueue::new();
+            let mut model: Vec<Ref> = Vec::new();
+            // Outstanding (device handle, model index) pairs.
+            let mut handles: Vec<(EventId, usize)> = Vec::new();
+            let (mut seq, mut tag) = (0u64, 0u64);
+            for op in ops {
+                match op % 4 {
+                    0 | 1 => {
+                        let delta = SimDuration::from_nanos(u64::from(op / 4) % 10_000);
+                        let at = q.now() + delta;
+                        let id = q.schedule(at, tag);
+                        model.push(Ref { at, seq, tag, live: true });
+                        handles.push((id, model.len() - 1));
+                        seq += 1;
+                        tag += 1;
+                    }
+                    2 => {
+                        if !handles.is_empty() {
+                            let k = (op as usize / 4) % handles.len();
+                            let (id, mi) = handles.swap_remove(k);
+                            q.cancel(id);
+                            model[mi].live = false;
+                        }
+                    }
+                    _ => {
+                        let best = model
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, m)| m.live)
+                            .min_by_key(|(_, m)| (m.at, m.seq))
+                            .map(|(i, _)| i);
+                        let got = q.pop();
+                        match best {
+                            Some(i) => {
+                                model[i].live = false;
+                                prop_assert!(got.is_some(), "queue empty but model has live events");
+                                let (t, v) = got.unwrap();
+                                prop_assert_eq!(t, model[i].at);
+                                prop_assert_eq!(v, model[i].tag);
+                                // A handle to the popped event is now stale:
+                                // cancelling it must change nothing.
+                                if let Some(k) = handles.iter().position(|&(_, mi)| mi == i) {
+                                    let (id, _) = handles.swap_remove(k);
+                                    let before = q.len();
+                                    q.cancel(id);
+                                    prop_assert_eq!(q.len(), before);
+                                }
+                            }
+                            None => prop_assert!(got.is_none()),
+                        }
+                    }
+                }
+                prop_assert_eq!(q.len(), model.iter().filter(|m| m.live).count());
+                let want_peek = model
+                    .iter()
+                    .filter(|m| m.live)
+                    .map(|m| m.at)
+                    .min();
+                prop_assert_eq!(q.peek_time(), want_peek);
             }
         }
     }

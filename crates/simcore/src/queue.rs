@@ -219,7 +219,12 @@ impl<E> EventQueue<E> {
                 self.cancelled -= 1;
                 continue;
             }
-            debug_assert!(s.at >= self.now, "event queue produced time travel");
+            crate::sim_assert!(
+                s.at >= self.now,
+                "event queue produced time travel: popped {:?} with clock at {:?}",
+                s.at,
+                self.now
+            );
             self.now = s.at;
             return Some((s.at, s.event));
         }

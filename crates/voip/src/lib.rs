@@ -127,5 +127,47 @@ mod proptests {
             let w = tr.worst_window_loss_pct(SimDuration::from_secs(5), d);
             prop_assert!(w + 1e-9 >= tr.loss_rate(d) * 100.0 - 1e-9);
         }
+
+        /// Late packets are a subset of deliveries, and the adaptive playout
+        /// buffer accounts for every packet exactly once, just like the
+        /// fixed-delay one.
+        #[test]
+        fn late_packets_bounded_by_deliveries(tr in arb_trace()) {
+            let c = conceal(&tr, &PlayoutConfig::default());
+            prop_assert!(c.late <= tr.delivered_count(), "late {} > delivered {}", c.late, tr.delivered_count());
+            let mut buf = AdaptivePlayout::interactive();
+            let ca = conceal_adaptive(&tr, &mut buf);
+            prop_assert_eq!(ca.total(), tr.len() as u64);
+            prop_assert!(buf.current_delay() >= buf.min_delay);
+            prop_assert!(buf.current_delay() <= buf.max_delay);
+        }
+
+        /// The trace is insensitive to network reordering: arrivals recorded
+        /// in any order (duplicates included — earliest copy wins) produce
+        /// the identical per-packet fate vector.
+        #[test]
+        fn arrival_order_does_not_matter(
+            arrivals in proptest::collection::vec((0u64..100, 0u64..400), 0..300),
+        ) {
+            let spec = StreamSpec {
+                packet_bytes: 160,
+                interval: SimDuration::from_millis(20),
+                duration: SimDuration::from_millis(20 * 100),
+            };
+            let build = |order: &[(u64, u64)]| {
+                let mut tr = StreamTrace::new(spec, SimTime::ZERO);
+                for &(seq, ms) in order {
+                    let sent = tr.fates[seq as usize].sent;
+                    tr.record_arrival(seq, sent + SimDuration::from_millis(ms));
+                }
+                tr
+            };
+            let forward = build(&arrivals);
+            let mut reversed = arrivals.clone();
+            reversed.reverse();
+            let backward = build(&reversed);
+            let fates = |tr: &StreamTrace| tr.fates.iter().map(|f| f.arrival).collect::<Vec<_>>();
+            prop_assert_eq!(fates(&forward), fates(&backward));
+        }
     }
 }

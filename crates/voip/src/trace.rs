@@ -225,7 +225,13 @@ impl StreamTrace {
             .iter()
             .zip(&other.fates)
             .map(|(a, b)| {
-                debug_assert_eq!(a.sent, b.sent);
+                diversifi_simcore::sim_assert_eq!(
+                    a.sent,
+                    b.sent,
+                    "merged traces disagree on send times: {:?} vs {:?}",
+                    a.sent,
+                    b.sent
+                );
                 let arrival = match (a.arrival, b.arrival) {
                     (Some(x), Some(y)) => Some(x.min(y)),
                     (x, y) => x.or(y),

@@ -176,22 +176,33 @@ impl AccessPoint {
             return Enqueued::Dropped { dropped: frame };
         };
         let cap = st.discipline.cap();
-        if st.queue.len() < cap {
+        let result = if st.queue.len() < cap {
             st.queue.push_back(frame);
-            return Enqueued::Ok;
-        }
-        match st.discipline {
-            QueueDiscipline::TailDrop { .. } => {
-                self.drops += 1;
-                Enqueued::Dropped { dropped: frame }
+            Enqueued::Ok
+        } else {
+            match st.discipline {
+                QueueDiscipline::TailDrop { .. } => {
+                    self.drops += 1;
+                    Enqueued::Dropped { dropped: frame }
+                }
+                QueueDiscipline::HeadDrop { .. } => {
+                    let dropped = st.queue.pop_front().expect("cap > 0");
+                    st.queue.push_back(frame);
+                    self.drops += 1;
+                    Enqueued::Dropped { dropped }
+                }
             }
-            QueueDiscipline::HeadDrop { .. } => {
-                let dropped = st.queue.pop_front().expect("cap > 0");
-                st.queue.push_back(frame);
-                self.drops += 1;
-                Enqueued::Dropped { dropped }
-            }
-        }
+        };
+        // §5.3.1 invariant: the per-station PSM buffer never exceeds the
+        // negotiated depth, whatever the discipline or arrival pattern.
+        diversifi_simcore::sim_assert!(
+            st.queue.len() <= cap,
+            "station queue depth {} exceeded negotiated cap {} on {:?}",
+            st.queue.len(),
+            cap,
+            adapter
+        );
+        result
     }
 
     /// Process a power-management change for `adapter` (a received Null
@@ -258,6 +269,23 @@ impl AccessPoint {
             .get_mut(&adapter)
             .map(|s| s.queue.drain(..).collect())
             .unwrap_or_default()
+    }
+
+    /// Power-cycle the AP: every association is torn down and every buffered
+    /// frame (driver and hardware queues alike) is destroyed. Returns the
+    /// destroyed frames so the caller can account for them; they count as
+    /// queue drops. Stations must re-associate afterwards, and the AP has
+    /// forgotten all power-save state.
+    pub fn power_cycle(&mut self) -> Vec<Frame> {
+        let mut lost = Vec::new();
+        for st in self.stations.values_mut() {
+            lost.extend(st.queue.drain(..));
+            lost.extend(st.hw.drain(..));
+        }
+        self.stations.clear();
+        self.rr_next = 0;
+        self.drops += lost.len() as u64;
+        lost
     }
 }
 
@@ -419,5 +447,161 @@ mod tests {
         ap.disassociate(A);
         assert!(!ap.is_associated(A));
         assert!(ap.next_tx().is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::ids::{ClientId, FlowId};
+    use diversifi_simcore::SimTime;
+    use proptest::prelude::*;
+    use std::collections::VecDeque;
+
+    const A: AdapterId = AdapterId(1);
+
+    fn frame(seq: u64) -> Frame {
+        Frame::data(FlowId(0), seq, 160, SimTime::from_millis(seq * 20), ClientId(0), A)
+    }
+
+    /// An obviously-correct single-station model of the AP's queueing plane:
+    /// a bounded ring with the discipline's drop rule, an awake flag, and a
+    /// hardware queue fed `wake_batch`-at-a-time on the sleep→awake edge.
+    struct RefStation {
+        awake: bool,
+        head_drop: bool,
+        cap: usize,
+        wake_batch: usize,
+        ring: VecDeque<u64>,
+        hw: VecDeque<u64>,
+        drops: u64,
+    }
+
+    impl RefStation {
+        fn new(head_drop: bool, cap: usize, wake_batch: usize) -> RefStation {
+            RefStation {
+                awake: true,
+                head_drop,
+                cap,
+                wake_batch,
+                ring: VecDeque::new(),
+                hw: VecDeque::new(),
+                drops: 0,
+            }
+        }
+
+        /// Returns the dropped seq, if any.
+        fn enqueue(&mut self, seq: u64) -> Option<u64> {
+            if self.ring.len() < self.cap {
+                self.ring.push_back(seq);
+                None
+            } else if self.head_drop {
+                let victim = self.ring.pop_front();
+                self.ring.push_back(seq);
+                self.drops += 1;
+                victim
+            } else {
+                self.drops += 1;
+                Some(seq)
+            }
+        }
+
+        fn set_sleeping(&mut self, sleeping: bool) {
+            let was_awake = self.awake;
+            self.awake = !sleeping;
+            if !was_awake && self.awake {
+                for _ in 0..self.wake_batch {
+                    match self.ring.pop_front() {
+                        Some(s) => self.hw.push_back(s),
+                        None => break,
+                    }
+                }
+            }
+        }
+
+        fn next_tx(&mut self) -> Option<u64> {
+            if let Some(s) = self.hw.pop_front() {
+                return Some(s);
+            }
+            if self.awake {
+                return self.ring.pop_front();
+            }
+            None
+        }
+
+        fn flush(&mut self) -> Vec<u64> {
+            self.ring.drain(..).collect()
+        }
+    }
+
+    fn run_ops(ops: &[u32], head_drop: bool, cap: usize) {
+        let discipline = if head_drop {
+            QueueDiscipline::HeadDrop { cap }
+        } else {
+            QueueDiscipline::TailDrop { cap }
+        };
+        let mut ap = AccessPoint::new(ApConfig::new(ApId(0), Channel::CH1));
+        ap.associate(A, discipline);
+        let mut model = RefStation::new(head_drop, cap, ap.config().wake_batch);
+        let mut next_seq = 0u64;
+        for op in ops {
+            match op % 8 {
+                // Enqueue dominates so queues actually fill.
+                0..=3 => {
+                    let seq = next_seq;
+                    next_seq += 1;
+                    let got = ap.enqueue(A, frame(seq));
+                    let want = model.enqueue(seq);
+                    match (got, want) {
+                        (Enqueued::Ok, None) => {}
+                        (Enqueued::Dropped { dropped }, Some(w)) => {
+                            assert_eq!(dropped.seq, w, "wrong victim")
+                        }
+                        (got, want) => panic!("device {got:?} vs model {want:?}"),
+                    }
+                }
+                4 => {
+                    ap.set_power_save(A, true);
+                    model.set_sleeping(true);
+                }
+                5 => {
+                    ap.set_power_save(A, false);
+                    model.set_sleeping(false);
+                }
+                6 => {
+                    let got = ap.next_tx().map(|(_, f)| f.seq);
+                    assert_eq!(got, model.next_tx(), "next_tx diverged");
+                }
+                _ => {
+                    let got: Vec<u64> = ap.flush(A).iter().map(|f| f.seq).collect();
+                    assert_eq!(got, model.flush(), "flush diverged");
+                }
+            }
+            assert_eq!(ap.queue_len(A), model.ring.len(), "driver queue depth diverged");
+            assert_eq!(ap.hw_len(A), model.hw.len(), "hw queue depth diverged");
+            assert_eq!(ap.drops, model.drops, "drop accounting diverged");
+            assert_eq!(ap.is_awake(A), model.awake);
+        }
+    }
+
+    proptest! {
+        /// Head-drop AP queue is observationally equal to a reference
+        /// bounded ring under arbitrary enqueue/PS/tx/flush interleavings.
+        #[test]
+        fn head_drop_matches_reference_ring(
+            ops in proptest::collection::vec(0u32..1_000_000, 1..250),
+            cap in 1usize..8,
+        ) {
+            run_ops(&ops, true, cap);
+        }
+
+        /// Same for the stock tail-drop queue.
+        #[test]
+        fn tail_drop_matches_reference_ring(
+            ops in proptest::collection::vec(0u32..1_000_000, 1..250),
+            cap in 1usize..8,
+        ) {
+            run_ops(&ops, false, cap);
+        }
     }
 }

@@ -2,10 +2,11 @@
 //! starvation, graceful degradation) under hostile conditions well outside
 //! the calibrated operating envelope.
 
-use diversifi::world::{RunMode, World, WorldConfig};
-use diversifi_simcore::{SeedFactory, SimDuration};
+use diversifi::world::{ApReboot, RunMode, World, WorldConfig};
+use diversifi_net::{Middlebox, MiddleboxConfig, StreamPacket};
+use diversifi_simcore::{SeedFactory, SimDuration, SimTime};
 use diversifi_voip::{StreamSpec, DEFAULT_DEADLINE};
-use diversifi_wifi::{Channel, Congestion, GeParams, LinkConfig, MicrowaveOven};
+use diversifi_wifi::{Channel, Congestion, FlowId, GeParams, LinkConfig, MicrowaveOven};
 
 fn base_cfg(primary: LinkConfig, secondary: LinkConfig) -> WorldConfig {
     let mut cfg = WorldConfig::testbed(primary, secondary);
@@ -159,6 +160,73 @@ fn end_to_end_strawman_is_worse_than_custom_ap() {
         waste_e2e > waste_custom,
         "stock PSM queueing must waste more: {waste_e2e} vs {waste_custom}"
     );
+}
+
+/// An AP power-cycles mid-call while the client is actively hopping to it:
+/// queued frames die with the AP, the station table resets, and the client
+/// re-associates when it comes back — the call degrades instead of the
+/// simulator panicking or the ledger leaking the drained frames.
+#[test]
+fn ap_reboot_during_hops_degrades_gracefully() {
+    let primary = LinkConfig::office(Channel::CH1, 18.0);
+    let mut secondary = LinkConfig::office(Channel::CH11, 24.0);
+    secondary.ge = GeParams::weak_link(); // lossy primary-recovery work → frequent hops
+    for rebooted_ap in [0usize, 1] {
+        let mut dvf = base_cfg(primary.clone(), secondary.clone());
+        dvf.mode = RunMode::DiversifiCustomAp;
+        dvf.reboot = Some(ApReboot {
+            ap: rebooted_ap,
+            at: SimTime::ZERO + SimDuration::from_secs(10),
+            outage: SimDuration::from_secs(3),
+        });
+        let mut base = dvf.clone();
+        base.mode = RunMode::PrimaryOnly;
+        let seeds = SeedFactory::new(0xAB007 + rebooted_ap as u64);
+        let r_dvf = World::new(&dvf, &seeds).run();
+        let r_base = World::new(&base, &seeds).run();
+        assert_eq!(r_dvf.trace.len(), 1500, "run must complete despite the reboot");
+        let ld = r_dvf.trace.loss_rate(DEFAULT_DEADLINE);
+        let lb = r_base.trace.loss_rate(DEFAULT_DEADLINE);
+        assert!(
+            ld <= lb + 0.02,
+            "ap{rebooted_ap} reboot: diversifi {ld} must not amplify baseline {lb}"
+        );
+        if rebooted_ap == 0 {
+            // A 3 s primary outage must actually show up as loss.
+            assert!(lb > 0.05, "primary-AP reboot should hurt the baseline: {lb}");
+        }
+    }
+}
+
+/// Middlebox sized for a single buffered packet (MaxTolerableDelay = one
+/// packet interval) under a weak secondary: the ring overflows constantly
+/// and must roll over — old packets out, new in — without panicking.
+#[test]
+fn middlebox_buffer_overflow_rolls_over_gracefully() {
+    let primary = LinkConfig::office(Channel::CH1, 18.0);
+    let mut secondary = LinkConfig::office(Channel::CH11, 24.0);
+    secondary.ge = GeParams::weak_link();
+    let mut cfg = base_cfg(primary, secondary);
+    cfg.mode = RunMode::DiversifiMiddlebox;
+    cfg.alg.max_tolerable_delay = SimDuration::from_millis(20); // APQL = 1
+    let r = World::new(&cfg, &SeedFactory::new(0x0F10)).run();
+    assert_eq!(r.trace.len(), 1500);
+    assert!(r.trace.delivered_count() > 0);
+
+    // The same overflow, observed directly: flood a cap-1 ring without a
+    // streaming client and every displaced packet must be a rollover.
+    let flow = FlowId(1);
+    let mut mbox = Middlebox::new(MiddleboxConfig::default());
+    mbox.register(flow, Some(1));
+    for seq in 0..200u64 {
+        let fwd = mbox.ingest(StreamPacket::new(flow, seq, 160, SimTime::ZERO));
+        assert!(fwd.is_none(), "nothing forwards while no client streams");
+        assert_eq!(mbox.buffered(flow), 1, "ring never exceeds its cap");
+    }
+    assert_eq!(mbox.rolled_over, 199);
+    let (_, burst) = mbox.start(flow, 0);
+    assert_eq!(burst.len(), 1, "only the newest survivor drains");
+    assert_eq!(burst[0].seq, 199);
 }
 
 /// Zero uplink delay / zero LAN delay configuration does not break event

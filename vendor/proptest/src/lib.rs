@@ -5,13 +5,65 @@
 //! `prop_assert!`/`prop_assert_eq!`, `any::<T>()`, integer/float range
 //! strategies, `collection::vec`, `option::of`, and `.prop_map`.
 //!
-//! Unlike real proptest there is no shrinking: failures report the case
-//! number, and every run is deterministic (the RNG is seeded from the test
-//! name), so a failing case is reproducible by rerunning the test.
+//! Unlike real proptest there is no shrinking, but failures are fully
+//! reproducible: every case runs from its own 64-bit seed (drawn from a
+//! master stream keyed by the test name), a failure reports that seed, and
+//! the seed can be pinned forever in the crate's committed regression
+//! corpus (`<crate>/proptest-regressions/corpus.txt`) — pinned seeds replay
+//! before any random cases, mirroring real proptest's regression files.
+//! The case count is overridable with the `PROPTEST_CASES` environment
+//! variable so CI can bound property runtime.
 
 #![forbid(unsafe_code)]
 
 use std::ops::{Range, RangeInclusive};
+
+/// Number of random cases to run: the `PROPTEST_CASES` environment
+/// variable when set (and parseable), else `default`.
+pub fn resolve_cases(default: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.trim().parse().unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
+/// Load the pinned regression seeds for `full_name` from
+/// `<manifest_dir>/proptest-regressions/corpus.txt`.
+///
+/// File format, one pin per line (`#` starts a comment):
+///
+/// ```text
+/// mycrate::proptests::my_property = 0x1f2e3d4c5b6a7988
+/// ```
+///
+/// A missing file means no pins. Pinned seeds replay before the random
+/// cases on every run of the property.
+pub fn load_regressions(manifest_dir: &str, full_name: &str) -> Vec<u64> {
+    let path = std::path::Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join("corpus.txt");
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        let Some((name, seed)) = line.split_once('=') else { continue };
+        if name.trim() != full_name {
+            continue;
+        }
+        let seed = seed.trim();
+        let parsed = match seed.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => seed.parse(),
+        };
+        match parsed {
+            Ok(s) => seeds.push(s),
+            Err(_) => panic!("unparseable regression seed for {full_name}: {seed:?}"),
+        }
+    }
+    seeds
+}
 
 /// Deterministic RNG used to drive sampling (SplitMix64).
 #[derive(Clone, Debug)]
@@ -29,6 +81,12 @@ impl TestRng {
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
         TestRng { state: h }
+    }
+
+    /// Seed directly — how a pinned regression case or a reported failing
+    /// seed is replayed.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed }
     }
 
     /// Next 64 random bits.
@@ -312,8 +370,19 @@ macro_rules! __proptest_tests {
         #[test]
         fn $name() {
             let __cfg: $crate::ProptestConfig = $cfg;
-            let mut __rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
-            for __case in 0..__cfg.cases {
+            let __full = concat!(module_path!(), "::", stringify!($name));
+            let __pinned = $crate::load_regressions(env!("CARGO_MANIFEST_DIR"), __full);
+            let __cases = $crate::resolve_cases(__cfg.cases);
+            // Each case runs from its own seed so any failure is replayable
+            // (and pinnable) in isolation. Pinned regression seeds first.
+            let mut __master = $crate::TestRng::for_test(__full);
+            let __total = __pinned.len() as u32 + __cases;
+            for __case in 0..__total {
+                let __seed = match __pinned.get(__case as usize) {
+                    ::std::option::Option::Some(s) => *s,
+                    ::std::option::Option::None => __master.next_u64(),
+                };
+                let mut __rng = $crate::TestRng::from_seed(__seed);
                 let __outcome: ::std::result::Result<(), ::std::string::String> = (|| {
                     $crate::__proptest_bind! { __rng, $($params)* }
                     { $body }
@@ -321,8 +390,10 @@ macro_rules! __proptest_tests {
                 })();
                 if let Err(__msg) = __outcome {
                     panic!(
-                        "proptest {} failed at case {}/{}: {}",
-                        stringify!($name), __case, __cfg.cases, __msg
+                        "proptest {} failed at case {}/{} (seed {:#018x}): {}\n\
+                         pin it: add `{} = {:#018x}` to {}/proptest-regressions/corpus.txt",
+                        stringify!($name), __case, __total, __seed, __msg,
+                        __full, __seed, env!("CARGO_MANIFEST_DIR"),
                     );
                 }
             }
