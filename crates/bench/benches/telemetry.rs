@@ -1,0 +1,143 @@
+//! Telemetry-overhead benchmarks (`BENCH_telemetry.json`).
+//!
+//! The contract under test is "zero overhead when off, bounded overhead
+//! when on":
+//!
+//! - `emit/idle` — the cost of a trace-emission site with no active
+//!   session. In a release build without the `trace` feature this must
+//!   compile to nothing; with the feature it is one thread-local load.
+//! - `emit/active` — the per-event cost with a live session (ring push).
+//! - `world/short` vs `world/short_traced` — an end-to-end §6 world run
+//!   with telemetry off vs on; the delta is the full-system overhead.
+//! - `merge_sort` / `export_chrome` — post-run costs, off the hot path.
+//! - `histogram/record` — the metrics-registry hot path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use diversifi::world::{RunMode, World, WorldConfig};
+use diversifi_simcore::telemetry::{self, TRACE_COMPILED};
+use diversifi_simcore::{
+    export, trace_event, ComponentId, LogHistogram, SeedFactory, SimDuration, SimTime,
+    SweepRunner, TraceDetail, TraceKind,
+};
+use diversifi_wifi::{Channel, GeParams, LinkConfig};
+
+fn world_cfg() -> WorldConfig {
+    let mut primary = LinkConfig::office(Channel::CH1, 26.0);
+    primary.ge = GeParams::weak_link();
+    let mut secondary = LinkConfig::office(Channel::CH11, 30.0);
+    secondary.ge = GeParams::weak_link();
+    let mut cfg = WorldConfig::testbed(primary, secondary);
+    cfg.mode = RunMode::DiversifiCustomAp;
+    cfg.spec.duration = SimDuration::from_secs(5);
+    cfg
+}
+
+fn bench_emit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry/emit");
+    g.bench_function("idle", |bch| {
+        // No session: the emission site must cost (at most) one
+        // thread-local read, and nothing at all when compiled out.
+        bch.iter(|| {
+            for seq in 0u64..64 {
+                trace_event!(
+                    SimTime::from_millis(seq),
+                    TraceKind::Delivery,
+                    ComponentId::client(),
+                    TraceDetail::Seq(black_box(seq)),
+                );
+            }
+        })
+    });
+    if TRACE_COMPILED {
+        g.bench_function("active", |bch| {
+            telemetry::begin(1 << 12);
+            bch.iter(|| {
+                for seq in 0u64..64 {
+                    trace_event!(
+                        SimTime::from_millis(seq),
+                        TraceKind::Delivery,
+                        ComponentId::client(),
+                        TraceDetail::Seq(black_box(seq)),
+                    );
+                }
+            });
+            let _ = telemetry::end();
+        });
+    }
+    g.finish();
+}
+
+fn bench_world(c: &mut Criterion) {
+    let cfg = world_cfg();
+    let seeds = SeedFactory::new(0x7E1E);
+    let mut g = c.benchmark_group("telemetry/world");
+    g.sample_size(10);
+    g.bench_function("short", |bch| {
+        bch.iter(|| black_box(World::new(&cfg, &seeds).run().primary_deliveries))
+    });
+    if TRACE_COMPILED {
+        g.bench_function("short_traced", |bch| {
+            bch.iter(|| {
+                let (report, session) = World::new(&cfg, &seeds).run_traced(1 << 16);
+                black_box((report.primary_deliveries, session.events.len()))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_merge_and_export(c: &mut Criterion) {
+    if !TRACE_COMPILED {
+        return;
+    }
+    let cfg = world_cfg();
+    let seeds = SeedFactory::new(0x7E1E);
+    let mut g = c.benchmark_group("telemetry/post");
+    g.sample_size(10);
+    g.bench_function("merge_sort", |bch| {
+        bch.iter(|| {
+            let (_, merged) = SweepRunner::available().run_indexed_traced(4, 1 << 14, |i| {
+                World::new(&cfg, &seeds.subfactory("bench", i as u64)).run().primary_deliveries
+            });
+            black_box(merged.events.len())
+        })
+    });
+    let (_, merged) = SweepRunner::available().run_indexed_traced(4, 1 << 14, |i| {
+        World::new(&cfg, &seeds.subfactory("bench", i as u64)).run().primary_deliveries
+    });
+    g.bench_function("export_chrome", |bch| {
+        bch.iter(|| black_box(export::chrome_trace(&merged).len()))
+    });
+    g.bench_function("export_jsonl", |bch| {
+        bch.iter(|| black_box(export::jsonl(&merged).len()))
+    });
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry/histogram");
+    g.bench_function("record", |bch| {
+        let mut h = LogHistogram::new();
+        let mut v = 0x9E3779B97F4A7C15u64;
+        bch.iter(|| {
+            for _ in 0..64 {
+                v ^= v << 13;
+                v ^= v >> 7;
+                v ^= v << 17;
+                h.record(black_box(v >> 32));
+            }
+            black_box(h.count())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_emit, bench_world, bench_merge_and_export, bench_histogram
+}
+criterion_main!(benches);

@@ -7,6 +7,14 @@
 //! Experiments: `table1 table2 table3 fig1 fig2a fig2b fig2c fig2d fig2e
 //! fig3 fig4 fig5 fig6 fig8 fig9 fig10 overhead mbox-scale` or `all`, plus
 //! the extensions `ablations`, `fec`, `crosstech`, and `uplink`.
+//!
+//! Telemetry capture (full fidelity needs a build with `--features trace`):
+//! ```text
+//! repro --trace-out trace.json          # Chrome/Perfetto JSON + JSONL sidecar
+//! repro --metrics-out metrics.txt       # per-sweep metrics table
+//! repro --telemetry-status              # is the telemetry layer compiled in?
+//! ```
+//! With only telemetry flags given, the standard experiments are skipped.
 
 use diversifi::analysis::{
     self, burst_summary, correlation_figure, pcr_by_impairment, strategy_cdf, AnalysisOptions,
@@ -59,6 +67,8 @@ fn main() {
     let mut seed = 0xD1BE5F1u64;
     let mut out_dir = "results".to_string();
     let mut wanted: Vec<String> = Vec::new();
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -68,9 +78,19 @@ fn main() {
                 seed = args.next().expect("--seed N").parse().expect("seed must be u64")
             }
             "--out" => out_dir = args.next().expect("--out DIR"),
+            "--trace-out" => trace_out = Some(args.next().expect("--trace-out PATH")),
+            "--metrics-out" => metrics_out = Some(args.next().expect("--metrics-out PATH")),
+            "--telemetry-status" => {
+                println!(
+                    "telemetry: compiled {}",
+                    if diversifi_simcore::telemetry::TRACE_COMPILED { "in" } else { "out" }
+                );
+                return;
+            }
             "--help" | "-h" => {
                 println!(
-                    "repro [--quick] [--seed N] [--out DIR] [EXPERIMENT...]\n\
+                    "repro [--quick] [--seed N] [--out DIR] [--trace-out PATH] \
+                     [--metrics-out PATH] [--telemetry-status] [EXPERIMENT...]\n\
                      experiments: table1 table2 table3 fig1 fig2a fig2b fig2c fig2d \
                      fig2e fig3 fig4 fig5 fig6 fig8 fig9 fig10 overhead mbox-scale all \
                      ablations fec crosstech uplink multiclient"
@@ -80,13 +100,18 @@ fn main() {
             other => wanted.push(other.to_string()),
         }
     }
+    // With only telemetry flags given, run just the capture scenario.
+    let telemetry_only =
+        wanted.is_empty() && (trace_out.is_some() || metrics_out.is_some());
     const STANDARD: [&str; 18] = [
         "fig1", "table1", "table2", "fig2a", "fig2b", "fig2c", "fig2d", "fig2e", "fig3",
         "fig4", "fig5", "fig6", "fig8", "fig9", "fig10", "overhead", "table3", "mbox-scale",
     ];
     const EXTENSIONS: [&str; 5] = ["ablations", "fec", "crosstech", "uplink", "multiclient"];
     if wanted.is_empty() {
-        wanted = STANDARD.iter().map(|s| s.to_string()).collect();
+        if !telemetry_only {
+            wanted = STANDARD.iter().map(|s| s.to_string()).collect();
+        }
     } else {
         // "all" expands in place to the paper's tables/figures;
         // "extensions" to the beyond-the-paper experiments.
@@ -104,6 +129,10 @@ fn main() {
 
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
     let mut ctx = Ctx { scale, seed, out_dir, threads, main_corpus: None, eval_corpus: None };
+
+    if trace_out.is_some() || metrics_out.is_some() {
+        telemetry_capture(&ctx, trace_out.as_deref(), metrics_out.as_deref());
+    }
 
     for exp in wanted {
         println!("\n================ {exp} ================");
@@ -132,6 +161,52 @@ fn main() {
             "uplink" => uplink(&mut ctx),
             "multiclient" => multiclient(&mut ctx),
             other => eprintln!("unknown experiment: {other}"),
+        }
+    }
+}
+
+/// Capture one fully-instrumented paper scenario (§6 testbed weak pair,
+/// customized-AP DiversiFi with a coexisting TCP flow) across a small sweep
+/// and export the merged telemetry.
+fn telemetry_capture(ctx: &Ctx, trace_out: Option<&str>, metrics_out: Option<&str>) {
+    use diversifi::world::{RunMode, World, WorldConfig};
+    use diversifi_simcore::export;
+
+    if !diversifi_simcore::telemetry::TRACE_COMPILED {
+        eprintln!(
+            "[telemetry] warning: release build without the `trace` feature — the \
+             capture will be empty; rebuild with `--features trace`"
+        );
+    }
+    println!("\n================ telemetry ================");
+    let mut primary = LinkConfig::office(Channel::CH1, 26.0);
+    primary.ge = GeParams::weak_link();
+    let mut secondary = LinkConfig::office(Channel::CH11, 30.0);
+    secondary.ge = GeParams::weak_link();
+    let mut cfg = WorldConfig::testbed(primary, secondary);
+    cfg.mode = RunMode::DiversifiCustomAp;
+    cfg.with_tcp = true;
+    cfg.spec.duration = SimDuration::from_secs(ctx.scale.call_secs.min(30));
+    let seeds = SeedFactory::new(ctx.seed ^ 0x7E1E);
+    let (_, merged) = SweepRunner::available().run_indexed_traced(4, 1 << 16, |i| {
+        World::new(&cfg, &seeds.subfactory("telemetry", i as u64)).run()
+    });
+    println!("{}", export::sweep_report(&merged));
+    if let Some(path) = trace_out {
+        match std::fs::write(path, export::chrome_trace(&merged)) {
+            Ok(()) => println!("[artifact] {path} (Chrome trace — open at ui.perfetto.dev)"),
+            Err(e) => eprintln!("[artifact] failed to write {path}: {e}"),
+        }
+        let sidecar = format!("{path}.jsonl");
+        match std::fs::write(&sidecar, export::jsonl(&merged)) {
+            Ok(()) => println!("[artifact] {sidecar} (event stream, one JSON object per line)"),
+            Err(e) => eprintln!("[artifact] failed to write {sidecar}: {e}"),
+        }
+    }
+    if let Some(path) = metrics_out {
+        match std::fs::write(path, export::metrics_table(&merged.metrics)) {
+            Ok(()) => println!("[artifact] {path} (per-sweep metrics table)"),
+            Err(e) => eprintln!("[artifact] failed to write {path}: {e}"),
         }
     }
 }

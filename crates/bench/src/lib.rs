@@ -16,6 +16,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library diagnostics go through `diversifi_simcore::telemetry`, never
+// stdout/stderr (the `repro` *binary* owns stdout); CI's `clippy -D
+// warnings` enforces this.
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 
 use diversifi::analysis::AnalysisOptions;
 use diversifi::evaluation::EvalOptions;

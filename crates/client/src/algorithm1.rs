@@ -220,6 +220,21 @@ impl Algorithm1 {
         self.outstanding.len()
     }
 
+    /// Snapshot the state machine's counters into a metrics registry.
+    pub fn export_metrics(
+        &self,
+        who: diversifi_simcore::ComponentId,
+        reg: &mut diversifi_simcore::MetricsRegistry,
+    ) {
+        reg.counter(who, "recovery_visits", self.stats.recovery_visits);
+        reg.counter(who, "keepalive_visits", self.stats.keepalive_visits);
+        reg.counter(who, "recovered_on_secondary", self.stats.recovered_on_secondary);
+        reg.counter(who, "duplicate_packets", self.stats.duplicate_packets);
+        reg.counter(who, "expired_losses", self.stats.expired_losses);
+        reg.counter(who, "cancelled_visits", self.stats.cancelled_visits);
+        reg.gauge(who, "outstanding", self.outstanding.len() as f64);
+    }
+
     fn expected_arrival(&self, seq: u64) -> SimTime {
         self.base.expect("no base yet") + self.cfg.inter_packet_spacing * seq
     }

@@ -48,6 +48,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library diagnostics go through `diversifi_simcore::telemetry`, never
+// stdout/stderr; CI's `clippy -D warnings` enforces this.
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod ablation;
 pub mod analysis;

@@ -22,11 +22,16 @@ use diversifi_client::{
     Algorithm1, Algorithm1Config, Command, DeploymentMode, LinkSide, Residency,
 };
 use diversifi_net::{Middlebox, MiddleboxConfig, StreamPacket, TcpConfig, TcpReceiver, TcpSender};
-use diversifi_simcore::{EventQueue, RngStream, SeedFactory, SimDuration, SimTime};
+use diversifi_simcore::telemetry::{self, Phase, TelemetrySession};
+use diversifi_simcore::{
+    trace_event, ComponentId, DecisionKind, EventQueue, RngStream, SeedFactory, SimDuration,
+    SimTime, TraceDetail, TraceKind,
+};
 use diversifi_voip::{StreamSpec, StreamTrace};
 use diversifi_wifi::{
     mac, AccessPoint, AdapterId, ApConfig, ApId, ChannelRealization, ClientId, Enqueued, FlowId,
-    Frame, FrameKind, LinkConfig, LinkModel, QueueDiscipline, RealizationCache, TxOutcome,
+    Frame, FrameKind, LinkConfig, LinkModel, MacMetrics, QueueDiscipline, RealizationCache,
+    TxOutcome,
 };
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -227,6 +232,9 @@ pub struct World<'a> {
     secondary_air_tx: u64,
     secondary_wasteful_tx: u64,
     switch_delays: Vec<SwitchDelaySample>,
+    /// Per-AP MAC telemetry (attempt/airtime distributions); fed only while
+    /// a telemetry session is active, exported at finalize.
+    mac_metrics: [MacMetrics; 2],
     /// Time the most recent switch-to-secondary started.
     pending_switch_started: Option<SimTime>,
     client_timer_armed: Option<SimTime>,
@@ -347,6 +355,7 @@ impl<'a> World<'a> {
             secondary_air_tx: 0,
             secondary_wasteful_tx: 0,
             switch_delays: Vec::new(),
+            mac_metrics: [MacMetrics::default(), MacMetrics::default()],
             pending_switch_started: None,
             client_timer_armed: None,
             done: false,
@@ -381,6 +390,7 @@ impl<'a> World<'a> {
             if self.done {
                 break;
             }
+            let _dispatch = telemetry::span(Phase::Dispatch);
             self.handle(now, ev);
         }
 
@@ -393,6 +403,53 @@ impl<'a> World<'a> {
             + self.aps[1].queue_len(SECONDARY)
             + self.aps[1].hw_len(SECONDARY);
         self.ledger.finalize(queued_truth, self.mbox.buffered(VOIP_FLOW), 2);
+
+        // Snapshot every component's instruments into the active telemetry
+        // session's registry. The closure never runs when telemetry is off,
+        // so the finalize cost (including the E-model evaluation below) is
+        // strictly session-gated.
+        telemetry::with_metrics(|reg| {
+            self.aps[0].export_metrics(ComponentId::ap(0), reg);
+            self.aps[1].export_metrics(ComponentId::ap(1), reg);
+            self.mac_metrics[0].export(ComponentId::mac(0), reg);
+            self.mac_metrics[1].export(ComponentId::mac(1), reg);
+            self.mbox.export_metrics(ComponentId::middlebox(), reg);
+            if self.cfg.with_tcp {
+                self.tcp_tx.export_metrics(ComponentId::tcp(), reg);
+            }
+            if self.cfg.mode.replicates() {
+                self.alg.export_metrics(ComponentId::client(), reg);
+            }
+            // Recovery-hop latency distribution (Table 3's total), µs.
+            let mut hop = diversifi_simcore::LogHistogram::new();
+            for s in &self.switch_delays {
+                hop.record_f64(s.total_ms() * 1000.0);
+            }
+            reg.histogram(ComponentId::world(), "hop_latency_us", &hop);
+            // Delivered-packet one-way delay distribution, µs, plus the
+            // playout/E-model view of the finished call.
+            let mut delay = diversifi_simcore::LogHistogram::new();
+            diversifi_voip::delay_histogram_into(&self.trace, &mut delay);
+            reg.histogram(ComponentId::playout(), "delay_us", &delay);
+            let pcfg = diversifi_voip::PlayoutConfig::default();
+            let conceal = diversifi_voip::conceal(&self.trace, &pcfg);
+            let q = diversifi_voip::evaluate(
+                &self.trace,
+                &conceal,
+                &diversifi_voip::CodecModel::g711_plc(),
+                pcfg.playout_delay,
+                SimDuration::ZERO,
+            );
+            reg.gauge(ComponentId::playout(), "emodel_r", q.r_factor);
+            reg.gauge(ComponentId::playout(), "mos", q.mos);
+            reg.counter(ComponentId::world(), "primary_deliveries", self.primary_deliveries);
+            reg.counter(ComponentId::world(), "secondary_air_tx", self.secondary_air_tx);
+            reg.counter(
+                ComponentId::world(),
+                "secondary_wasteful_tx",
+                self.secondary_wasteful_tx,
+            );
+        });
 
         let duration = self.cfg.spec.duration.as_secs_f64();
         let tcp_throughput_bps = self.tcp_tx.acked_bytes() as f64 * 8.0 / duration;
@@ -411,6 +468,16 @@ impl<'a> World<'a> {
             ),
             switch_delays: self.switch_delays,
         }
+    }
+
+    /// Run to completion with a private telemetry session: trace events go
+    /// to a ring of `capacity` slots and every component's metrics are
+    /// snapshotted at the end. Results are bit-identical to [`World::run`];
+    /// in a release build without the `trace` feature the session is empty.
+    pub fn run_traced(self, capacity: usize) -> (RunReport, TelemetrySession) {
+        telemetry::begin(capacity);
+        let report = self.run();
+        (report, telemetry::end())
     }
 
     fn uses_alg(&self) -> bool {
@@ -446,6 +513,12 @@ impl<'a> World<'a> {
                     "retune began while a previous retune was still in flight"
                 );
                 self.client_side = None;
+                trace_event!(
+                    now,
+                    TraceKind::LinkSwitch,
+                    ComponentId::client(),
+                    TraceDetail::Link { to_secondary: side == LinkSide::Secondary },
+                );
                 self.q.schedule(
                     now + SimDuration::from_micros(2300),
                     Ev::RetuneDone { side },
@@ -453,17 +526,34 @@ impl<'a> World<'a> {
             }
             Ev::RetuneDone { side } => self.on_retune_done(now, side),
             Ev::PsDelivered { ap, adapter, sleeping } => {
+                trace_event!(
+                    now,
+                    TraceKind::PowerSave,
+                    ComponentId::ap(ap as u16),
+                    TraceDetail::Power { sleeping },
+                );
                 self.aps[ap].set_power_save(adapter, sleeping);
                 self.q.schedule(now, Ev::ApKick(ap));
             }
             Ev::MiddleboxIngest(pkt) => {
                 let rolled_before = self.mbox.rolled_over;
+                let seq = pkt.seq;
                 if let Some(fwd) = self.mbox.ingest(pkt) {
                     // Streaming state: the copy passes straight through and
                     // stays in transit toward the secondary AP.
                     self.ledger.mbox_forward_live();
                     self.forward_from_middlebox(now, fwd);
                 } else {
+                    trace_event!(
+                        now,
+                        TraceKind::Enqueue,
+                        ComponentId::middlebox(),
+                        TraceDetail::Queue {
+                            seq,
+                            depth: self.mbox.buffered(VOIP_FLOW) as u16,
+                            cap: self.cfg.alg.ap_queue_len() as u16,
+                        },
+                    );
                     self.ledger.mbox_buffer();
                     if self.mbox.rolled_over > rolled_before {
                         self.ledger.mbox_rollover();
@@ -554,6 +644,24 @@ impl<'a> World<'a> {
         // Queue drops (head- or tail-) are final for this copy; recovery,
         // if any, happens through the other path.
         let outcome = self.aps[ap].enqueue(adapter, frame);
+        match &outcome {
+            Enqueued::Ok => trace_event!(
+                now,
+                TraceKind::Enqueue,
+                ComponentId::ap(ap as u16),
+                TraceDetail::Queue {
+                    seq,
+                    depth: self.aps[ap].queue_len(adapter) as u16,
+                    cap: self.aps[ap].queue_cap(adapter) as u16,
+                },
+            ),
+            Enqueued::Dropped { dropped } => trace_event!(
+                now,
+                TraceKind::QueueDrop,
+                ComponentId::ap(ap as u16),
+                TraceDetail::Drop { seq: dropped.seq, head: dropped.seq != seq },
+            ),
+        }
         if is_voip {
             match outcome {
                 Enqueued::Ok => self.ledger.enqueue_ok(),
@@ -581,7 +689,20 @@ impl<'a> World<'a> {
         }
         self.busy[ap] = true;
         let mac_cfg = self.aps[ap].config().mac;
-        let outcome = mac::transmit(&mut self.links[ap], &mac_cfg, &frame, now);
+        let outcome = {
+            let _sample = telemetry::span(Phase::ChannelSample);
+            mac::transmit(&mut self.links[ap], &mac_cfg, &frame, now)
+        };
+        trace_event!(
+            now,
+            TraceKind::TxStart,
+            ComponentId::mac(ap as u16),
+            TraceDetail::Air {
+                seq: frame.seq,
+                attempts: outcome.attempts,
+                dur_us: outcome.completed_at.saturating_since(now).as_micros() as u32,
+            },
+        );
         self.q.schedule(outcome.completed_at, Ev::ApTxDone { ap, adapter, frame, outcome });
     }
 
@@ -606,8 +727,34 @@ impl<'a> World<'a> {
         if ap == 1 && frame.kind == FrameKind::Data {
             self.secondary_air_tx += 1;
         }
+        if telemetry::active() {
+            self.mac_metrics[ap].record(&outcome);
+        }
 
         let heard = outcome.delivered && self.client_listening(ap);
+        if heard {
+            trace_event!(
+                now,
+                TraceKind::Delivery,
+                ComponentId::client(),
+                TraceDetail::Air {
+                    seq: frame.seq,
+                    attempts: outcome.attempts,
+                    dur_us: outcome.airtime.as_micros() as u32,
+                },
+            );
+        } else if !outcome.delivered {
+            trace_event!(
+                now,
+                TraceKind::AirLoss,
+                ComponentId::ap(ap as u16),
+                TraceDetail::Air {
+                    seq: frame.seq,
+                    attempts: outcome.attempts,
+                    dur_us: outcome.airtime.as_micros() as u32,
+                },
+            );
+        }
         if frame.flow == VOIP_FLOW {
             if heard {
                 self.ledger.tx_heard();
@@ -647,6 +794,15 @@ impl<'a> World<'a> {
                 let _ = adapter;
             }
             TCP_FLOW => {
+                trace_event!(
+                    now,
+                    TraceKind::Transport,
+                    ComponentId::tcp(),
+                    TraceDetail::Transport {
+                        seq: frame.seq,
+                        flight: self.tcp_tx.in_flight() as u16,
+                    },
+                );
                 let ack = self.tcp_rx.on_segment(frame.seq);
                 // ACK goes back over the uplink + LAN.
                 if !self.rng.chance(self.cfg.uplink_loss) {
@@ -702,6 +858,22 @@ impl<'a> World<'a> {
 
     fn apply_commands(&mut self, now: SimTime, cmds: Vec<Command>) {
         for cmd in cmds {
+            if telemetry::active() {
+                let (kind, seq) = match cmd {
+                    Command::SwitchToSecondary => (DecisionKind::SwitchToSecondary, 0),
+                    Command::SwitchToPrimary => (DecisionKind::SwitchToPrimary, 0),
+                    Command::MiddleboxStart { from_seq } => {
+                        (DecisionKind::MiddleboxStart, from_seq)
+                    }
+                    Command::MiddleboxStop => (DecisionKind::MiddleboxStop, 0),
+                };
+                trace_event!(
+                    now,
+                    TraceKind::Decision,
+                    ComponentId::client(),
+                    TraceDetail::Decision { kind, seq },
+                );
+            }
             match cmd {
                 Command::SwitchToSecondary => {
                     self.pending_switch_started = Some(now);
@@ -741,6 +913,12 @@ impl<'a> World<'a> {
 
     fn on_retune_done(&mut self, now: SimTime, side: LinkSide) {
         self.client_side = Some(side);
+        trace_event!(
+            now,
+            TraceKind::LinkSwitch,
+            ComponentId::client(),
+            TraceDetail::Link { to_secondary: side == LinkSide::Secondary },
+        );
         match side {
             LinkSide::Secondary => {
                 // Wake the secondary association.

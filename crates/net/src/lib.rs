@@ -16,6 +16,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library diagnostics go through `diversifi_simcore::telemetry`, never
+// stdout/stderr; CI's `clippy -D warnings` enforces this.
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod middlebox;
 pub mod packet;
@@ -24,7 +27,7 @@ pub mod switch;
 pub mod tcp;
 pub mod wan;
 
-pub use middlebox::{Middlebox, MiddleboxConfig};
+pub use middlebox::{Middlebox, MiddleboxConfig, MiddleboxMetrics};
 pub use packet::StreamPacket;
 pub use rtp::{profile_for, PayloadProfile, RtpError, RtpHeader, RTP_HEADER_LEN};
 pub use switch::{FlowMatch, Port, Rule, SdnSwitch};

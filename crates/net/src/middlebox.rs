@@ -13,7 +13,8 @@
 //! (+1.1 ms at 1000 concurrent streams).
 
 use crate::packet::StreamPacket;
-use diversifi_simcore::SimDuration;
+use diversifi_simcore::metrics::{LogHistogram, MetricsRegistry};
+use diversifi_simcore::{telemetry, ComponentId, SimDuration};
 use diversifi_wifi::FlowId;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
@@ -47,6 +48,20 @@ struct FlowBuffer {
     streaming: bool,
 }
 
+/// Telemetry instruments owned by the [`Middlebox`]: ring-occupancy and
+/// per-request service-latency distributions, recorded only while a
+/// telemetry session is active.
+#[derive(Clone, Debug, Default)]
+pub struct MiddleboxMetrics {
+    /// Distribution of per-flow ring depth sampled after every ingest.
+    pub ring_depth: LogHistogram,
+    /// Distribution of request service delay (the recovery hop's queueing
+    /// cost), microseconds — sampled at every `start`.
+    pub service_us: LogHistogram,
+    /// `start` requests handled.
+    pub starts: u64,
+}
+
 /// The middlebox device.
 #[derive(Clone, Debug)]
 pub struct Middlebox {
@@ -57,12 +72,30 @@ pub struct Middlebox {
     pub rolled_over: u64,
     /// Packets handed to the secondary path.
     pub forwarded: u64,
+    /// Telemetry instruments (live only during a telemetry session).
+    pub metrics: MiddleboxMetrics,
 }
 
 impl Middlebox {
     /// An empty middlebox.
     pub fn new(cfg: MiddleboxConfig) -> Middlebox {
-        Middlebox { cfg, flows: BTreeMap::new(), rolled_over: 0, forwarded: 0 }
+        Middlebox {
+            cfg,
+            flows: BTreeMap::new(),
+            rolled_over: 0,
+            forwarded: 0,
+            metrics: MiddleboxMetrics::default(),
+        }
+    }
+
+    /// Snapshot the middlebox's instruments into a metrics registry.
+    pub fn export_metrics(&self, who: ComponentId, reg: &mut MetricsRegistry) {
+        reg.counter(who, "forwarded", self.forwarded);
+        reg.counter(who, "rolled_over", self.rolled_over);
+        reg.counter(who, "starts", self.metrics.starts);
+        reg.gauge(who, "flows", self.flows.len() as f64);
+        reg.histogram(who, "ring_depth", &self.metrics.ring_depth);
+        reg.histogram(who, "service_us", &self.metrics.service_us);
     }
 
     /// The configuration in force.
@@ -123,6 +156,10 @@ impl Middlebox {
             fb.cap,
             packet.flow
         );
+        if telemetry::active() {
+            let depth = fb.ring.len() as u64;
+            self.metrics.ring_depth.record(depth);
+        }
         None
     }
 
@@ -131,6 +168,10 @@ impl Middlebox {
     /// client), plus the service delay the response incurs.
     pub fn start(&mut self, flow: FlowId, from_seq: u64) -> (SimDuration, Vec<StreamPacket>) {
         let delay = self.service_delay();
+        if telemetry::active() {
+            self.metrics.starts += 1;
+            self.metrics.service_us.record(delay.as_micros());
+        }
         let Some(fb) = self.flows.get_mut(&flow) else {
             return (delay, Vec::new());
         };

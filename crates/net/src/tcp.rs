@@ -135,6 +135,19 @@ impl TcpSender {
         self.acked_segments * self.cfg.mss as u64
     }
 
+    /// Snapshot the sender's counters into a metrics registry.
+    pub fn export_metrics(
+        &self,
+        who: diversifi_simcore::ComponentId,
+        reg: &mut diversifi_simcore::MetricsRegistry,
+    ) {
+        reg.counter(who, "transmissions", self.transmissions);
+        reg.counter(who, "acked_segments", self.acked_segments);
+        reg.counter(who, "fast_retransmits", self.fast_retransmits);
+        reg.counter(who, "timeouts", self.timeouts);
+        reg.gauge(who, "cwnd", self.cwnd);
+    }
+
     fn window(&self) -> u64 {
         (self.cwnd.floor() as u64).max(1).min(self.cfg.rwnd)
     }

@@ -1,0 +1,341 @@
+//! Telemetry exporters: JSONL, Chrome trace-event JSON, metrics tables.
+//!
+//! All three render a [`MergedTelemetry`] (single runs wrap themselves
+//! via [`MergedTelemetry::from_single`]). JSON is emitted by hand — the
+//! formats are flat and fixed, and keeping serde out of the export path
+//! means the exporters work identically in every build configuration.
+//!
+//! The Chrome trace-event output follows the documented JSON array
+//! format (`{"traceEvents": [...]}`) understood by `chrome://tracing`
+//! and <https://ui.perfetto.dev>:
+//!
+//! - each run becomes a *process* (`pid` = run index),
+//! - each component becomes a named *thread* within it (`tid` derived
+//!   from the [`ComponentId`], labelled via `thread_name` metadata),
+//! - air exchanges ([`TraceKind::TxStart`]) become duration (`"X"`)
+//!   slices using the recorded exchange time,
+//! - queue admissions emit counter (`"C"`) tracks of queue depth,
+//! - everything else becomes thread-scoped instants (`"i"`).
+
+use std::fmt::Write as _;
+
+use crate::metrics::{MetricValue, MetricsRegistry};
+use crate::telemetry::{MergedTelemetry, PhaseProfile, SweepEvent};
+use crate::trace::{ComponentId, TraceDetail, TraceKind};
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Append the detail payload as a JSON object fragment (no braces).
+fn detail_fields(d: &TraceDetail, out: &mut String) {
+    match *d {
+        TraceDetail::None => {}
+        TraceDetail::Seq(seq) => {
+            let _ = write!(out, "\"seq\":{seq}");
+        }
+        TraceDetail::Queue { seq, depth, cap } => {
+            let _ = write!(out, "\"seq\":{seq},\"depth\":{depth},\"cap\":{cap}");
+        }
+        TraceDetail::Drop { seq, head } => {
+            let _ = write!(out, "\"seq\":{seq},\"head\":{head}");
+        }
+        TraceDetail::Air { seq, attempts, dur_us } => {
+            let _ = write!(out, "\"seq\":{seq},\"attempts\":{attempts},\"dur_us\":{dur_us}");
+        }
+        TraceDetail::Link { to_secondary } => {
+            let _ = write!(out, "\"to_secondary\":{to_secondary}");
+        }
+        TraceDetail::Power { sleeping } => {
+            let _ = write!(out, "\"sleeping\":{sleeping}");
+        }
+        TraceDetail::Decision { kind, seq } => {
+            let _ = write!(out, "\"decision\":\"{}\",\"seq\":{seq}", kind.name());
+        }
+        TraceDetail::Transport { seq, flight } => {
+            let _ = write!(out, "\"seq\":{seq},\"flight\":{flight}");
+        }
+        TraceDetail::Value(v) => {
+            let _ = write!(out, "\"value\":{v}");
+        }
+    }
+}
+
+/// Render the merged trace as JSON Lines: one self-contained object per
+/// event, in merge order — the grep/jq-friendly dump. `ord` is the
+/// within-run emission counter (the merge tiebreaker); `seq`, when
+/// present, is the packet sequence number from the event detail.
+pub fn jsonl(merged: &MergedTelemetry) -> String {
+    let mut out = String::with_capacity(merged.events.len() * 96);
+    for SweepEvent { run, seq, event } in &merged.events {
+        let _ = write!(
+            out,
+            "{{\"at_ns\":{},\"run\":{run},\"ord\":{seq},\"kind\":\"{}\",\"who\":\"{}\"",
+            event.at.as_nanos(),
+            event.kind.name(),
+            event.who,
+        );
+        let mut fields = String::new();
+        detail_fields(&event.detail, &mut fields);
+        if !fields.is_empty() {
+            out.push(',');
+            out.push_str(&fields);
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Stable Chrome-trace thread id for a component (kinds are spaced so
+/// indexed components get contiguous tids).
+fn tid(who: ComponentId) -> u32 {
+    (who.kind as u32) * 16 + u32::from(who.index)
+}
+
+fn push_common(out: &mut String, name: &str, ph: char, ts_us: f64, run: u32, tid_: u32) {
+    let _ = write!(out, "{{\"name\":\"");
+    json_escape(name, out);
+    let _ = write!(out, "\",\"ph\":\"{ph}\",\"ts\":{ts_us:.3},\"pid\":{run},\"tid\":{tid_}");
+}
+
+/// Render the merged trace in Chrome trace-event JSON, loadable in
+/// `chrome://tracing` and <https://ui.perfetto.dev>.
+pub fn chrome_trace(merged: &MergedTelemetry) -> String {
+    let mut out = String::with_capacity(merged.events.len() * 160 + 256);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+    };
+
+    // thread_name metadata: one entry per (run, component) pair seen.
+    let mut named: Vec<(u32, u32)> = Vec::new();
+    for SweepEvent { run, event, .. } in &merged.events {
+        let t = tid(event.who);
+        if !named.contains(&(*run, t)) {
+            named.push((*run, t));
+            sep(&mut out);
+            push_common(&mut out, "thread_name", 'M', 0.0, *run, t);
+            let _ = write!(out, ",\"args\":{{\"name\":\"{}\"}}}}", event.who);
+        }
+    }
+
+    for SweepEvent { run, seq, event } in &merged.events {
+        let ts_us = event.at.as_nanos() as f64 / 1e3;
+        let t = tid(event.who);
+        sep(&mut out);
+        match event.detail {
+            // Air exchanges render as duration slices.
+            TraceDetail::Air { seq: pkt, attempts, dur_us } if event.kind == TraceKind::TxStart => {
+                push_common(&mut out, &format!("tx seq={pkt}"), 'X', ts_us, *run, t);
+                let _ = write!(
+                    out,
+                    ",\"dur\":{dur_us},\"args\":{{\"seq\":{pkt},\"attempts\":{attempts}}}}}"
+                );
+            }
+            // Queue admissions double as counter samples of queue depth.
+            TraceDetail::Queue { seq: pkt, depth, cap } => {
+                push_common(&mut out, &format!("{} depth", event.who), 'C', ts_us, *run, t);
+                let _ = write!(out, ",\"args\":{{\"depth\":{depth}}}}}");
+                sep(&mut out);
+                push_common(&mut out, event.kind.name(), 'i', ts_us, *run, t);
+                let _ = write!(
+                    out,
+                    ",\"s\":\"t\",\"args\":{{\"seq\":{pkt},\"depth\":{depth},\"cap\":{cap}}}}}"
+                );
+            }
+            _ => {
+                push_common(&mut out, event.kind.name(), 'i', ts_us, *run, t);
+                out.push_str(",\"s\":\"t\",\"args\":{");
+                let mut fields = String::new();
+                detail_fields(&event.detail, &mut fields);
+                out.push_str(&fields);
+                let _ = write!(out, ",\"detail\":\"{}\",\"emit_seq\":{seq}}}}}", event.detail);
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Render a metrics registry as an aligned text table; histograms show
+/// count / mean / p50 / p90 / p99 / max.
+pub fn metrics_table(metrics: &MetricsRegistry) -> String {
+    let mut rows: Vec<[String; 3]> = Vec::with_capacity(metrics.len());
+    for row in metrics.rows() {
+        let value = match &row.value {
+            MetricValue::Counter(n) => format!("{n}"),
+            MetricValue::Gauge { sum, n } => {
+                format!("{:.3}", if *n == 0 { 0.0 } else { sum / *n as f64 })
+            }
+            MetricValue::Histogram(h) => format!(
+                "n={} mean={:.1} p50={} p90={} p99={} max={}",
+                h.count(),
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.9),
+                h.quantile(0.99),
+                h.max()
+            ),
+        };
+        rows.push([row.who.to_string(), row.name.to_string(), value]);
+    }
+    let mut widths = [9usize, 6, 5]; // headers: component, metric, value
+    for r in &rows {
+        for (w, cell) in widths.iter_mut().zip(r.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<w0$}  {:<w1$}  value",
+        "component",
+        "metric",
+        w0 = widths[0],
+        w1 = widths[1]
+    );
+    let _ = writeln!(out, "{}", "-".repeat(widths[0] + widths[1] + widths[2] + 4));
+    for r in &rows {
+        let _ = writeln!(out, "{:<w0$}  {:<w1$}  {}", r[0], r[1], r[2], w0 = widths[0], w1 = widths[1]);
+    }
+    out
+}
+
+/// Render a full sweep report: metrics table plus profile and drop-count
+/// footer — what `repro --metrics-out` writes.
+pub fn sweep_report(merged: &MergedTelemetry) -> String {
+    let mut out = metrics_table(&merged.metrics);
+    out.push('\n');
+    let _ = writeln!(out, "events: {} recorded, {} evicted", merged.events.len(), merged.dropped);
+    let _ = writeln!(out, "profile: {}", profile_line(&merged.profile));
+    out
+}
+
+fn profile_line(p: &PhaseProfile) -> String {
+    p.summary()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::LogHistogram;
+    use crate::telemetry::TelemetrySession;
+    use crate::time::SimTime;
+    use crate::trace::{DecisionKind, TraceEvent};
+
+    fn merged_fixture() -> MergedTelemetry {
+        let events = vec![
+            TraceEvent {
+                at: SimTime::from_micros(100),
+                kind: TraceKind::Enqueue,
+                who: ComponentId::ap(0),
+                detail: TraceDetail::Queue { seq: 1, depth: 2, cap: 64 },
+            },
+            TraceEvent {
+                at: SimTime::from_micros(200),
+                kind: TraceKind::TxStart,
+                who: ComponentId::ap(0),
+                detail: TraceDetail::Air { seq: 1, attempts: 2, dur_us: 850 },
+            },
+            TraceEvent {
+                at: SimTime::from_micros(1050),
+                kind: TraceKind::Delivery,
+                who: ComponentId::client(),
+                detail: TraceDetail::Seq(1),
+            },
+            TraceEvent {
+                at: SimTime::from_micros(1100),
+                kind: TraceKind::Decision,
+                who: ComponentId::client(),
+                detail: TraceDetail::Decision { kind: DecisionKind::MiddleboxStart, seq: 2 },
+            },
+        ];
+        let mut metrics = MetricsRegistry::new();
+        metrics.counter(ComponentId::ap(0), "drops", 3);
+        metrics.gauge(ComponentId::tcp(), "cwnd", 7.0);
+        let mut h = LogHistogram::new();
+        h.record(5);
+        h.record(900);
+        metrics.histogram(ComponentId::ap(0), "queue_depth", &h);
+        MergedTelemetry::from_single(TelemetrySession {
+            events,
+            metrics,
+            ..TelemetrySession::default()
+        })
+    }
+
+    #[test]
+    fn jsonl_one_line_per_event() {
+        let m = merged_fixture();
+        let out = jsonl(&m);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"kind\":\"enqueue\""));
+        assert!(lines[0].contains("\"who\":\"ap:0\""));
+        assert!(lines[0].contains("\"depth\":2"));
+        assert!(lines[1].contains("\"dur_us\":850"));
+        assert!(lines[3].contains("\"decision\":\"middlebox_start\""));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let m = merged_fixture();
+        let out = chrome_trace(&m);
+        assert!(out.starts_with("{\"displayTimeUnit\""));
+        assert!(out.contains("\"traceEvents\":["));
+        // Duration slice for the air exchange.
+        assert!(out.contains("\"ph\":\"X\""));
+        assert!(out.contains("\"dur\":850"));
+        // Counter track for queue depth.
+        assert!(out.contains("\"ph\":\"C\""));
+        // Thread name metadata for both components.
+        assert!(out.contains("\"thread_name\""));
+        assert!(out.contains("{\"name\":\"ap:0\"}"));
+        assert!(out.contains("{\"name\":\"client\"}"));
+        // Balanced braces/brackets — cheap structural sanity.
+        let open = out.matches('{').count();
+        let close = out.matches('}').count();
+        assert_eq!(open, close);
+        assert_eq!(out.matches('[').count(), out.matches(']').count());
+    }
+
+    #[test]
+    fn metrics_table_lists_all_rows() {
+        let m = merged_fixture();
+        let table = metrics_table(&m.metrics);
+        assert!(table.contains("drops"));
+        assert!(table.contains("queue_depth"));
+        assert!(table.contains("p90="));
+        assert!(table.contains("cwnd"));
+        assert!(table.contains("7.000"));
+        let report = sweep_report(&m);
+        assert!(report.contains("events: 4 recorded, 0 evicted"));
+        assert!(report.contains("profile:"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        let mut s = String::new();
+        json_escape("a\"b\\c\nd", &mut s);
+        assert_eq!(s, "a\\\"b\\\\c\\nd");
+    }
+}

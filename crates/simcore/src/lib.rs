@@ -13,7 +13,12 @@
 //!   (the machinery behind every figure in the paper).
 //! - [`MetricsScratch`] — reusable per-worker buffers so corpus-scale
 //!   metric evaluation runs allocation-free inside sweep workers.
-//! - [`TraceSink`] — zero-cost-by-default structured tracing.
+//! - [`telemetry`] — zero-alloc structured tracing ([`TraceEvent`] is a
+//!   32-byte `Copy` record), a [`metrics`] registry of counters / gauges /
+//!   log-scale histograms, span-based event-loop self-profiling, and
+//!   [`export`]ers (JSONL, Chrome trace-event / Perfetto, text tables).
+//!   Compiled in for debug builds and `--features trace` release builds;
+//!   otherwise the emission sites const-fold to no-ops.
 //! - [`check`] — the invariant-audit layer: [`sim_assert!`]/[`sim_assert_eq!`]
 //!   plus the packet-conservation [`check::PacketLedger`], active in debug
 //!   builds and `--features audit` release builds.
@@ -24,16 +29,23 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library diagnostics go through `telemetry`, never stdout/stderr; CI's
+// `clippy -D warnings` turns these into hard errors.
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod check;
+pub mod export;
+pub mod metrics;
 pub mod par;
 mod queue;
 mod rng;
 pub mod scratch;
 pub mod stats;
+pub mod telemetry;
 mod time;
 mod trace;
 
+pub use metrics::{LogHistogram, MetricsRegistry};
 pub use par::SweepRunner;
 pub use queue::{EventId, EventQueue};
 pub use rng::{RngStream, SeedFactory};
@@ -42,8 +54,12 @@ pub use stats::{
     autocorrelation, cross_correlation, mean, pearson, quantile_unsorted, BucketHistogram, Ecdf,
     Summary,
 };
+pub use telemetry::{MergedTelemetry, SweepEvent, TelemetrySession};
 pub use time::{SimDuration, SimTime};
-pub use trace::{NullSink, RecordingSink, TraceEvent, TraceKind, TraceSink};
+pub use trace::{
+    ComponentId, ComponentKind, DecisionKind, NullSink, RecordingSink, RingSink, TraceDetail,
+    TraceEvent, TraceKind, TraceSink,
+};
 
 #[cfg(test)]
 mod integration_tests {

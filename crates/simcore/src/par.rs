@@ -28,6 +28,7 @@
 //! degrades to a plain inline loop with zero thread overhead.
 
 use crate::rng::SeedFactory;
+use crate::telemetry::{self, MergedTelemetry};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -191,6 +192,80 @@ impl SweepRunner {
             .collect()
     }
 
+    /// Like [`run_indexed`](Self::run_indexed), but wraps every task in a
+    /// telemetry session (a per-worker bounded ring of `capacity` events
+    /// plus a metrics snapshot) and deterministically merges the per-run
+    /// captures by `(sim-time, run-index, seq)`.
+    ///
+    /// Because a task's session lives on whichever worker thread claimed
+    /// it and each run's event stream is a pure function of the run, the
+    /// merged trace is bit-identical at any thread count — the same
+    /// contract as the results themselves. When telemetry is compiled out
+    /// ([`telemetry::TRACE_COMPILED`] is false) this is `run_indexed` plus
+    /// an empty [`MergedTelemetry`].
+    ///
+    /// Must not be called while a telemetry session is active on the
+    /// calling thread: the serial path runs tasks inline and would
+    /// clobber it.
+    pub fn run_indexed_traced<R, F>(&self, n: usize, capacity: usize, f: F) -> (Vec<R>, MergedTelemetry)
+    where
+        R: Send + Sync,
+        F: Fn(usize) -> R + Sync,
+    {
+        debug_assert!(
+            !telemetry::active(),
+            "run_indexed_traced would clobber the active telemetry session"
+        );
+        let out = self.run_indexed_with(n, || (), |i, _scratch: &mut ()| {
+            telemetry::begin(capacity);
+            let r = f(i);
+            (r, telemetry::end())
+        });
+        let mut merged = MergedTelemetry::default();
+        let mut results = Vec::with_capacity(out.len());
+        for (run, (r, session)) in out.into_iter().enumerate() {
+            results.push(r);
+            merged.absorb(run as u32, session);
+        }
+        merged.finish();
+        (results, merged)
+    }
+
+    /// Traced variant of [`run_with`](Self::run_with): per-worker scratch
+    /// *and* a telemetry session per task, merged deterministically. See
+    /// [`run_indexed_traced`](Self::run_indexed_traced) for the contract.
+    pub fn run_with_traced<T, S, R, I, F>(
+        &self,
+        tasks: &[T],
+        capacity: usize,
+        init: I,
+        f: F,
+    ) -> (Vec<R>, MergedTelemetry)
+    where
+        T: Sync,
+        R: Send + Sync,
+        I: Fn() -> S + Sync,
+        F: Fn(usize, &T, &mut S) -> R + Sync,
+    {
+        debug_assert!(
+            !telemetry::active(),
+            "run_with_traced would clobber the active telemetry session"
+        );
+        let out = self.run_indexed_with(tasks.len(), init, |i, scratch| {
+            telemetry::begin(capacity);
+            let r = f(i, &tasks[i], scratch);
+            (r, telemetry::end())
+        });
+        let mut merged = MergedTelemetry::default();
+        let mut results = Vec::with_capacity(out.len());
+        for (run, (r, session)) in out.into_iter().enumerate() {
+            results.push(r);
+            merged.absorb(run as u32, session);
+        }
+        merged.finish();
+        (results, merged)
+    }
+
     /// Map `f` over an indexed task slice with a per-worker scratch value;
     /// see [`run_indexed_with`](Self::run_indexed_with).
     pub fn run_with<T, S, R, I, F>(&self, tasks: &[T], init: I, f: F) -> Vec<R>
@@ -339,6 +414,94 @@ mod tests {
     fn more_workers_than_tasks_is_fine() {
         let out = SweepRunner::new(16).run_indexed(3, |i| i);
         assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    /// A fake task that emits a deterministic event pattern: run `i`
+    /// emits `i + 1` deliveries at staggered times, so runs interleave in
+    /// the merged timeline.
+    fn traced_task(i: usize) -> usize {
+        use crate::trace::{ComponentId, TraceDetail, TraceKind};
+        use crate::SimTime;
+        for k in 0..=i as u64 {
+            crate::trace_event!(
+                SimTime::from_micros(10 * k + i as u64),
+                TraceKind::Delivery,
+                ComponentId::client(),
+                TraceDetail::Seq(k)
+            );
+        }
+        crate::telemetry::with_metrics(|m| {
+            m.counter(crate::trace::ComponentId::client(), "emitted", i as u64 + 1)
+        });
+        i
+    }
+
+    #[test]
+    fn traced_merge_is_thread_count_invariant() {
+        if !crate::telemetry::TRACE_COMPILED {
+            return;
+        }
+        let (ref_results, ref_merged) = SweepRunner::serial().run_indexed_traced(9, 64, traced_task);
+        assert_eq!(ref_results, (0..9).collect::<Vec<_>>());
+        assert_eq!(ref_merged.events.len(), (1..=9).sum::<usize>());
+        // Merge order: (sim-time, run, seq), so equal-time events from
+        // different runs are ordered by run index.
+        for w in ref_merged.events.windows(2) {
+            assert!(
+                (w[0].event.at, w[0].run, w[0].seq) < (w[1].event.at, w[1].run, w[1].seq),
+                "merge order violated"
+            );
+        }
+        match ref_merged.metrics.get(crate::trace::ComponentId::client(), "emitted") {
+            Some(crate::metrics::MetricValue::Counter(n)) => assert_eq!(*n, (1..=9).sum::<u64>()),
+            other => panic!("{other:?}"),
+        }
+        for threads in [2, 4, 8] {
+            let (results, merged) = SweepRunner::new(threads).run_indexed_traced(9, 64, traced_task);
+            assert_eq!(results, ref_results, "threads={threads}");
+            assert_eq!(merged.events, ref_merged.events, "threads={threads}");
+            assert_eq!(merged.dropped, ref_merged.dropped);
+        }
+    }
+
+    #[test]
+    fn traced_runner_reports_ring_eviction() {
+        if !crate::telemetry::TRACE_COMPILED {
+            return;
+        }
+        // Capacity 2 with runs emitting up to 6 events: the merged trace
+        // keeps each run's suffix and counts the evictions.
+        let (_, merged) = SweepRunner::new(3).run_indexed_traced(6, 2, traced_task);
+        let total: u64 = (1..=6).sum();
+        let kept = merged.events.len() as u64;
+        assert_eq!(kept + merged.dropped, total);
+        assert_eq!(kept, 1 + 2 + 2 + 2 + 2 + 2);
+        // Surviving events are each run's *last* emissions.
+        for e in &merged.events {
+            let run_total = e.run as u64 + 1;
+            assert!(e.seq + 2 >= run_total, "run {} kept seq {}", e.run, e.seq);
+        }
+    }
+
+    #[test]
+    fn run_with_traced_combines_scratch_and_sessions() {
+        if !crate::telemetry::TRACE_COMPILED {
+            return;
+        }
+        let tasks: Vec<u64> = (0..7).map(|i| i * 3).collect();
+        let (results, merged) = SweepRunner::new(4).run_with_traced(
+            &tasks,
+            16,
+            Vec::<u64>::new,
+            |i, &t, buf| {
+                buf.clear();
+                buf.push(t);
+                traced_task(i);
+                buf[0]
+            },
+        );
+        assert_eq!(results, tasks);
+        assert_eq!(merged.events.len(), (1..=7).sum::<usize>());
     }
 
     #[test]

@@ -30,6 +30,10 @@ pub struct MetricsScratch {
     pub aux: Vec<f64>,
     /// Integer run-length buffer (loss-burst lengths).
     pub runs: Vec<usize>,
+    /// Reusable metrics-snapshot buffer for telemetry reductions (e.g.
+    /// folding per-run registries into a sweep table without reallocating
+    /// rows per task).
+    pub registry: crate::metrics::MetricsRegistry,
 }
 
 impl MetricsScratch {
@@ -43,6 +47,7 @@ impl MetricsScratch {
         self.values.clear();
         self.aux.clear();
         self.runs.clear();
+        self.registry.clear();
     }
 
     /// Total capacity currently held across all buffers, in elements —

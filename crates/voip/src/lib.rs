@@ -15,6 +15,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library diagnostics go through `diversifi_simcore::telemetry`, never
+// stdout/stderr; CI's `clippy -D warnings` enforces this.
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod codecfec;
 pub mod emodel;
@@ -25,7 +28,10 @@ pub mod trace;
 
 pub use codecfec::{conceal_with_lbrr, LbrrConfig, LbrrStats};
 pub use emodel::{burst_ratio, evaluate, CallQuality, CodecModel, PcrModel};
-pub use playout::{conceal, conceal_adaptive, AdaptivePlayout, ConcealmentStats, PlayoutConfig};
+pub use playout::{
+    conceal, conceal_adaptive, delay_histogram_into, AdaptivePlayout, ConcealmentStats,
+    PlayoutConfig,
+};
 pub use stream::StreamSpec;
 pub use trace::{PacketFate, StreamTrace, DEFAULT_DEADLINE};
 

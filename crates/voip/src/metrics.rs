@@ -2,7 +2,9 @@
 
 use crate::trace::StreamTrace;
 use diversifi_simcore::stats::BucketHistogram;
-use diversifi_simcore::{autocorrelation, cross_correlation, Ecdf, MetricsScratch, SimDuration};
+use diversifi_simcore::{
+    autocorrelation, cross_correlation, telemetry, Ecdf, MetricsScratch, SimDuration,
+};
 
 /// Autocorrelation of a trace's loss process at lags `1..=max_lag` packets
 /// (paper Fig. 4, "Auto Correlation" series).
@@ -22,6 +24,7 @@ pub fn loss_autocorrelation_with(
     max_lag: usize,
     scratch: &mut MetricsScratch,
 ) -> Vec<(usize, f64)> {
+    let _span = telemetry::span(telemetry::Phase::MetricsReduce);
     trace.loss_indicator_into(deadline, &mut scratch.values);
     (1..=max_lag).map(|lag| (lag, autocorrelation(&scratch.values, lag))).collect()
 }
@@ -46,6 +49,7 @@ pub fn loss_cross_correlation_with(
     max_lag: usize,
     scratch: &mut MetricsScratch,
 ) -> Vec<(usize, f64)> {
+    let _span = telemetry::span(telemetry::Phase::MetricsReduce);
     a.loss_indicator_into(deadline, &mut scratch.values);
     b.loss_indicator_into(deadline, &mut scratch.aux);
     (0..=max_lag).map(|lag| (lag, cross_correlation(&scratch.values, &scratch.aux, lag))).collect()
@@ -86,6 +90,7 @@ pub fn worst_window_quantile_with(
     q: f64,
     scratch: &mut MetricsScratch,
 ) -> f64 {
+    let _span = telemetry::span(telemetry::Phase::MetricsReduce);
     scratch.values.clear();
     scratch.values.extend(traces.iter().map(|t| t.worst_window_loss_pct(window, deadline)));
     diversifi_simcore::quantile_unsorted(&mut scratch.values, q)

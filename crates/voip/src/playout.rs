@@ -66,6 +66,19 @@ impl Default for PlayoutConfig {
     }
 }
 
+/// Accumulate the per-delivered-packet one-way delay distribution of a
+/// trace (microseconds) into a telemetry histogram. Lost packets contribute
+/// nothing; late-but-delivered packets contribute their real delay, so the
+/// histogram's tail shows exactly the recoveries an adaptive buffer would
+/// discard.
+pub fn delay_histogram_into(trace: &StreamTrace, hist: &mut diversifi_simcore::LogHistogram) {
+    for fate in &trace.fates {
+        if let Some(at) = fate.arrival {
+            hist.record(at.saturating_since(fate.sent).as_micros());
+        }
+    }
+}
+
 /// Run a trace through the playout buffer and G.711-style concealment.
 pub fn conceal(trace: &StreamTrace, cfg: &PlayoutConfig) -> ConcealmentStats {
     let mut stats = ConcealmentStats::default();

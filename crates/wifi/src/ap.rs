@@ -23,6 +23,8 @@ use crate::channel::Channel;
 use crate::frame::Frame;
 use crate::ids::{AdapterId, ApId};
 use crate::mac::MacConfig;
+use diversifi_simcore::metrics::{LogHistogram, MetricsRegistry};
+use diversifi_simcore::{telemetry, ComponentId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -108,6 +110,19 @@ impl ApConfig {
     }
 }
 
+/// Telemetry instruments owned by an [`AccessPoint`]. Recorded only while
+/// a telemetry session is active (free otherwise) and exported into a
+/// [`MetricsRegistry`] snapshot at end of run.
+#[derive(Clone, Debug, Default)]
+pub struct ApMetrics {
+    /// Frames offered to station queues (admitted or not).
+    pub enqueued: u64,
+    /// Distribution of driver-queue depth sampled after every enqueue.
+    pub queue_depth: LogHistogram,
+    /// Power-management edges (awake↔asleep) observed by this AP.
+    pub ps_transitions: u64,
+}
+
 /// The access point device model (control/queueing plane; the radio itself
 /// is driven by the world through [`crate::mac::transmit`]).
 #[derive(Clone, Debug)]
@@ -118,12 +133,20 @@ pub struct AccessPoint {
     rr_next: usize,
     /// Frames dropped from queues since creation (for overhead accounting).
     pub drops: u64,
+    /// Telemetry instruments (live only during a telemetry session).
+    pub metrics: ApMetrics,
 }
 
 impl AccessPoint {
     /// Create an AP.
     pub fn new(cfg: ApConfig) -> AccessPoint {
-        AccessPoint { cfg, stations: BTreeMap::new(), rr_next: 0, drops: 0 }
+        AccessPoint {
+            cfg,
+            stations: BTreeMap::new(),
+            rr_next: 0,
+            drops: 0,
+            metrics: ApMetrics::default(),
+        }
     }
 
     /// Static configuration.
@@ -168,6 +191,11 @@ impl AccessPoint {
         self.stations.get(&adapter).map(|s| s.hw.len()).unwrap_or(0)
     }
 
+    /// Negotiated driver-queue capacity for a station (0 if not associated).
+    pub fn queue_cap(&self, adapter: AdapterId) -> usize {
+        self.stations.get(&adapter).map(|s| s.discipline.cap()).unwrap_or(0)
+    }
+
     /// Offer a downlink frame for `adapter`.
     pub fn enqueue(&mut self, adapter: AdapterId, frame: Frame) -> Enqueued {
         let Some(st) = self.stations.get_mut(&adapter) else {
@@ -202,6 +230,11 @@ impl AccessPoint {
             cap,
             adapter
         );
+        if telemetry::active() {
+            self.metrics.enqueued += 1;
+            let depth = self.stations.get(&adapter).map(|s| s.queue.len()).unwrap_or(0);
+            self.metrics.queue_depth.record(depth as u64);
+        }
         result
     }
 
@@ -216,6 +249,9 @@ impl AccessPoint {
         if let Some(st) = self.stations.get_mut(&adapter) {
             let was_awake = st.awake;
             st.awake = !sleeping;
+            if was_awake == sleeping && telemetry::active() {
+                self.metrics.ps_transitions += 1;
+            }
             if !was_awake && st.awake {
                 for _ in 0..batch {
                     match st.queue.pop_front() {
@@ -286,6 +322,15 @@ impl AccessPoint {
         self.rr_next = 0;
         self.drops += lost.len() as u64;
         lost
+    }
+
+    /// Snapshot this AP's instruments into a metrics registry under `who`
+    /// (typically `ComponentId::ap(index)`).
+    pub fn export_metrics(&self, who: ComponentId, reg: &mut MetricsRegistry) {
+        reg.counter(who, "enqueued", self.metrics.enqueued);
+        reg.counter(who, "drops", self.drops);
+        reg.counter(who, "ps_transitions", self.metrics.ps_transitions);
+        reg.histogram(who, "queue_depth", &self.metrics.queue_depth);
     }
 }
 

@@ -27,6 +27,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library diagnostics go through `diversifi_simcore::telemetry`, never
+// stdout/stderr; CI's `clippy -D warnings` enforces this.
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod ap;
 pub mod channel;
@@ -41,14 +44,14 @@ pub mod realization;
 pub mod scan;
 pub mod wire;
 
-pub use ap::{AccessPoint, ApConfig, Enqueued, QueueDiscipline};
+pub use ap::{AccessPoint, ApConfig, ApMetrics, Enqueued, QueueDiscipline};
 pub use channel::{Band, Channel};
 pub use fading::{GeParams, GeSegment, GeState, GilbertElliott, OrnsteinUhlenbeck};
 pub use frame::{Frame, FrameKind};
 pub use ids::{AdapterId, ApId, ClientId, FlowId};
 pub use impairment::{Congestion, ImpairmentKind, MicrowaveOven, MobilityPattern};
 pub use link::{LinkConfig, LinkModel};
-pub use mac::{frame_airtime, transmit, MacConfig, TxOutcome};
+pub use mac::{frame_airtime, transmit, MacConfig, MacMetrics, TxOutcome};
 pub use radio::{PhyRate, NOISE_FLOOR_DBM, RATE_LADDER};
 pub use realization::{
     ChannelRealization, RealizationCache, RealizationKey, ShadowCursor, SHADOW_TICK,

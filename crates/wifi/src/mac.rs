@@ -12,7 +12,8 @@
 use crate::frame::Frame;
 use crate::link::LinkModel;
 use crate::radio::{fallback_rate, PhyRate};
-use diversifi_simcore::{SimDuration, SimTime};
+use diversifi_simcore::metrics::{LogHistogram, MetricsRegistry};
+use diversifi_simcore::{ComponentId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// 802.11 MAC timing and retry parameters (802.11n OFDM values).
@@ -68,6 +69,50 @@ pub struct TxOutcome {
     pub airtime: SimDuration,
     /// The PHY rate of the final attempt.
     pub final_rate: PhyRate,
+}
+
+/// Telemetry instruments for one MAC/PHY (the radio under one AP).
+///
+/// `transmit` is a free function over `LinkModel`, so the instruments live
+/// with whoever drives the radio (the world owns one per AP) and are fed
+/// each [`TxOutcome`] via [`record`](MacMetrics::record).
+#[derive(Clone, Debug, Default)]
+pub struct MacMetrics {
+    /// Frame exchanges attempted.
+    pub exchanges: u64,
+    /// Exchanges that ended in delivery.
+    pub delivered: u64,
+    /// Exchanges that exhausted the retry budget.
+    pub air_losses: u64,
+    /// Distribution of MAC attempts per exchange (1 = first try).
+    pub attempts: LogHistogram,
+    /// Distribution of per-exchange medium occupancy, microseconds.
+    pub airtime_us: LogHistogram,
+}
+
+impl MacMetrics {
+    /// Fold one finished exchange in.
+    #[inline]
+    pub fn record(&mut self, out: &TxOutcome) {
+        self.exchanges += 1;
+        if out.delivered {
+            self.delivered += 1;
+        } else {
+            self.air_losses += 1;
+        }
+        self.attempts.record(u64::from(out.attempts));
+        self.airtime_us.record(out.airtime.as_micros());
+    }
+
+    /// Snapshot into a metrics registry under `who` (typically
+    /// `ComponentId::mac(index)`).
+    pub fn export(&self, who: ComponentId, reg: &mut MetricsRegistry) {
+        reg.counter(who, "exchanges", self.exchanges);
+        reg.counter(who, "delivered", self.delivered);
+        reg.counter(who, "air_losses", self.air_losses);
+        reg.histogram(who, "retries", &self.attempts);
+        reg.histogram(who, "airtime_us", &self.airtime_us);
+    }
 }
 
 /// Time on air for `bytes` at `rate`, plus PHY overhead.

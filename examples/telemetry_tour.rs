@@ -1,0 +1,61 @@
+//! A tour of the telemetry subsystem: run one DiversiFi world with a live
+//! session, print the head of the event stream and the metrics table, and
+//! write a Chrome-trace JSON you can open at <https://ui.perfetto.dev>.
+//!
+//! ```text
+//! cargo run --example telemetry_tour                    # debug: telemetry on
+//! cargo run --release --example telemetry_tour          # release: compiled out
+//! cargo run --release --features trace --example telemetry_tour
+//! ```
+
+use diversifi::world::{RunMode, World, WorldConfig};
+use diversifi_simcore::telemetry::TRACE_COMPILED;
+use diversifi_simcore::{export, MergedTelemetry, SeedFactory, SimDuration};
+use diversifi_wifi::{Channel, GeParams, LinkConfig};
+
+fn main() {
+    println!("telemetry compiled: {TRACE_COMPILED}");
+    if !TRACE_COMPILED {
+        println!("(release build without `--features trace` — the session will be empty)");
+    }
+
+    // The §6 testbed: a decent primary, a weak secondary, DiversiFi with
+    // the customized AP, 10 s of VoIP.
+    let primary = LinkConfig::office(Channel::CH1, 16.0);
+    let mut secondary = LinkConfig::office(Channel::CH11, 26.0);
+    secondary.ge = GeParams::weak_link();
+    let mut cfg = WorldConfig::testbed(primary, secondary);
+    cfg.mode = RunMode::DiversifiCustomAp;
+    cfg.spec.duration = SimDuration::from_secs(10);
+
+    let seeds = SeedFactory::new(2015);
+    let (report, session) = World::new(&cfg, &seeds).run_traced(1 << 16);
+
+    println!(
+        "run done: {} packets, {:.2}% loss, {} events recorded ({} evicted)",
+        report.trace.len(),
+        report.trace.loss_rate(diversifi_voip::DEFAULT_DEADLINE) * 100.0,
+        session.events.len(),
+        session.dropped,
+    );
+
+    let merged = MergedTelemetry::from_single(session);
+
+    // The first few events, as the JSONL exporter renders them.
+    println!("\n--- event stream (head) ---");
+    for line in export::jsonl(&merged).lines().take(8) {
+        println!("{line}");
+    }
+
+    // The full metrics table: queue depths, MAC retries, hop latency,
+    // playout delay, E-model R, …
+    println!("\n--- metrics ---");
+    println!("{}", export::sweep_report(&merged));
+
+    // Chrome trace-event JSON for ui.perfetto.dev.
+    let path = "telemetry_tour.trace.json";
+    match std::fs::write(path, export::chrome_trace(&merged)) {
+        Ok(()) => println!("wrote {path} — open it at https://ui.perfetto.dev"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

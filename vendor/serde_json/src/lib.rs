@@ -285,17 +285,30 @@ impl<'a> Parser<'a> {
         self.eat(b'"')?;
         let mut out = String::new();
         loop {
-            let rest = &self.bytes[self.pos..];
-            let mut chars = std::str::from_utf8(rest)
-                .map_err(|_| Error::new("invalid UTF-8"))?
-                .chars();
-            match chars.next() {
+            // Copy the longest escape-free run in one chunk. `"` and `\`
+            // are plain ASCII, never continuation bytes, so stopping on
+            // them can't split a multi-byte character — and validating
+            // UTF-8 per chunk (not the whole remaining input per char)
+            // keeps parsing linear in document size.
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid UTF-8"))?;
+                out.push_str(chunk);
+            }
+            match self.peek() {
                 None => return Err(Error::new("unterminated string")),
-                Some('"') => {
+                Some(b'"') => {
                     self.pos += 1;
                     return Ok(out);
                 }
-                Some('\\') => {
+                Some(_) => {
                     self.pos += 1;
                     let esc = self.peek().ok_or_else(|| Error::new("unterminated escape"))?;
                     self.pos += 1;
@@ -326,10 +339,6 @@ impl<'a> Parser<'a> {
                             return Err(Error::new(format!("bad escape \\{}", other as char)))
                         }
                     }
-                }
-                Some(c) => {
-                    out.push(c);
-                    self.pos += c.len_utf8();
                 }
             }
         }
