@@ -8,6 +8,11 @@
 //! fig3 fig4 fig5 fig6 fig8 fig9 fig10 overhead mbox-scale` or `all`, plus
 //! the extensions `ablations`, `fec`, `crosstech`, and `uplink`.
 //!
+//! Resilience sweep (deterministic fault plans, paired vs primary-only):
+//! ```text
+//! repro --resilience                    # fault catalogue × seeds → report
+//! ```
+//!
 //! Telemetry capture (full fidelity needs a build with `--features trace`):
 //! ```text
 //! repro --trace-out trace.json          # Chrome/Perfetto JSON + JSONL sidecar
@@ -80,6 +85,7 @@ fn main() {
             "--out" => out_dir = args.next().expect("--out DIR"),
             "--trace-out" => trace_out = Some(args.next().expect("--trace-out PATH")),
             "--metrics-out" => metrics_out = Some(args.next().expect("--metrics-out PATH")),
+            "--resilience" => wanted.push("resilience".to_string()),
             "--telemetry-status" => {
                 println!(
                     "telemetry: compiled {}",
@@ -90,10 +96,10 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "repro [--quick] [--seed N] [--out DIR] [--trace-out PATH] \
-                     [--metrics-out PATH] [--telemetry-status] [EXPERIMENT...]\n\
+                     [--metrics-out PATH] [--telemetry-status] [--resilience] [EXPERIMENT...]\n\
                      experiments: table1 table2 table3 fig1 fig2a fig2b fig2c fig2d \
                      fig2e fig3 fig4 fig5 fig6 fig8 fig9 fig10 overhead mbox-scale all \
-                     ablations fec crosstech uplink multiclient"
+                     ablations fec crosstech uplink multiclient resilience"
                 );
                 return;
             }
@@ -107,7 +113,8 @@ fn main() {
         "fig1", "table1", "table2", "fig2a", "fig2b", "fig2c", "fig2d", "fig2e", "fig3",
         "fig4", "fig5", "fig6", "fig8", "fig9", "fig10", "overhead", "table3", "mbox-scale",
     ];
-    const EXTENSIONS: [&str; 5] = ["ablations", "fec", "crosstech", "uplink", "multiclient"];
+    const EXTENSIONS: [&str; 6] =
+        ["ablations", "fec", "crosstech", "uplink", "multiclient", "resilience"];
     if wanted.is_empty() {
         if !telemetry_only {
             wanted = STANDARD.iter().map(|s| s.to_string()).collect();
@@ -160,6 +167,7 @@ fn main() {
             "crosstech" => crosstech(&mut ctx),
             "uplink" => uplink(&mut ctx),
             "multiclient" => multiclient(&mut ctx),
+            "resilience" => resilience(&mut ctx),
             other => eprintln!("unknown experiment: {other}"),
         }
     }
@@ -765,4 +773,242 @@ fn multiclient(ctx: &mut Ctx) {
     println!("{}", t.render());
     println!("(everyone running DiversiFi at once: recovery still works under shared airtime)");
     save(ctx, "multiclient", &artifact);
+}
+
+/// `--resilience` — the deterministic fault catalogue, run paired: each
+/// seed simulates a primary-only baseline and a DiversiFi arm on the same
+/// channel realisation with the same fault plan. The report covers both
+/// sides of the degradation contract: what the faults cost (loss,
+/// worst-window loss, MOS) and how recovery behaved (MTTR from the fault
+/// engine, degraded-mode time, probes, duplicate overhead).
+fn resilience(ctx: &mut Ctx) {
+    use diversifi::world::{World, WorldConfig};
+    use diversifi_simcore::{FaultKind, FaultPlan, SimTime};
+    use diversifi_voip::emodel::mos_from_stats;
+    use diversifi_voip::{burst_ratio, CodecModel, StreamTrace};
+
+    let at = |s: u64| SimTime::ZERO + SimDuration::from_secs(s);
+    let ms = SimDuration::from_millis;
+    let scenarios: Vec<(&str, RunMode, FaultPlan)> = vec![
+        (
+            "primary_ap_reboot",
+            RunMode::DiversifiCustomAp,
+            FaultPlan::single_ap_reboot(0, at(8), SimDuration::from_secs(2)),
+        ),
+        (
+            "secondary_ap_flap",
+            RunMode::DiversifiCustomAp,
+            FaultPlan::none().with(
+                at(6),
+                FaultKind::ApFlap { ap: 1, down: ms(1200), up: ms(1800), cycles: 3 },
+            ),
+        ),
+        (
+            "secondary_blackout",
+            RunMode::DiversifiCustomAp,
+            FaultPlan::single_ap_reboot(1, at(5), SimDuration::from_secs(10)),
+        ),
+        (
+            "middlebox_restart",
+            RunMode::DiversifiMiddlebox,
+            FaultPlan::none().with(
+                at(8),
+                FaultKind::MiddleboxRestart { outage: ms(1500), reinstall_delay: ms(400) },
+            ),
+        ),
+        (
+            "brownout",
+            RunMode::DiversifiCustomAp,
+            FaultPlan::none().with(
+                at(6),
+                FaultKind::Brownout {
+                    duration: SimDuration::from_secs(4),
+                    extra_delay: ms(12),
+                    control_loss: 0.6,
+                },
+            ),
+        ),
+        (
+            "uplink_outage",
+            RunMode::DiversifiCustomAp,
+            FaultPlan::none()
+                .with(at(8), FaultKind::UplinkOutage { duration: SimDuration::from_secs(2) }),
+        ),
+        (
+            "interference_storm",
+            RunMode::DiversifiCustomAp,
+            FaultPlan::none().with(
+                at(6),
+                FaultKind::InterferenceStorm {
+                    duration: SimDuration::from_secs(4),
+                    erasure: 0.35,
+                    link: None,
+                },
+            ),
+        ),
+    ];
+    // Every fault above clears by t=16s; the clamp keeps a healthy tail for
+    // recovery even at `--quick` scale.
+    let n = (12 / ctx.scale.corpus_divisor).max(4) as u64;
+    let secs = ctx.scale.call_secs.clamp(20, 32);
+    let seed = ctx.seed;
+
+    struct Rec {
+        si: usize,
+        loss_b: f64,
+        loss_d: f64,
+        mttr_ms: Vec<f64>,
+        unrecovered: usize,
+        degraded_ms: f64,
+        probes: u64,
+        air: u64,
+        dups: u64,
+        trace_b: StreamTrace,
+        trace_d: StreamTrace,
+    }
+
+    let tasks: Vec<(usize, u64)> =
+        (0..scenarios.len()).flat_map(|si| (0..n).map(move |k| (si, k))).collect();
+    let rows = SweepRunner::new(ctx.threads).run(&tasks, |_, &(si, k)| {
+        let (_, mode, plan) = &scenarios[si];
+        let mut a = LinkConfig::office(Channel::CH1, 22.0);
+        a.ge = GeParams::weak_link();
+        let mut b = LinkConfig::office(Channel::CH11, 28.0);
+        b.ge = GeParams::weak_link();
+        let mut base = WorldConfig::testbed(a, b);
+        base.mode = RunMode::PrimaryOnly;
+        base.spec.duration = SimDuration::from_secs(secs);
+        base.faults = plan.clone();
+        let mut dvf = base.clone();
+        dvf.mode = *mode;
+        let s = SeedFactory::new(seed ^ 0x5E511E ^ ((si as u64) << 32) ^ k);
+        let rb = World::new(&base, &s).run();
+        let rd = World::new(&dvf, &s).run();
+        Rec {
+            si,
+            loss_b: rb.trace.loss_rate(DEFAULT_DEADLINE) * 100.0,
+            loss_d: rd.trace.loss_rate(DEFAULT_DEADLINE) * 100.0,
+            mttr_ms: rd
+                .fault_outcomes
+                .iter()
+                .filter_map(|o| o.mttr())
+                .map(|d| d.as_millis_f64())
+                .collect(),
+            unrecovered: rd.fault_outcomes.iter().filter(|o| o.recovered_at.is_none()).count(),
+            degraded_ms: rd.alg_stats.degraded_ns as f64 / 1e6,
+            probes: rd.alg_stats.probe_visits,
+            air: rd.secondary_air_tx,
+            dups: rd.alg_stats.duplicate_packets,
+            trace_b: rb.trace,
+            trace_d: rd.trace,
+        }
+    });
+
+    // MOS from the trace's own loss/burst structure, with a nominal 60 ms
+    // of non-network (codec + playout) delay on both arms.
+    let mos = |tr: &StreamTrace| {
+        let ind = tr.loss_indicator(DEFAULT_DEADLINE);
+        let mut bursts = Vec::new();
+        let mut run = 0usize;
+        for v in &ind {
+            if *v > 0.0 {
+                run += 1;
+            } else if run > 0 {
+                bursts.push(run);
+                run = 0;
+            }
+        }
+        if run > 0 {
+            bursts.push(run);
+        }
+        let loss = tr.loss_rate(DEFAULT_DEADLINE);
+        let br = burst_ratio(&bursts, loss);
+        mos_from_stats(&CodecModel::g711_plc(), loss * 100.0, br, 60.0).mos
+    };
+
+    let window = SimDuration::from_secs(5);
+    let mut quality_t = TextTable::new(&[
+        "Scenario",
+        "Loss base (%)",
+        "Loss DVF (%)",
+        "p90 worst-5s base (%)",
+        "p90 worst-5s DVF (%)",
+        "MOS base",
+        "MOS DVF",
+    ]);
+    let mut recovery_t = TextTable::new(&[
+        "Scenario",
+        "Mean MTTR (ms)",
+        "Unrecovered",
+        "Degraded (ms/run)",
+        "Probes/run",
+        "2nd-air tx/run",
+        "Dups/run",
+    ]);
+    let mut artifact = Vec::new();
+    let (mut pairs, mut amplified) = (0usize, 0usize);
+    for (si, (label, _, _)) in scenarios.iter().enumerate() {
+        let rs: Vec<&Rec> = rows.iter().filter(|r| r.si == si).collect();
+        let fvec = |f: &dyn Fn(&Rec) -> f64| rs.iter().map(|r| f(r)).collect::<Vec<f64>>();
+        let lb = mean(&fvec(&|r| r.loss_b));
+        let ld = mean(&fvec(&|r| r.loss_d));
+        let tb: Vec<StreamTrace> = rs.iter().map(|r| r.trace_b.clone()).collect();
+        let td: Vec<StreamTrace> = rs.iter().map(|r| r.trace_d.clone()).collect();
+        let w5b = metrics::worst_window_ecdf(&tb, window, DEFAULT_DEADLINE).quantile(0.9);
+        let w5d = metrics::worst_window_ecdf(&td, window, DEFAULT_DEADLINE).quantile(0.9);
+        let mos_b = mean(&tb.iter().map(&mos).collect::<Vec<_>>());
+        let mos_d = mean(&td.iter().map(&mos).collect::<Vec<_>>());
+        let mttrs: Vec<f64> = rs.iter().flat_map(|r| r.mttr_ms.iter().copied()).collect();
+        let mttr = if mttrs.is_empty() { f64::NAN } else { mean(&mttrs) };
+        let unrecovered: usize = rs.iter().map(|r| r.unrecovered).sum();
+        let degraded = mean(&fvec(&|r| r.degraded_ms));
+        let probes = mean(&fvec(&|r| r.probes as f64));
+        let air = mean(&fvec(&|r| r.air as f64));
+        let dups = mean(&fvec(&|r| r.dups as f64));
+        pairs += rs.len();
+        amplified += rs.iter().filter(|r| r.loss_d > r.loss_b).count();
+        quality_t.row(&[
+            label.to_string(),
+            format!("{lb:.2}"),
+            format!("{ld:.2}"),
+            format!("{w5b:.1}"),
+            format!("{w5d:.1}"),
+            format!("{mos_b:.2}"),
+            format!("{mos_d:.2}"),
+        ]);
+        recovery_t.row(&[
+            label.to_string(),
+            if mttr.is_nan() { "-".into() } else { format!("{mttr:.0}") },
+            unrecovered.to_string(),
+            format!("{degraded:.0}"),
+            format!("{probes:.1}"),
+            format!("{air:.0}"),
+            format!("{dups:.1}"),
+        ]);
+        artifact.push(serde_json::json!({
+            "scenario": label,
+            "loss_base_pct": lb,
+            "loss_diversifi_pct": ld,
+            "p90_worst5s_base_pct": w5b,
+            "p90_worst5s_diversifi_pct": w5d,
+            "mos_base": mos_b,
+            "mos_diversifi": mos_d,
+            "mean_mttr_ms": if mttr.is_nan() { None } else { Some(mttr) },
+            "unrecovered_faults": unrecovered,
+            "mean_degraded_ms": degraded,
+            "mean_probe_visits": probes,
+            "mean_secondary_air_tx": air,
+            "mean_duplicates": dups,
+            "per_seed_loss_pct": rs.iter().map(|r| (r.loss_b, r.loss_d)).collect::<Vec<_>>(),
+        }));
+    }
+    println!("Fault impact ({n} seeds/scenario, {secs} s calls, paired realisations):");
+    println!("{}", quality_t.render());
+    println!("Recovery behaviour (DiversiFi arm):");
+    println!("{}", recovery_t.render());
+    println!(
+        "DiversiFi loss <= primary-only loss on {}/{pairs} scenario-seed pairs",
+        pairs - amplified
+    );
+    save(ctx, "resilience", &artifact);
 }

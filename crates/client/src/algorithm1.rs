@@ -55,6 +55,13 @@ pub struct Algorithm1Config {
     /// Safety margin subtracted from the visit time so the client arrives
     /// strictly before the missing packet rolls off the head-drop queue.
     pub visit_safety_margin: SimDuration,
+    /// Consecutive secondary visits that hear *nothing* before the client
+    /// declares the secondary dead and degrades to primary-only.
+    pub dead_visit_threshold: u32,
+    /// Initial spacing of re-association probes while degraded.
+    pub probe_backoff_start: SimDuration,
+    /// Probe spacing cap (the backoff doubles until it reaches this).
+    pub probe_backoff_max: SimDuration,
 }
 
 impl Algorithm1Config {
@@ -68,6 +75,9 @@ impl Algorithm1Config {
             packet_loss_timeout: SimDuration::from_millis(40),
             keepalive_timeout: SimDuration::from_secs(30),
             visit_safety_margin: SimDuration::from_millis(4),
+            dead_visit_threshold: 3,
+            probe_backoff_start: SimDuration::from_secs(1),
+            probe_backoff_max: SimDuration::from_secs(8),
         }
     }
 
@@ -107,6 +117,9 @@ pub enum Command {
 enum VisitReason {
     Recovery,
     Keepalive,
+    /// Degraded mode: a backed-off re-association probe checking whether
+    /// the (presumed dead) secondary has come back.
+    Probe,
 }
 
 /// Where the client's NIC currently is.
@@ -139,6 +152,13 @@ pub struct Alg1Stats {
     /// Recovery visits that were cancelled because the packet showed up
     /// (e.g. drained from the primary AP's PSM buffer) before the hop.
     pub cancelled_visits: u64,
+    /// Re-association probes launched while degraded.
+    pub probe_visits: u64,
+    /// Times the client declared the secondary dead and fell back to
+    /// primary-only operation.
+    pub degraded_entries: u64,
+    /// Total time spent degraded (primary-only fallback), in nanoseconds.
+    pub degraded_ns: u64,
 }
 
 /// The Algorithm 1 state machine.
@@ -160,6 +180,17 @@ pub struct Algorithm1 {
     /// When we arrived on the secondary (while `residency == Secondary`).
     visit_arrived: Option<SimTime>,
     visit_reason: VisitReason,
+    /// Did the current (or just-ended) secondary visit hear any packet?
+    visit_heard: bool,
+    /// Consecutive completed visits that heard nothing — the dead-secondary
+    /// detector (reset by any secondary reception).
+    silent_visits: u32,
+    /// `Some(entered)` while in primary-only fallback.
+    degraded_since: Option<SimTime>,
+    /// Current probe spacing (doubles per probe up to the configured cap).
+    probe_backoff: SimDuration,
+    /// Earliest instant the next re-association probe may launch.
+    next_probe: SimTime,
     last_secondary_contact: SimTime,
     started_at: SimTime,
     /// Timestamp of the most recent input (audit only: the world must feed
@@ -186,6 +217,11 @@ impl Algorithm1 {
             planned_visit: None,
             visit_arrived: None,
             visit_reason: VisitReason::Keepalive,
+            visit_heard: false,
+            silent_visits: 0,
+            degraded_since: None,
+            probe_backoff: cfg.probe_backoff_start,
+            next_probe: start,
             last_secondary_contact: start,
             started_at: start,
             last_input: start,
@@ -220,6 +256,20 @@ impl Algorithm1 {
         self.outstanding.len()
     }
 
+    /// Is the client in primary-only fallback (secondary presumed dead)?
+    pub fn is_degraded(&self) -> bool {
+        self.degraded_since.is_some()
+    }
+
+    /// Close the books at end of run: a degraded interval still open at
+    /// `now` is folded into `stats.degraded_ns` so the counter reflects
+    /// the whole run even when the secondary never came back.
+    pub fn finish(&mut self, now: SimTime) {
+        if let Some(entered) = self.degraded_since.take() {
+            self.stats.degraded_ns += now.saturating_since(entered).as_nanos();
+        }
+    }
+
     /// Snapshot the state machine's counters into a metrics registry.
     pub fn export_metrics(
         &self,
@@ -232,6 +282,9 @@ impl Algorithm1 {
         reg.counter(who, "duplicate_packets", self.stats.duplicate_packets);
         reg.counter(who, "expired_losses", self.stats.expired_losses);
         reg.counter(who, "cancelled_visits", self.stats.cancelled_visits);
+        reg.counter(who, "probe_visits", self.stats.probe_visits);
+        reg.counter(who, "degraded_entries", self.stats.degraded_entries);
+        reg.counter(who, "degraded_us", self.stats.degraded_ns / 1_000);
         reg.gauge(who, "outstanding", self.outstanding.len() as f64);
     }
 
@@ -304,6 +357,14 @@ impl Algorithm1 {
         }
         if via == LinkSide::Secondary {
             self.last_secondary_contact = now;
+            self.visit_heard = true;
+            self.silent_visits = 0;
+            // Hearing the secondary at all means it is alive again: leave
+            // degraded mode and re-arm normal replication handling.
+            if let Some(entered) = self.degraded_since.take() {
+                self.stats.degraded_ns += now.saturating_since(entered).as_nanos();
+                self.probe_backoff = self.cfg.probe_backoff_start;
+            }
         }
         if self.is_received(seq) {
             self.stats.duplicate_packets += 1;
@@ -318,10 +379,11 @@ impl Algorithm1 {
         if self.outstanding.remove(&seq).is_some() && via == LinkSide::Secondary {
             self.stats.recovered_on_secondary += 1;
         }
-        // A recovery visit ends the moment nothing is outstanding.
+        // A recovery visit ends the moment nothing is outstanding; a probe
+        // ends on its first reception (the question was only "alive?").
         if self.residency == Residency::Secondary
-            && self.visit_reason == VisitReason::Recovery
-            && self.outstanding.is_empty()
+            && ((self.visit_reason == VisitReason::Recovery && self.outstanding.is_empty())
+                || (self.visit_reason == VisitReason::Probe && via == LinkSide::Secondary))
         {
             return self.leave_secondary(now);
         }
@@ -335,7 +397,7 @@ impl Algorithm1 {
         if let Some(arrived) = self.visit_arrived {
             let max_stay = match self.visit_reason {
                 VisitReason::Recovery => self.cfg.packet_loss_timeout,
-                VisitReason::Keepalive => self.cfg.secondary_residency,
+                VisitReason::Keepalive | VisitReason::Probe => self.cfg.secondary_residency,
             };
             diversifi_simcore::sim_assert!(
                 now.saturating_since(arrived) <= max_stay + self.cfg.inter_packet_spacing,
@@ -344,6 +406,23 @@ impl Algorithm1 {
                 max_stay + self.cfg.inter_packet_spacing,
                 self.visit_reason
             );
+        }
+        // Dead-secondary detection: a completed visit that heard nothing is
+        // a strike; enough consecutive strikes and the client stops paying
+        // for hops that cannot recover anything, falling back to
+        // primary-only with backed-off re-association probes.
+        if !self.visit_heard {
+            self.silent_visits += 1;
+            if self.silent_visits >= self.cfg.dead_visit_threshold && self.degraded_since.is_none()
+            {
+                self.degraded_since = Some(now);
+                self.stats.degraded_entries += 1;
+                self.stats.expired_losses += self.outstanding.len() as u64;
+                self.outstanding.clear();
+                self.planned_visit = None;
+                self.probe_backoff = self.cfg.probe_backoff_start;
+                self.next_probe = now + self.probe_backoff;
+            }
         }
         self.residency = Residency::ToPrimary;
         self.visit_arrived = None;
@@ -375,8 +454,13 @@ impl Algorithm1 {
             Residency::Secondary => {
                 self.visit_arrived = Some(now);
                 self.last_secondary_contact = now;
+                self.visit_heard = false;
+                // Recovery visits pull the ring from the missing packet on;
+                // probes re-arm replication the same way (a restarted
+                // middlebox keeps the flow table but has lost the streaming
+                // state, so the start request is exactly the re-install).
                 if self.mode == DeploymentMode::Middlebox
-                    && self.visit_reason == VisitReason::Recovery
+                    && matches!(self.visit_reason, VisitReason::Recovery | VisitReason::Probe)
                 {
                     let from_seq = self
                         .outstanding
@@ -408,6 +492,13 @@ impl Algorithm1 {
                 if self.is_received(seq) {
                     continue;
                 }
+                if self.degraded_since.is_some() {
+                    // Primary-only fallback: there is no live secondary to
+                    // recover from, so the loss expires on the spot instead
+                    // of scheduling a doomed hop.
+                    self.stats.expired_losses += 1;
+                    continue;
+                }
                 self.outstanding.insert(seq, self.recovery_expiry(seq));
                 // Plan (or keep the earlier of) a recovery visit.
                 let vt = self.visit_time(seq).max(now);
@@ -432,7 +523,21 @@ impl Algorithm1 {
 
         match self.residency {
             Residency::Primary => {
-                // 3. Execute or cancel a planned visit.
+                // 3a. Degraded: the only reason to hop is a re-association
+                // probe, paced by the exponential backoff.
+                if self.degraded_since.is_some() {
+                    if self.next_probe <= now {
+                        self.visit_reason = VisitReason::Probe;
+                        self.stats.probe_visits += 1;
+                        self.probe_backoff =
+                            (self.probe_backoff * 2).min(self.cfg.probe_backoff_max);
+                        self.next_probe = now + self.probe_backoff;
+                        self.residency = Residency::ToSecondary;
+                        cmds.push(Command::SwitchToSecondary);
+                    }
+                    return cmds;
+                }
+                // 3b. Execute or cancel a planned visit.
                 if let Some((t, reason)) = self.planned_visit {
                     if t <= now {
                         self.planned_visit = None;
@@ -443,6 +548,7 @@ impl Algorithm1 {
                             match reason {
                                 VisitReason::Recovery => self.stats.recovery_visits += 1,
                                 VisitReason::Keepalive => self.stats.keepalive_visits += 1,
+                                VisitReason::Probe => self.stats.probe_visits += 1,
                             }
                             self.residency = Residency::ToSecondary;
                             cmds.push(Command::SwitchToSecondary);
@@ -465,11 +571,12 @@ impl Algorithm1 {
                 let arrived = self.visit_arrived.unwrap_or(now);
                 let max_stay = match self.visit_reason {
                     VisitReason::Recovery => self.cfg.packet_loss_timeout,
-                    VisitReason::Keepalive => self.cfg.secondary_residency,
+                    VisitReason::Keepalive | VisitReason::Probe => self.cfg.secondary_residency,
                 };
                 let done = now.saturating_since(arrived) >= max_stay
                     || (self.visit_reason == VisitReason::Recovery
-                        && self.outstanding.is_empty());
+                        && self.outstanding.is_empty())
+                    || (self.visit_reason == VisitReason::Probe && self.visit_heard);
                 if done {
                     cmds.extend(self.leave_secondary(now));
                 }
@@ -504,13 +611,19 @@ impl Algorithm1 {
         }
         match self.residency {
             Residency::Primary => {
-                consider(self.last_secondary_contact + self.cfg.keepalive_timeout);
+                if self.degraded_since.is_some() {
+                    // Degraded: keepalives are moot; the probe schedule is
+                    // the only reason to wake for the secondary.
+                    consider(self.next_probe);
+                } else {
+                    consider(self.last_secondary_contact + self.cfg.keepalive_timeout);
+                }
             }
             Residency::Secondary => {
                 let arrived = self.visit_arrived.unwrap_or(self.started_at);
                 let stay = match self.visit_reason {
                     VisitReason::Recovery => self.cfg.packet_loss_timeout,
-                    VisitReason::Keepalive => self.cfg.secondary_residency,
+                    VisitReason::Keepalive | VisitReason::Probe => self.cfg.secondary_residency,
                 };
                 consider(arrived + stay);
             }
@@ -806,6 +919,138 @@ mod tests {
         // Next deadline: seq 1 expected at 25 ms, deadline +PLT = 65 ms.
         let wake = alg.next_wakeup().unwrap();
         assert_eq!(wake, SimTime::from_millis(65));
+    }
+
+    /// Feed 0..=10 cleanly, then let the primary fall silent while the
+    /// secondary is stone dead: every recovery visit hears nothing. Drives
+    /// the machine until it declares the secondary dead, responding to
+    /// switch commands like the world would. Returns the current time.
+    fn drive_to_degraded(alg: &mut Algorithm1) -> SimTime {
+        alg.set_stream_end(100_000);
+        let mut t = SimTime::from_millis(5);
+        for seq in 0..=10 {
+            alg.on_packet(seq, t, LinkSide::Primary);
+            alg.on_timer(t);
+            t += IPS;
+        }
+        let mut now = t;
+        while !alg.is_degraded() {
+            now += SimDuration::from_millis(5);
+            assert!(now < SimTime::from_secs(10), "degradation never triggered");
+            if alg.on_timer(now).contains(&Command::SwitchToSecondary) {
+                now += alg.config().link_switch_latency;
+                alg.on_residency(Residency::Secondary, now);
+                // Hear nothing; dwell until the machine gives up.
+                loop {
+                    now += SimDuration::from_millis(5);
+                    if alg.on_timer(now).contains(&Command::SwitchToPrimary) {
+                        break;
+                    }
+                }
+                now += alg.config().link_switch_latency;
+                alg.on_residency(Residency::Primary, now);
+            }
+        }
+        now
+    }
+
+    #[test]
+    fn dead_secondary_degrades_after_threshold_silent_visits() {
+        let mut alg = mk(DeploymentMode::CustomizedAp);
+        drive_to_degraded(&mut alg);
+        assert_eq!(alg.stats.degraded_entries, 1);
+        assert_eq!(
+            alg.stats.recovery_visits,
+            alg.config().dead_visit_threshold as u64,
+            "exactly the threshold number of silent visits before giving up"
+        );
+        assert_eq!(alg.outstanding_count(), 0, "outstanding cleared on entry");
+    }
+
+    #[test]
+    fn degraded_probes_back_off_exponentially() {
+        let mut alg = mk(DeploymentMode::CustomizedAp);
+        let mut now = drive_to_degraded(&mut alg);
+        let mut probe_times = Vec::new();
+        while now < SimTime::from_secs(40) && probe_times.len() < 4 {
+            now += SimDuration::from_millis(5);
+            if alg.on_timer(now).contains(&Command::SwitchToSecondary) {
+                probe_times.push(now);
+                now += alg.config().link_switch_latency;
+                alg.on_residency(Residency::Secondary, now);
+                loop {
+                    now += SimDuration::from_millis(5);
+                    if alg.on_timer(now).contains(&Command::SwitchToPrimary) {
+                        break;
+                    }
+                }
+                now += alg.config().link_switch_latency;
+                alg.on_residency(Residency::Primary, now);
+            }
+        }
+        assert_eq!(probe_times.len(), 4, "probing must continue while degraded");
+        assert_eq!(alg.stats.probe_visits, 4);
+        // Consecutive probe gaps double (1 s quantisation slack from the
+        // 5 ms poke cadence): 2 s, 4 s, 8 s.
+        let gaps: Vec<SimDuration> =
+            probe_times.windows(2).map(|w| w[1].saturating_since(w[0])).collect();
+        for pair in gaps.windows(2) {
+            assert!(
+                pair[1] > pair[0] + SimDuration::from_millis(500),
+                "probe gaps must grow: {gaps:?}"
+            );
+        }
+        // Losses declared while degraded expire on the spot, never hunted.
+        assert_eq!(alg.outstanding_count(), 0);
+        assert!(alg.stats.expired_losses > 0);
+    }
+
+    #[test]
+    fn probe_reception_exits_degraded_and_resets_backoff() {
+        let mut alg = mk(DeploymentMode::CustomizedAp);
+        let mut now = drive_to_degraded(&mut alg);
+        // Ride to the first probe.
+        loop {
+            now += SimDuration::from_millis(5);
+            if alg.on_timer(now).contains(&Command::SwitchToSecondary) {
+                break;
+            }
+        }
+        now += alg.config().link_switch_latency;
+        alg.on_residency(Residency::Secondary, now);
+        // The secondary is back: it delivers a fresh packet. The probe ends
+        // immediately and the client re-enters normal operation.
+        let seq = 5000;
+        let cmds = alg.on_packet(seq, now + SimDuration::from_millis(1), LinkSide::Secondary);
+        assert!(cmds.contains(&Command::SwitchToPrimary), "{cmds:?}");
+        assert!(!alg.is_degraded(), "hearing the secondary ends the fallback");
+        assert!(alg.stats.degraded_ns > 0, "the degraded interval was accounted");
+        alg.on_residency(Residency::Primary, now + SimDuration::from_millis(1) + alg.config().link_switch_latency);
+        // Back to normal: losses are hunted again.
+        assert!(alg.next_wakeup().is_some());
+    }
+
+    #[test]
+    fn middlebox_probe_reissues_start_request() {
+        let mut alg = mk(DeploymentMode::Middlebox);
+        let mut now = drive_to_degraded(&mut alg);
+        loop {
+            now += SimDuration::from_millis(5);
+            if alg.on_timer(now).contains(&Command::SwitchToSecondary) {
+                break;
+            }
+        }
+        now += alg.config().link_switch_latency;
+        let cmds = alg.on_residency(Residency::Secondary, now);
+        assert_eq!(
+            cmds.len(),
+            1,
+            "a probe visit in middlebox mode must re-arm replication: {cmds:?}"
+        );
+        assert!(
+            matches!(cmds[0], Command::MiddleboxStart { .. }),
+            "expected a start request, got {cmds:?}"
+        );
     }
 
     #[test]

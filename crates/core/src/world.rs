@@ -24,8 +24,8 @@ use diversifi_client::{
 use diversifi_net::{Middlebox, MiddleboxConfig, StreamPacket, TcpConfig, TcpReceiver, TcpSender};
 use diversifi_simcore::telemetry::{self, Phase, TelemetrySession};
 use diversifi_simcore::{
-    trace_event, ComponentId, DecisionKind, EventQueue, RngStream, SeedFactory, SimDuration,
-    SimTime, TraceDetail, TraceKind,
+    trace_event, ComponentId, DecisionKind, EventQueue, FaultEdge, FaultEffect, FaultOutcome,
+    FaultPlan, FaultWindow, RngStream, SeedFactory, SimDuration, SimTime, TraceDetail, TraceKind,
 };
 use diversifi_voip::{StreamSpec, StreamTrace};
 use diversifi_wifi::{
@@ -91,12 +91,15 @@ pub struct WorldConfig {
     /// Frames the secondary AP hands to its hardware queue in one go when
     /// the client wakes (§5.3.1's residual-duplication source).
     pub wake_batch: usize,
-    /// Fault injection: power-cycle one AP mid-run (associations torn down,
-    /// queues destroyed, PM state forgotten). `None` in normal runs.
-    pub reboot: Option<ApReboot>,
+    /// Fault injection: a deterministic schedule of heterogeneous faults
+    /// (AP power cycles and flaps, middlebox restarts, brownouts, uplink
+    /// outages, interference storms). Empty in normal runs. The legacy
+    /// single-reboot knob converts losslessly via `ApReboot::into()`.
+    pub faults: FaultPlan,
 }
 
-/// A scheduled AP power cycle (fault injection).
+/// A scheduled AP power cycle — the legacy single-fault knob, kept as the
+/// back-compat constructor for [`FaultPlan`] (`reboot.into()`).
 #[derive(Clone, Copy, Debug)]
 pub struct ApReboot {
     /// Which AP: 0 = primary, 1 = secondary.
@@ -105,6 +108,12 @@ pub struct ApReboot {
     pub at: SimTime,
     /// How long it stays down before accepting re-associations.
     pub outage: SimDuration,
+}
+
+impl From<ApReboot> for FaultPlan {
+    fn from(rb: ApReboot) -> FaultPlan {
+        FaultPlan::single_ap_reboot(rb.ap, rb.at, rb.outage)
+    }
 }
 
 impl WorldConfig {
@@ -124,7 +133,7 @@ impl WorldConfig {
             uplink_loss: 0.05,
             uplink_delay: SimDuration::from_micros(250),
             wake_batch: 1,
-            reboot: None,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -169,6 +178,9 @@ pub struct RunReport {
     pub tcp_diag: (u64, u64, u64, u64),
     /// Per-switch delay breakdowns (Table 3).
     pub switch_delays: Vec<SwitchDelaySample>,
+    /// One entry per injected fault window: when it struck, when it cleared,
+    /// and when the stream was first heard again (MTTR).
+    pub fault_outcomes: Vec<FaultOutcome>,
 }
 
 const DEF: AdapterId = AdapterId(0);
@@ -207,7 +219,16 @@ enum Ev {
     /// Periodic TCP RTO check.
     TcpTimer,
     /// Fault injection: an AP powers down (`up == false`) or comes back.
-    ApReboot { ap: usize, up: bool },
+    /// `outage` is how long this window keeps the AP down; `window` indexes
+    /// the world's expanded fault-window table, so overlapping plans never
+    /// read each other's durations.
+    ApReboot { ap: usize, up: bool, outage: SimDuration, window: usize },
+    /// A non-AP fault window opens (middlebox restart, brownout, uplink
+    /// outage, interference storm).
+    FaultStart { window: usize },
+    /// The matching window closes (for middlebox restarts this fires only
+    /// after the SDN rule re-install delay).
+    FaultEnd { window: usize },
     /// End of measurement.
     Done,
 }
@@ -244,6 +265,24 @@ pub struct World<'a> {
     /// Counter updates are unconditional and behaviour-neutral; the
     /// assertions they feed are gated on `simcore::check`.
     ledger: diversifi_simcore::check::PacketLedger,
+    // Fault engine. `fault_windows` is the plan expanded once at build
+    // time; the rest is the live impairment state those windows drive.
+    fault_windows: Vec<FaultWindow>,
+    /// `Some(t)` once the stream was first heard again after window `i`
+    /// cleared; `None` if the run ended degraded.
+    fault_recovered: Vec<Option<SimTime>>,
+    /// Windows that have cleared but not yet been confirmed recovered by a
+    /// heard stream delivery.
+    pending_recovery: Vec<usize>,
+    /// The middlebox process is down (restart window open): replicated
+    /// copies are discarded at the door and control messages are lost.
+    mbox_down: bool,
+    /// Open brownout windows (indices into `fault_windows`).
+    active_brownouts: Vec<usize>,
+    /// Open uplink-outage windows (count; overlaps nest).
+    uplink_down: u32,
+    /// Open interference-storm windows (indices into `fault_windows`).
+    active_storms: Vec<usize>,
 }
 
 impl<'a> World<'a> {
@@ -307,6 +346,7 @@ impl<'a> World<'a> {
     }
 
     fn with_links(cfg: &'a WorldConfig, links: [LinkModel; 2], seeds: &SeedFactory) -> World<'a> {
+        let fault_windows = cfg.faults.windows();
         let mut ap0_cfg = ApConfig::new(ApId(0), cfg.primary.channel);
         ap0_cfg.wake_batch = cfg.wake_batch;
         let mut ap1_cfg = ApConfig::new(ApId(1), cfg.secondary.channel);
@@ -360,6 +400,13 @@ impl<'a> World<'a> {
             client_timer_armed: None,
             done: false,
             ledger: diversifi_simcore::check::PacketLedger::new(),
+            fault_recovered: vec![None; fault_windows.len()],
+            fault_windows,
+            pending_recovery: Vec::new(),
+            mbox_down: false,
+            active_brownouts: Vec::new(),
+            uplink_down: 0,
+            active_storms: Vec::new(),
             cfg,
         }
     }
@@ -380,8 +427,31 @@ impl<'a> World<'a> {
             self.q.schedule(SimTime::ZERO, Ev::TcpKick);
             self.q.schedule(SimTime::from_millis(50), Ev::TcpTimer);
         }
-        if let Some(rb) = self.cfg.reboot {
-            self.q.schedule(rb.at, Ev::ApReboot { ap: rb.ap, up: false });
+        for i in 0..self.fault_windows.len() {
+            let w = self.fault_windows[i];
+            match w.effect {
+                FaultEffect::ApDown { ap } => {
+                    self.q.schedule(
+                        w.start,
+                        Ev::ApReboot {
+                            ap,
+                            up: false,
+                            outage: w.end.saturating_since(w.start),
+                            window: i,
+                        },
+                    );
+                }
+                FaultEffect::MiddleboxDown { reinstall_delay } => {
+                    self.q.schedule(w.start, Ev::FaultStart { window: i });
+                    // The process is back at `w.end`, but replication stays
+                    // dark until the SDN mirror rule is re-installed.
+                    self.q.schedule(w.end + reinstall_delay, Ev::FaultEnd { window: i });
+                }
+                _ => {
+                    self.q.schedule(w.start, Ev::FaultStart { window: i });
+                    self.q.schedule(w.end, Ev::FaultEnd { window: i });
+                }
+            }
         }
         let end = SimTime::ZERO + self.cfg.spec.duration + SimDuration::from_millis(500);
         self.q.schedule(end, Ev::Done);
@@ -392,6 +462,12 @@ impl<'a> World<'a> {
             }
             let _dispatch = telemetry::span(Phase::Dispatch);
             self.handle(now, ev);
+        }
+
+        // Close the degradation books: a primary-only fallback still open
+        // at end of run must show up in `degraded_ns`/`degraded_us`.
+        if self.uses_alg() {
+            self.alg.finish(end);
         }
 
         // Horizon audit: every emitted VoIP copy must have reached exactly
@@ -449,7 +525,40 @@ impl<'a> World<'a> {
                 "secondary_wasteful_tx",
                 self.secondary_wasteful_tx,
             );
+            // Fault engine: how many windows struck, how many the run never
+            // recovered from, and the MTTR distribution (µs from onset to
+            // the first heard stream delivery after clearing).
+            if !self.fault_windows.is_empty() {
+                let mut mttr = diversifi_simcore::LogHistogram::new();
+                let mut unrecovered = 0u64;
+                for (i, w) in self.fault_windows.iter().enumerate() {
+                    match self.fault_recovered[i] {
+                        Some(r) => mttr.record(r.saturating_since(w.start).as_micros()),
+                        None => unrecovered += 1,
+                    }
+                }
+                reg.counter(
+                    ComponentId::world(),
+                    "faults_injected",
+                    self.fault_windows.len() as u64,
+                );
+                reg.counter(ComponentId::world(), "faults_unrecovered", unrecovered);
+                reg.histogram(ComponentId::world(), "fault_mttr_us", &mttr);
+            }
         });
+
+        let fault_outcomes = self
+            .fault_windows
+            .iter()
+            .enumerate()
+            .map(|(i, w)| FaultOutcome {
+                fault: w.fault,
+                label: w.label(),
+                start: w.start,
+                end: w.end,
+                recovered_at: self.fault_recovered[i],
+            })
+            .collect();
 
         let duration = self.cfg.spec.duration.as_secs_f64();
         let tcp_throughput_bps = self.tcp_tx.acked_bytes() as f64 * 8.0 / duration;
@@ -467,6 +576,7 @@ impl<'a> World<'a> {
                 self.tcp_tx.timeouts,
             ),
             switch_delays: self.switch_delays,
+            fault_outcomes,
         }
     }
 
@@ -536,6 +646,18 @@ impl<'a> World<'a> {
                 self.q.schedule(now, Ev::ApKick(ap));
             }
             Ev::MiddleboxIngest(pkt) => {
+                if self.mbox_down {
+                    // The process is restarting (or its SDN mirror rule is
+                    // not yet re-installed): the copy dies at the door.
+                    trace_event!(
+                        now,
+                        TraceKind::QueueDrop,
+                        ComponentId::middlebox(),
+                        TraceDetail::Drop { seq: pkt.seq, head: false },
+                    );
+                    self.ledger.mbox_discard();
+                    return;
+                }
                 let rolled_before = self.mbox.rolled_over;
                 let seq = pkt.seq;
                 if let Some(fwd) = self.mbox.ingest(pkt) {
@@ -571,8 +693,118 @@ impl<'a> World<'a> {
                 self.q.schedule(now, Ev::TcpKick);
                 self.q.schedule(now + SimDuration::from_millis(50), Ev::TcpTimer);
             }
-            Ev::ApReboot { ap, up } => self.on_ap_reboot(now, ap, up),
+            Ev::ApReboot { ap, up, outage, window } => {
+                self.on_ap_reboot(now, ap, up, outage, window)
+            }
+            Ev::FaultStart { window } => self.on_fault_edge(now, window, true),
+            Ev::FaultEnd { window } => self.on_fault_edge(now, window, false),
         }
+    }
+
+    /// A non-AP fault window opens (`opening == true`) or closes. AP power
+    /// cycles route through [`World::on_ap_reboot`] instead, because their
+    /// teardown/re-association logic predates the fault engine.
+    fn on_fault_edge(&mut self, now: SimTime, window: usize, opening: bool) {
+        trace_event!(
+            now,
+            TraceKind::Fault,
+            ComponentId::world(),
+            TraceDetail::Fault {
+                window: window as u16,
+                edge: if opening { FaultEdge::Onset } else { FaultEdge::Clear },
+            },
+        );
+        match self.fault_windows[window].effect {
+            // Scheduled as Ev::ApReboot, never as FaultStart/FaultEnd.
+            FaultEffect::ApDown { .. } => unreachable!("ApDown windows use Ev::ApReboot"),
+            FaultEffect::MiddleboxDown { .. } => {
+                if opening {
+                    self.mbox_down = true;
+                    // Process restart wipes the replication rings; the
+                    // buffered copies are stale the moment they are lost.
+                    let wiped = self.mbox.restart();
+                    self.ledger.mbox_drain(0, wiped);
+                } else {
+                    self.mbox_down = false;
+                    self.pending_recovery.push(window);
+                }
+            }
+            FaultEffect::Brownout { .. } => {
+                if opening {
+                    self.active_brownouts.push(window);
+                } else {
+                    self.active_brownouts.retain(|&i| i != window);
+                    self.pending_recovery.push(window);
+                }
+            }
+            FaultEffect::UplinkDown => {
+                if opening {
+                    self.uplink_down += 1;
+                } else {
+                    self.uplink_down -= 1;
+                    self.pending_recovery.push(window);
+                }
+            }
+            FaultEffect::Storm { .. } => {
+                if opening {
+                    self.active_storms.push(window);
+                } else {
+                    self.active_storms.retain(|&i| i != window);
+                    self.pending_recovery.push(window);
+                }
+                self.apply_storms();
+            }
+        }
+    }
+
+    /// Recompute each link's extra erasure from the set of open storm
+    /// windows. Overlapping storms compose multiplicatively, matching how
+    /// the link itself composes its PHY/fading/interference terms.
+    fn apply_storms(&mut self) {
+        for (link_idx, link) in self.links.iter_mut().enumerate() {
+            let mut p_ok = 1.0;
+            for &i in &self.active_storms {
+                if let FaultEffect::Storm { erasure, link: target } = self.fault_windows[i].effect {
+                    if target.is_none() || target == Some(link_idx) {
+                        p_ok *= 1.0 - erasure.clamp(0.0, 1.0);
+                    }
+                }
+            }
+            link.set_extra_erasure(1.0 - p_ok);
+        }
+    }
+
+    /// Effective loss probability for one uplink control message right now:
+    /// the configured baseline composed with every open brownout's burst
+    /// loss, or certain loss during an uplink outage. With no fault open
+    /// this returns `cfg.uplink_loss` untouched, so healthy runs draw the
+    /// exact same randomness as before the fault engine existed.
+    fn control_loss(&self) -> f64 {
+        if self.uplink_down > 0 {
+            return 1.0; // chance(1.0) short-circuits: no draw consumed
+        }
+        if self.active_brownouts.is_empty() {
+            return self.cfg.uplink_loss;
+        }
+        let mut p_ok = 1.0 - self.cfg.uplink_loss;
+        for &i in &self.active_brownouts {
+            if let FaultEffect::Brownout { control_loss, .. } = self.fault_windows[i].effect {
+                p_ok *= 1.0 - control_loss.clamp(0.0, 1.0);
+            }
+        }
+        1.0 - p_ok
+    }
+
+    /// Extra one-way latency on LAN legs from open brownouts (the max of
+    /// the open windows — latency spikes don't stack additively).
+    fn brownout_extra_delay(&self) -> SimDuration {
+        let mut extra = SimDuration::ZERO;
+        for &i in &self.active_brownouts {
+            if let FaultEffect::Brownout { extra_delay, .. } = self.fault_windows[i].effect {
+                extra = extra.max(extra_delay);
+            }
+        }
+        extra
     }
 
     /// Fault injection: power-cycle an AP. Going down destroys every
@@ -580,13 +812,31 @@ impl<'a> World<'a> {
     /// state associations (the client driver re-associates promptly) but the
     /// AP has forgotten all power-save state — stations start awake, which
     /// is exactly the desynchronisation a real power cycle causes.
-    fn on_ap_reboot(&mut self, now: SimTime, ap: usize, up: bool) {
+    fn on_ap_reboot(
+        &mut self,
+        now: SimTime,
+        ap: usize,
+        up: bool,
+        outage: SimDuration,
+        window: usize,
+    ) {
+        trace_event!(
+            now,
+            TraceKind::Fault,
+            ComponentId::world(),
+            TraceDetail::Fault {
+                window: window as u16,
+                edge: if up { FaultEdge::Clear } else { FaultEdge::Onset },
+            },
+        );
         if !up {
             let lost = self.aps[ap].power_cycle();
             let voip_lost = lost.iter().filter(|f| f.flow == VOIP_FLOW).count();
             self.ledger.flushed(voip_lost);
-            let outage = self.cfg.reboot.map(|r| r.outage).unwrap_or_default();
-            self.q.schedule(now + outage, Ev::ApReboot { ap, up: true });
+            // The outage rides on the event itself (it used to be read back
+            // from the global config knob, which breaks the moment a plan
+            // schedules two power cycles with different durations).
+            self.q.schedule(now + outage, Ev::ApReboot { ap, up: true, outage, window });
             return;
         }
         if ap == 0 {
@@ -595,6 +845,7 @@ impl<'a> World<'a> {
         } else {
             self.aps[1].associate(SECONDARY, Self::secondary_discipline(self.cfg));
         }
+        self.pending_recovery.push(window);
         self.q.schedule(now, Ev::ApKick(ap));
     }
 
@@ -604,7 +855,9 @@ impl<'a> World<'a> {
             self.q.schedule(spec.send_time(SimTime::ZERO, seq + 1), Ev::SourceEmit(seq + 1));
         }
         let bytes = spec.wire_bytes();
-        let lan = self.cfg.lan_delay + SimDuration::from_micros(self.rng.range_u64(0, 120));
+        let lan = self.cfg.lan_delay
+            + self.brownout_extra_delay()
+            + SimDuration::from_micros(self.rng.range_u64(0, 120));
 
         // Primary copy (except in the secondary-only baseline).
         if self.cfg.mode != RunMode::SecondaryOnly {
@@ -780,6 +1033,22 @@ impl<'a> World<'a> {
                     self.secondary_wasteful_tx += 1;
                 }
                 self.trace.record_arrival(seq, now);
+                // The client hears the stream again: every fault window that
+                // has cleared is now confirmed recovered.
+                if !self.pending_recovery.is_empty() {
+                    for w in std::mem::take(&mut self.pending_recovery) {
+                        self.fault_recovered[w].get_or_insert(now);
+                        trace_event!(
+                            now,
+                            TraceKind::Fault,
+                            ComponentId::world(),
+                            TraceDetail::Fault {
+                                window: w as u16,
+                                edge: FaultEdge::Recovered,
+                            },
+                        );
+                    }
+                }
                 if ap == 0 {
                     self.primary_deliveries += 1;
                 }
@@ -804,9 +1073,11 @@ impl<'a> World<'a> {
                     },
                 );
                 let ack = self.tcp_rx.on_segment(frame.seq);
-                // ACK goes back over the uplink + LAN.
-                if !self.rng.chance(self.cfg.uplink_loss) {
-                    let d = self.cfg.uplink_delay + self.cfg.lan_delay;
+                // ACK goes back over the uplink + LAN; brownouts and uplink
+                // outages hit it like any other control message.
+                let loss = self.control_loss();
+                if !self.rng.chance(loss) {
+                    let d = self.cfg.uplink_delay + self.cfg.lan_delay + self.brownout_extra_delay();
                     self.q.schedule(now + d, Ev::TcpAck(ack));
                 }
             }
@@ -846,7 +1117,8 @@ impl<'a> World<'a> {
     fn send_ps(&mut self, now: SimTime, ap: usize, adapter: AdapterId, sleeping: bool) {
         let mut delay = self.cfg.uplink_delay;
         for _ in 0..5 {
-            if !self.rng.chance(self.cfg.uplink_loss) {
+            let loss = self.control_loss();
+            if !self.rng.chance(loss) {
                 self.q.schedule(now + delay, Ev::PsDelivered { ap, adapter, sleeping });
                 return;
             }
@@ -894,11 +1166,22 @@ impl<'a> World<'a> {
                     );
                 }
                 Command::MiddleboxStart { from_seq } => {
-                    let d = self.cfg.uplink_delay
+                    // Bounded retry, same shape as the PS Null-frame fix: a
+                    // lost re-install request must not silently disable
+                    // replication for the rest of the run. Three tries keep
+                    // the residual loss negligible; each retry costs one
+                    // more uplink hop of latency.
+                    let mut d = self.cfg.uplink_delay
                         + self.cfg.lan_delay
                         + self.cfg.middlebox_net_delay;
-                    if !self.rng.chance(self.cfg.uplink_loss) {
-                        self.q.schedule(now + d, Ev::MiddleboxControl { start: Some(from_seq) });
+                    for _ in 0..3 {
+                        let loss = self.control_loss();
+                        if !self.rng.chance(loss) {
+                            self.q
+                                .schedule(now + d, Ev::MiddleboxControl { start: Some(from_seq) });
+                            break;
+                        }
+                        d += self.cfg.uplink_delay;
                     }
                 }
                 Command::MiddleboxStop => {
@@ -965,6 +1248,13 @@ impl<'a> World<'a> {
     }
 
     fn on_middlebox_control(&mut self, now: SimTime, start: Option<u64>) {
+        if self.mbox_down {
+            // The process is down: the control message reaches a dead
+            // socket. The client's bounded retries already fired, so the
+            // request is simply lost; Algorithm 1 re-issues a start on its
+            // next recovery visit once the stream is heard again.
+            return;
+        }
         match start {
             Some(from_seq) => {
                 let buffered_before = self.mbox.buffered(VOIP_FLOW);
@@ -1003,7 +1293,9 @@ impl<'a> World<'a> {
                 CLIENT,
                 DEF,
             );
-            let lan = self.cfg.lan_delay + SimDuration::from_micros(self.rng.range_u64(0, 80));
+            let lan = self.cfg.lan_delay
+                + self.brownout_extra_delay()
+                + SimDuration::from_micros(self.rng.range_u64(0, 80));
             self.q.schedule(now + lan, Ev::ApArrival { ap: 0, frame });
         }
     }
@@ -1217,5 +1509,71 @@ mod tests {
         let r2 = World::new(&cfg, &seeds(9)).run();
         assert_eq!(r1.trace.fates, r2.trace.fates);
         assert_eq!(r1.secondary_air_tx, r2.secondary_air_tx);
+    }
+
+    #[test]
+    fn legacy_reboot_knob_converts_to_equivalent_plan() {
+        let rb = ApReboot {
+            ap: 1,
+            at: SimTime::from_secs(7),
+            outage: SimDuration::from_secs(2),
+        };
+        let plan: diversifi_simcore::FaultPlan = rb.into();
+        assert_eq!(
+            plan,
+            diversifi_simcore::FaultPlan::single_ap_reboot(1, SimTime::from_secs(7), SimDuration::from_secs(2))
+        );
+    }
+
+    #[test]
+    fn fault_plan_run_reports_outcomes_and_recovers() {
+        let (a, b) = weak_pair();
+        let mut cfg = WorldConfig::testbed(a, b);
+        short(&mut cfg, 20);
+        cfg.faults = diversifi_simcore::FaultPlan::single_ap_reboot(
+            1,
+            SimTime::from_secs(5),
+            SimDuration::from_secs(2),
+        );
+        let report = World::new(&cfg, &seeds(11)).run();
+        assert_eq!(report.fault_outcomes.len(), 1);
+        let o = report.fault_outcomes[0];
+        assert_eq!(o.label, "ap_down");
+        assert_eq!(o.outage(), SimDuration::from_secs(2));
+        let mttr = o.mttr().expect("primary stream keeps flowing: recovery is prompt");
+        assert!(
+            mttr >= SimDuration::from_secs(2),
+            "recovery cannot precede the outage clearing: {mttr}"
+        );
+        assert!(mttr < SimDuration::from_secs(3), "mttr {mttr}");
+    }
+
+    #[test]
+    fn interference_storm_raises_loss_then_clears() {
+        let (a, b) = weak_pair();
+        let mut healthy = WorldConfig::testbed(a.clone(), b.clone());
+        healthy.mode = RunMode::PrimaryOnly;
+        short(&mut healthy, 30);
+        let mut stormy = healthy.clone();
+        stormy.faults = diversifi_simcore::FaultPlan::none().with(
+            SimTime::from_secs(10),
+            diversifi_simcore::FaultKind::InterferenceStorm {
+                duration: SimDuration::from_secs(5),
+                erasure: 0.6,
+                link: Some(0),
+            },
+        );
+        let r_healthy = World::new(&healthy, &seeds(12)).run();
+        let r_stormy = World::new(&stormy, &seeds(12)).run();
+        let lh = r_healthy.trace.loss_rate(DEFAULT_DEADLINE);
+        let ls = r_stormy.trace.loss_rate(DEFAULT_DEADLINE);
+        assert!(
+            ls > lh,
+            "a 5 s storm at 0.6 extra erasure must cost packets: {ls} vs {lh}"
+        );
+        // The storm clears: the run still completes and the report knows
+        // when service came back.
+        assert_eq!(r_stormy.fault_outcomes.len(), 1);
+        assert!(r_stormy.fault_outcomes[0].recovered_at.is_some());
     }
 }

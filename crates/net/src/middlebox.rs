@@ -193,6 +193,21 @@ impl Middlebox {
         self.flows.get(&flow).map(|f| f.streaming).unwrap_or(false)
     }
 
+    /// The process restarted: every ring is wiped and every flow drops out
+    /// of streaming state. Registrations survive (the controller's flow
+    /// table outlives the process), but the replication buffer's contents
+    /// do not. Returns the number of packets destroyed, so the caller can
+    /// settle them with its conservation ledger.
+    pub fn restart(&mut self) -> usize {
+        let mut wiped = 0;
+        for fb in self.flows.values_mut() {
+            wiped += fb.ring.len();
+            fb.ring.clear();
+            fb.streaming = false;
+        }
+        wiped
+    }
+
     /// Buffered packet count for a flow.
     pub fn buffered(&self, flow: FlowId) -> usize {
         self.flows.get(&flow).map(|f| f.ring.len()).unwrap_or(0)
@@ -278,6 +293,26 @@ mod tests {
         assert!(m.ingest(pkt(0)).is_none());
         let (_, got) = m.start(F, 0);
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn restart_wipes_rings_and_streaming_but_keeps_registrations() {
+        let mut m = mbox();
+        for s in 0..3 {
+            m.ingest(pkt(s));
+        }
+        m.start(F, 0); // enters streaming, drains the ring
+        m.ingest(pkt(3)); // forwarded live
+        m.ingest(pkt(4));
+        m.stop(F);
+        m.ingest(pkt(5)); // buffered again
+        assert_eq!(m.restart(), 1, "one buffered packet wiped");
+        assert_eq!(m.flow_count(), 1, "registration survives the restart");
+        assert!(!m.is_streaming(F));
+        assert_eq!(m.buffered(F), 0);
+        // The middlebox buffers normally once the process is back.
+        assert!(m.ingest(pkt(6)).is_none());
+        assert_eq!(m.buffered(F), 1);
     }
 
     #[test]

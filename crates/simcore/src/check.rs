@@ -124,6 +124,7 @@ macro_rules! sim_assert_eq {
 ///              │             │          │  └──► delivered_unheard
 ///              │             │          └─────► air_lost
 ///              │             └────────────────► queue_dropped
+///              ├──► stale_dropped (middlebox down: discarded at the door)
 ///              └──► buffered ──► rolled_over | stale_dropped
 ///                       └──────► in_transit (middlebox burst/stream)
 /// ```
@@ -291,6 +292,16 @@ impl PacketLedger {
         self.buffered -= (forwarded + stale) as i64;
         self.in_transit += forwarded as i64;
         self.stale_dropped += stale as i64;
+        self.check_nonneg();
+    }
+
+    /// A copy arrived at a middlebox whose process is down (or whose SDN
+    /// replication rule is not installed yet after a restart): discarded
+    /// at the door instead of being buffered.
+    #[inline]
+    pub fn mbox_discard(&mut self) {
+        self.in_transit -= 1;
+        self.stale_dropped += 1;
         self.check_nonneg();
     }
 
@@ -472,6 +483,24 @@ mod tests {
         let mut l = PacketLedger::new();
         let r = std::panic::catch_unwind(move || l.tx_heard());
         assert!(r.is_err(), "tx without a queued copy must be caught");
+    }
+
+    #[test]
+    fn ledger_middlebox_restart_wipe_and_door_discard() {
+        let mut l = PacketLedger::new();
+        for _ in 0..3 {
+            l.emit();
+        }
+        // Two copies buffered before the restart, one in transit.
+        l.mbox_buffer();
+        l.mbox_buffer();
+        // Restart wipes the ring (2 stale) …
+        l.mbox_drain(0, 2);
+        // … and the in-transit copy arrives while the process is down.
+        l.mbox_discard();
+        assert_eq!(l.stale_dropped, 3);
+        assert_eq!(l.in_flight(), 0);
+        l.finalize(0, 0, 1);
     }
 
     #[test]

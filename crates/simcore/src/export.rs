@@ -70,6 +70,9 @@ fn detail_fields(d: &TraceDetail, out: &mut String) {
         TraceDetail::Value(v) => {
             let _ = write!(out, "\"value\":{v}");
         }
+        TraceDetail::Fault { window, edge } => {
+            let _ = write!(out, "\"window\":{window},\"edge\":\"{}\"", edge.name());
+        }
     }
 }
 
@@ -237,7 +240,7 @@ mod tests {
     use crate::metrics::LogHistogram;
     use crate::telemetry::TelemetrySession;
     use crate::time::SimTime;
-    use crate::trace::{DecisionKind, TraceEvent};
+    use crate::trace::{DecisionKind, FaultEdge, TraceEvent};
 
     fn merged_fixture() -> MergedTelemetry {
         let events = vec![
@@ -265,6 +268,12 @@ mod tests {
                 who: ComponentId::client(),
                 detail: TraceDetail::Decision { kind: DecisionKind::MiddleboxStart, seq: 2 },
             },
+            TraceEvent {
+                at: SimTime::from_micros(1200),
+                kind: TraceKind::Fault,
+                who: ComponentId::world(),
+                detail: TraceDetail::Fault { window: 0, edge: FaultEdge::Onset },
+            },
         ];
         let mut metrics = MetricsRegistry::new();
         metrics.counter(ComponentId::ap(0), "drops", 3);
@@ -285,12 +294,14 @@ mod tests {
         let m = merged_fixture();
         let out = jsonl(&m);
         let lines: Vec<&str> = out.lines().collect();
-        assert_eq!(lines.len(), 4);
+        assert_eq!(lines.len(), 5);
         assert!(lines[0].contains("\"kind\":\"enqueue\""));
         assert!(lines[0].contains("\"who\":\"ap:0\""));
         assert!(lines[0].contains("\"depth\":2"));
         assert!(lines[1].contains("\"dur_us\":850"));
         assert!(lines[3].contains("\"decision\":\"middlebox_start\""));
+        assert!(lines[4].contains("\"kind\":\"fault\""));
+        assert!(lines[4].contains("\"edge\":\"onset\""));
         for line in lines {
             assert!(line.starts_with('{') && line.ends_with('}'));
         }
@@ -328,7 +339,7 @@ mod tests {
         assert!(table.contains("cwnd"));
         assert!(table.contains("7.000"));
         let report = sweep_report(&m);
-        assert!(report.contains("events: 4 recorded, 0 evicted"));
+        assert!(report.contains("events: 5 recorded, 0 evicted"));
         assert!(report.contains("profile:"));
     }
 

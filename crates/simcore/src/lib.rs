@@ -22,6 +22,10 @@
 //! - [`check`] — the invariant-audit layer: [`sim_assert!`]/[`sim_assert_eq!`]
 //!   plus the packet-conservation [`check::PacketLedger`], active in debug
 //!   builds and `--features audit` release builds.
+//! - [`fault`] — deterministic fault plans ([`FaultPlan`]): seed-stable
+//!   schedules of AP power cycles and flaps, middlebox restarts, WAN/LAN
+//!   brownouts, uplink outages and interference storms, expanded into flat
+//!   impairment windows the world model schedules up front.
 //!
 //! The design follows the smoltcp idiom: components are poll-driven state
 //! machines with no I/O, no threads in the data path, and no wall-clock
@@ -35,6 +39,7 @@
 
 pub mod check;
 pub mod export;
+pub mod fault;
 pub mod metrics;
 pub mod par;
 mod queue;
@@ -45,6 +50,7 @@ pub mod telemetry;
 mod time;
 mod trace;
 
+pub use fault::{FaultEffect, FaultKind, FaultOutcome, FaultPlan, FaultSpec, FaultWindow};
 pub use metrics::{LogHistogram, MetricsRegistry};
 pub use par::SweepRunner;
 pub use queue::{EventId, EventQueue};
@@ -57,8 +63,8 @@ pub use stats::{
 pub use telemetry::{MergedTelemetry, SweepEvent, TelemetrySession};
 pub use time::{SimDuration, SimTime};
 pub use trace::{
-    ComponentId, ComponentKind, DecisionKind, NullSink, RecordingSink, RingSink, TraceDetail,
-    TraceEvent, TraceKind, TraceSink,
+    ComponentId, ComponentKind, DecisionKind, FaultEdge, NullSink, RecordingSink, RingSink,
+    TraceDetail, TraceEvent, TraceKind, TraceSink,
 };
 
 #[cfg(test)]

@@ -37,11 +37,13 @@ pub enum TraceKind {
     Decision,
     /// Transport-level event (TCP segment, retransmit, cwnd change, …).
     Transport,
+    /// An injected fault changed state (onset, clear, recovery).
+    Fault,
 }
 
 impl TraceKind {
     /// Every kind, in declaration order — for coverage checks and filters.
-    pub const ALL: [TraceKind; 9] = [
+    pub const ALL: [TraceKind; 10] = [
         TraceKind::Enqueue,
         TraceKind::QueueDrop,
         TraceKind::TxStart,
@@ -51,6 +53,7 @@ impl TraceKind {
         TraceKind::PowerSave,
         TraceKind::Decision,
         TraceKind::Transport,
+        TraceKind::Fault,
     ];
 
     /// Stable lowercase name used by the exporters.
@@ -65,6 +68,7 @@ impl TraceKind {
             TraceKind::PowerSave => "power_save",
             TraceKind::Decision => "decision",
             TraceKind::Transport => "transport",
+            TraceKind::Fault => "fault",
         }
     }
 }
@@ -270,6 +274,37 @@ pub enum TraceDetail {
     },
     /// An uninterpreted value, for ad-hoc instrumentation.
     Value(u64),
+    /// An injected-fault state change: which window of the run's
+    /// [`crate::fault::FaultPlan`] and which edge (onset / clear /
+    /// service recovered).
+    Fault {
+        /// Index of the window in `FaultPlan::windows()` order.
+        window: u16,
+        /// The edge being recorded.
+        edge: FaultEdge,
+    },
+}
+
+/// Which edge of a fault window a [`TraceDetail::Fault`] event records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+pub enum FaultEdge {
+    /// The impairment began.
+    Onset,
+    /// The impairment cleared (device healthy again).
+    Clear,
+    /// First in-deadline stream delivery after the impairment cleared.
+    Recovered,
+}
+
+impl FaultEdge {
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultEdge::Onset => "onset",
+            FaultEdge::Clear => "clear",
+            FaultEdge::Recovered => "recovered",
+        }
+    }
 }
 
 impl fmt::Display for TraceDetail {
@@ -303,6 +338,9 @@ impl fmt::Display for TraceDetail {
                 write!(f, "seq={seq} flight={flight}")
             }
             TraceDetail::Value(v) => write!(f, "value={v}"),
+            TraceDetail::Fault { window, edge } => {
+                write!(f, "window={window} {}", edge.name())
+            }
         }
     }
 }
@@ -634,6 +672,14 @@ mod tests {
             "middlebox_start seq=42"
         );
         assert_eq!(TraceDetail::Transport { seq: 5, flight: 3 }.to_string(), "seq=5 flight=3");
+        assert_eq!(
+            TraceDetail::Fault { window: 2, edge: FaultEdge::Onset }.to_string(),
+            "window=2 onset"
+        );
+        assert_eq!(
+            TraceDetail::Fault { window: 0, edge: FaultEdge::Recovered }.to_string(),
+            "window=0 recovered"
+        );
         assert_eq!(TraceDetail::None.to_string(), "");
     }
 

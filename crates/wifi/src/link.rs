@@ -114,6 +114,12 @@ pub struct LinkModel {
     mean_rssi_dbm: f64,
     /// Smoothed RSSI as the OS would report it (updated on query).
     reported_rssi: f64,
+    /// Extra per-attempt erasure injected by the world (interference
+    /// storms from a fault plan). Runtime state, not config: it is
+    /// toggled mid-run and is deliberately not part of the realisation
+    /// cache key. Composed multiplicatively with the link's own terms,
+    /// so querying it draws no randomness.
+    extra_erasure: f64,
 }
 
 impl LinkModel {
@@ -154,7 +160,25 @@ impl LinkModel {
     ) -> LinkModel {
         let rng = seeds.stream("link-attempts", index);
         let mean_rssi_dbm = cfg.mean_rssi_dbm();
-        LinkModel { cfg, source, rng, mean_rssi_dbm, reported_rssi: mean_rssi_dbm }
+        LinkModel {
+            cfg,
+            source,
+            rng,
+            mean_rssi_dbm,
+            reported_rssi: mean_rssi_dbm,
+            extra_erasure: 0.0,
+        }
+    }
+
+    /// Set the injected interference-storm erasure (clamped to `[0, 1]`;
+    /// 0 restores the healthy link).
+    pub fn set_extra_erasure(&mut self, p: f64) {
+        self.extra_erasure = p.clamp(0.0, 1.0);
+    }
+
+    /// The currently injected interference-storm erasure.
+    pub fn extra_erasure(&self) -> f64 {
+        self.extra_erasure
     }
 
     /// Shadowing offset (dB) at `t` from whichever channel source backs us.
@@ -254,7 +278,11 @@ impl LinkModel {
         // Collisions under congestion — also diversity-independent.
         let p_coll = self.cfg.congestion.as_ref().map(|c| c.collision_prob).unwrap_or(0.0);
 
-        let p_ok = (1.0 - p_phy) * (1.0 - p_fade) * (1.0 - p_interf) * (1.0 - p_coll);
+        let p_ok = (1.0 - p_phy)
+            * (1.0 - p_fade)
+            * (1.0 - p_interf)
+            * (1.0 - p_coll)
+            * (1.0 - self.extra_erasure);
         (1.0 - p_ok).clamp(0.0, 1.0)
     }
 
@@ -465,6 +493,25 @@ mod tests {
             assert_eq!(live.access_wait(), replay.access_wait());
             t += SimDuration::from_micros(4_321);
         }
+    }
+
+    #[test]
+    fn storm_erasure_composes_multiplicatively_and_is_reversible() {
+        let mut link = LinkModel::new(LinkConfig::office(Channel::CH1, 12.0), &seeds(), 0);
+        let t = SimTime::from_millis(1);
+        let rate = link.select_rate_at(t);
+        let base = link.attempt_erasure(t, rate, 160);
+        link.set_extra_erasure(0.5);
+        let stormy = link.attempt_erasure(t, rate, 160);
+        let want = 1.0 - (1.0 - base) * 0.5;
+        assert!((stormy - want).abs() < 1e-12, "stormy {stormy} want {want}");
+        // Clearing the storm restores the exact healthy probability.
+        link.set_extra_erasure(0.0);
+        assert_eq!(link.attempt_erasure(t, rate, 160).to_bits(), base.to_bits());
+        // Out-of-range inputs clamp; a total storm erases everything.
+        link.set_extra_erasure(7.0);
+        assert_eq!(link.extra_erasure(), 1.0);
+        assert_eq!(link.attempt_erasure(t, rate, 160), 1.0);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use diversifi::world::{ApReboot, RunMode, World, WorldConfig};
 use diversifi_net::{Middlebox, MiddleboxConfig, StreamPacket};
-use diversifi_simcore::{SeedFactory, SimDuration, SimTime};
+use diversifi_simcore::{FaultKind, FaultPlan, SeedFactory, SimDuration, SimTime};
 use diversifi_voip::{StreamSpec, DEFAULT_DEADLINE};
 use diversifi_wifi::{Channel, Congestion, FlowId, GeParams, LinkConfig, MicrowaveOven};
 
@@ -174,11 +174,11 @@ fn ap_reboot_during_hops_degrades_gracefully() {
     for rebooted_ap in [0usize, 1] {
         let mut dvf = base_cfg(primary.clone(), secondary.clone());
         dvf.mode = RunMode::DiversifiCustomAp;
-        dvf.reboot = Some(ApReboot {
-            ap: rebooted_ap,
-            at: SimTime::ZERO + SimDuration::from_secs(10),
-            outage: SimDuration::from_secs(3),
-        });
+        dvf.faults = FaultPlan::single_ap_reboot(
+            rebooted_ap,
+            SimTime::ZERO + SimDuration::from_secs(10),
+            SimDuration::from_secs(3),
+        );
         let mut base = dvf.clone();
         base.mode = RunMode::PrimaryOnly;
         let seeds = SeedFactory::new(0xAB007 + rebooted_ap as u64);
@@ -227,6 +227,185 @@ fn middlebox_buffer_overflow_rolls_over_gracefully() {
     let (_, burst) = mbox.start(flow, 0);
     assert_eq!(burst.len(), 1, "only the newest survivor drains");
     assert_eq!(burst[0].seq, 199);
+}
+
+/// The legacy single-reboot knob and its `FaultPlan` encoding are the same
+/// plan, and two runs configured each way are byte-identical.
+#[test]
+fn legacy_reboot_config_matches_fault_plan_encoding() {
+    let at = SimTime::ZERO + SimDuration::from_secs(10);
+    let outage = SimDuration::from_secs(3);
+    let legacy: FaultPlan = ApReboot { ap: 1, at, outage }.into();
+    let explicit = FaultPlan::single_ap_reboot(1, at, outage);
+    assert_eq!(legacy, explicit, "encodings must be identical plans");
+
+    let primary = LinkConfig::office(Channel::CH1, 18.0);
+    let mut secondary = LinkConfig::office(Channel::CH11, 24.0);
+    secondary.ge = GeParams::weak_link();
+    let mut a = base_cfg(primary.clone(), secondary.clone());
+    a.mode = RunMode::DiversifiCustomAp;
+    a.faults = legacy;
+    let mut b = a.clone();
+    b.faults = explicit;
+    let seeds = SeedFactory::new(0x1E6AC);
+    let ra = World::new(&a, &seeds).run();
+    let rb = World::new(&b, &seeds).run();
+    assert_eq!(ra.trace.fates, rb.trace.fates, "runs must be byte-identical");
+    assert_eq!(ra.secondary_air_tx, rb.secondary_air_tx);
+    assert_eq!(ra.fault_outcomes, rb.fault_outcomes);
+}
+
+/// Runs one (DiversiFi, PrimaryOnly) pair under `plan` and asserts the
+/// per-seed no-amplification contract: DiversiFi must never lose
+/// meaningfully more than the primary-only baseline, fault or no fault.
+fn assert_no_amplification(plan: FaultPlan, mode: RunMode, seed: u64, label: &str) {
+    let primary = LinkConfig::office(Channel::CH1, 18.0);
+    let mut secondary = LinkConfig::office(Channel::CH11, 24.0);
+    secondary.ge = GeParams::weak_link();
+    let mut dvf = base_cfg(primary, secondary);
+    dvf.mode = mode;
+    dvf.faults = plan;
+    let mut base = dvf.clone();
+    base.mode = RunMode::PrimaryOnly;
+    let seeds = SeedFactory::new(seed);
+    let r_dvf = World::new(&dvf, &seeds).run();
+    let r_base = World::new(&base, &seeds).run();
+    assert_eq!(r_dvf.trace.len(), 1500, "{label}: run must complete");
+    let ld = r_dvf.trace.loss_rate(DEFAULT_DEADLINE);
+    let lb = r_base.trace.loss_rate(DEFAULT_DEADLINE);
+    assert!(ld <= lb + 0.02, "{label}: diversifi {ld} must not amplify baseline {lb}");
+}
+
+/// A secondary AP that crashes and flaps repeatedly mid-call: the client
+/// keeps hopping into a coin-flip AP and must never amplify baseline loss.
+#[test]
+fn secondary_flap_does_not_amplify_loss() {
+    let at = SimTime::ZERO + SimDuration::from_secs(8);
+    let plan = FaultPlan::none().with(
+        at,
+        FaultKind::ApFlap {
+            ap: 1,
+            down: SimDuration::from_secs(2),
+            up: SimDuration::from_secs(3),
+            cycles: 4,
+        },
+    );
+    assert_no_amplification(plan, RunMode::DiversifiCustomAp, 0xF1A9, "secondary flap");
+}
+
+/// A middlebox process restart wipes the replication buffer and loses the
+/// SDN rule for a while; the client's retry + probe logic must re-arm
+/// replication instead of silently running primary-only forever.
+#[test]
+fn middlebox_restart_reinstalls_replication() {
+    let plan = FaultPlan::none().with(
+        SimTime::ZERO + SimDuration::from_secs(10),
+        FaultKind::MiddleboxRestart {
+            outage: SimDuration::from_secs(2),
+            reinstall_delay: SimDuration::from_millis(500),
+        },
+    );
+    assert_no_amplification(
+        plan.clone(),
+        RunMode::DiversifiMiddlebox,
+        0x3B0C,
+        "middlebox restart",
+    );
+
+    // Recovery must actually re-arm: packets are still recovered on the
+    // secondary *after* the restart cleared.
+    let primary = LinkConfig::office(Channel::CH1, 18.0);
+    let mut secondary = LinkConfig::office(Channel::CH11, 24.0);
+    secondary.ge = GeParams::weak_link();
+    let mut cfg = base_cfg(primary, secondary);
+    cfg.mode = RunMode::DiversifiMiddlebox;
+    cfg.faults = plan;
+    let r = World::new(&cfg, &SeedFactory::new(0x3B0C)).run();
+    assert!(r.alg_stats.recovered_on_secondary > 0, "replication must come back");
+    assert_eq!(r.fault_outcomes.len(), 1);
+    assert!(
+        r.fault_outcomes[0].recovered_at.is_some(),
+        "the report must record recovery after the restart"
+    );
+}
+
+/// A WAN brownout (latency spike + control-loss burst) mid-call.
+#[test]
+fn brownout_does_not_amplify_loss() {
+    let plan = FaultPlan::none().with(
+        SimTime::ZERO + SimDuration::from_secs(12),
+        FaultKind::Brownout {
+            duration: SimDuration::from_secs(4),
+            extra_delay: SimDuration::from_millis(15),
+            control_loss: 0.7,
+        },
+    );
+    assert_no_amplification(plan.clone(), RunMode::DiversifiCustomAp, 0xB0B0, "brownout/ap");
+    assert_no_amplification(plan, RunMode::DiversifiMiddlebox, 0xB0B1, "brownout/mbox");
+}
+
+/// Total uplink control-plane outage: PS nulls and middlebox requests all
+/// die for 3 s. The state machine must stay coherent and recover.
+#[test]
+fn uplink_outage_does_not_amplify_loss() {
+    let plan = FaultPlan::none().with(
+        SimTime::ZERO + SimDuration::from_secs(9),
+        FaultKind::UplinkOutage { duration: SimDuration::from_secs(3) },
+    );
+    assert_no_amplification(plan.clone(), RunMode::DiversifiCustomAp, 0x0717, "uplink/ap");
+    assert_no_amplification(plan, RunMode::DiversifiMiddlebox, 0x0718, "uplink/mbox");
+}
+
+/// An interference storm across both links layered on Gilbert–Elliott.
+#[test]
+fn interference_storm_does_not_amplify_loss() {
+    let plan = FaultPlan::none().with(
+        SimTime::ZERO + SimDuration::from_secs(11),
+        FaultKind::InterferenceStorm {
+            duration: SimDuration::from_secs(5),
+            erasure: 0.35,
+            link: None,
+        },
+    );
+    assert_no_amplification(plan, RunMode::DiversifiCustomAp, 0x570A, "storm");
+}
+
+/// A secondary AP that dies for most of the call: Algorithm 1 must detect
+/// the dead link, fall back to primary-only (bounded duplicate cost), and
+/// re-arm replication when the AP returns.
+#[test]
+fn long_secondary_outage_enters_and_exits_degraded_mode() {
+    // A weak primary makes losses (and hence recovery visits) frequent, so
+    // the dead-secondary detector gets its consecutive silent strikes fast.
+    let mut primary = LinkConfig::office(Channel::CH1, 22.0);
+    primary.ge = GeParams::weak_link();
+    let mut secondary = LinkConfig::office(Channel::CH11, 24.0);
+    secondary.ge = GeParams::weak_link();
+    let mut cfg = base_cfg(primary, secondary);
+    cfg.mode = RunMode::DiversifiCustomAp;
+    // Down from t=5s to t=20s; the call runs 30s, so there is a 10s
+    // healthy tail for re-association.
+    cfg.faults = FaultPlan::single_ap_reboot(
+        1,
+        SimTime::ZERO + SimDuration::from_secs(5),
+        SimDuration::from_secs(15),
+    );
+    let r = World::new(&cfg, &SeedFactory::new(0xDEAD5)).run();
+    assert_eq!(r.trace.len(), 1500, "run must complete");
+    assert!(
+        r.alg_stats.degraded_entries >= 1,
+        "a 15 s dead secondary must trip the dead-link detector: {:?}",
+        r.alg_stats
+    );
+    assert!(r.alg_stats.probe_visits >= 1, "degraded mode must probe: {:?}", r.alg_stats);
+    assert!(r.alg_stats.degraded_ns > 0, "degraded time must be accounted");
+    // The AP comes back at t=20s and the stream still has 10s to run: the
+    // probe must find it and resume normal operation.
+    let o = r.fault_outcomes[0];
+    assert!(
+        o.recovered_at.is_some(),
+        "client must re-associate once the AP returns: {o:?}"
+    );
 }
 
 /// Zero uplink delay / zero LAN delay configuration does not break event

@@ -17,8 +17,10 @@
 //!   injection) finalises its conservation ledger without complaint.
 
 use diversifi::evaluation::{run_eval_corpus, EvalOptions};
-use diversifi::world::{ApReboot, RunMode, World, WorldConfig};
-use diversifi_simcore::{check, SeedFactory, SimDuration, SimTime};
+use diversifi::world::{RunMode, World, WorldConfig};
+use diversifi_simcore::{
+    check, FaultKind, FaultPlan, SeedFactory, SimDuration, SimTime, SweepRunner,
+};
 use diversifi_voip::DEFAULT_DEADLINE;
 use diversifi_wifi::{Channel, GeParams, LinkConfig};
 use proptest::prelude::*;
@@ -131,11 +133,107 @@ fn audit_is_behaviour_neutral_across_thread_counts() {
     check::set_enabled(true);
 }
 
-/// Every run mode — fault injection included — drives the packet ledger to
-/// a clean close: `World::run` finalises the conservation ledger
-/// internally, so simply completing under a live audit is the assertion.
+/// One plan of each fault kind, plus a healthy plan and a kitchen sink,
+/// all timed to land inside an 8 s run.
+fn fault_catalogue() -> Vec<(&'static str, FaultPlan)> {
+    let t = |s: u64| SimTime::ZERO + SimDuration::from_secs(s);
+    vec![
+        ("healthy", FaultPlan::none()),
+        ("reboot_ap0", FaultPlan::single_ap_reboot(0, t(3), SimDuration::from_millis(1500))),
+        ("reboot_ap1", FaultPlan::single_ap_reboot(1, t(3), SimDuration::from_millis(1500))),
+        (
+            "flap_ap1",
+            FaultPlan::none().with(
+                t(2),
+                FaultKind::ApFlap {
+                    ap: 1,
+                    down: SimDuration::from_millis(700),
+                    up: SimDuration::from_millis(800),
+                    cycles: 3,
+                },
+            ),
+        ),
+        (
+            "mbox_restart",
+            FaultPlan::none().with(
+                t(3),
+                FaultKind::MiddleboxRestart {
+                    outage: SimDuration::from_secs(1),
+                    reinstall_delay: SimDuration::from_millis(300),
+                },
+            ),
+        ),
+        (
+            "brownout",
+            FaultPlan::none().with(
+                t(2),
+                FaultKind::Brownout {
+                    duration: SimDuration::from_secs(2),
+                    extra_delay: SimDuration::from_millis(10),
+                    control_loss: 0.6,
+                },
+            ),
+        ),
+        (
+            "uplink_outage",
+            FaultPlan::none().with(t(4), FaultKind::UplinkOutage { duration: SimDuration::from_secs(1) }),
+        ),
+        (
+            "storm",
+            FaultPlan::none().with(
+                t(3),
+                FaultKind::InterferenceStorm {
+                    duration: SimDuration::from_secs(2),
+                    erasure: 0.4,
+                    link: None,
+                },
+            ),
+        ),
+        (
+            "kitchen_sink",
+            FaultPlan::none()
+                .with(
+                    t(2),
+                    FaultKind::ApFlap {
+                        ap: 1,
+                        down: SimDuration::from_millis(600),
+                        up: SimDuration::from_millis(900),
+                        cycles: 2,
+                    },
+                )
+                .with(
+                    t(3),
+                    FaultKind::Brownout {
+                        duration: SimDuration::from_secs(2),
+                        extra_delay: SimDuration::from_millis(8),
+                        control_loss: 0.5,
+                    },
+                )
+                .with(
+                    t(4),
+                    FaultKind::MiddleboxRestart {
+                        outage: SimDuration::from_millis(800),
+                        reinstall_delay: SimDuration::from_millis(200),
+                    },
+                )
+                .with(
+                    t(5),
+                    FaultKind::InterferenceStorm {
+                        duration: SimDuration::from_millis(1500),
+                        erasure: 0.3,
+                        link: Some(0),
+                    },
+                )
+                .with(t(6), FaultKind::UplinkOutage { duration: SimDuration::from_millis(700) }),
+        ),
+    ]
+}
+
+/// Every run mode × every fault kind — drives the packet ledger to a clean
+/// close: `World::run` finalises the conservation ledger internally, so
+/// simply completing under a live audit is the assertion.
 #[test]
-fn ledger_closes_in_every_mode() {
+fn ledger_closes_in_every_mode_and_fault_kind() {
     let (a, b) = weak_pair();
     let modes = [
         RunMode::PrimaryOnly,
@@ -145,22 +243,74 @@ fn ledger_closes_in_every_mode() {
         RunMode::EndToEndPsm,
     ];
     for mode in modes {
-        for with_tcp in [false, true] {
-            for reboot_ap in [None, Some(0), Some(1)] {
-                let mut cfg = WorldConfig::testbed(a.clone(), b.clone());
-                cfg.mode = mode;
-                cfg.with_tcp = with_tcp;
-                cfg.spec.duration = SimDuration::from_secs(8);
-                cfg.reboot = reboot_ap.map(|ap| ApReboot {
-                    ap,
-                    at: SimTime::ZERO + SimDuration::from_secs(3),
-                    outage: SimDuration::from_millis(1500),
-                });
-                let s = SeedFactory::new(0x1ED6E8 ^ (mode as u64) << 8);
-                let report = World::new(&cfg, &s).run();
-                assert!(
-                    !report.trace.is_empty(),
-                    "world produced an empty trace for {mode:?} tcp={with_tcp} reboot={reboot_ap:?}"
+        // Alternate tcp per plan to bound runtime while still covering
+        // every (mode, fault) pair and both tcp settings per mode.
+        for (i, (label, plan)) in fault_catalogue().into_iter().enumerate() {
+            let with_tcp = i % 2 == (mode as usize) % 2;
+            let mut cfg = WorldConfig::testbed(a.clone(), b.clone());
+            cfg.mode = mode;
+            cfg.with_tcp = with_tcp;
+            cfg.spec.duration = SimDuration::from_secs(8);
+            cfg.faults = plan;
+            let s = SeedFactory::new(0x1ED6E8 ^ (mode as u64) << 8);
+            let report = World::new(&cfg, &s).run();
+            assert!(
+                !report.trace.is_empty(),
+                "world produced an empty trace for {mode:?} tcp={with_tcp} fault={label}"
+            );
+        }
+    }
+}
+
+/// Fault-plan runs are bit-identical across worker-thread counts and
+/// telemetry/audit configurations: the fault engine must neither read the
+/// wall clock nor let instrumentation steer a single RNG draw.
+#[test]
+fn fault_plan_runs_bit_identical_across_threads_and_telemetry() {
+    let catalogue = fault_catalogue();
+    let fingerprint = |report: &diversifi::world::RunReport| {
+        format!(
+            "{}|{}|{}|{:?}",
+            serde_json::to_string(&report.trace).expect("trace serialises"),
+            report.secondary_air_tx,
+            report.primary_deliveries,
+            report.fault_outcomes,
+        )
+    };
+    let sweep = |threads: usize, traced: bool, audit: bool| -> Vec<String> {
+        check::set_enabled(audit);
+        let out = SweepRunner::new(threads).run(&catalogue, |i, (_, plan)| {
+            let (a, b) = weak_pair();
+            let mut cfg = WorldConfig::testbed(a, b);
+            cfg.mode = if i % 2 == 0 {
+                RunMode::DiversifiCustomAp
+            } else {
+                RunMode::DiversifiMiddlebox
+            };
+            cfg.spec.duration = SimDuration::from_secs(6);
+            cfg.faults = plan.clone();
+            let s = SeedFactory::new(0xFA017 + i as u64);
+            let report = if traced {
+                World::new(&cfg, &s).run_traced(4096).0
+            } else {
+                World::new(&cfg, &s).run()
+            };
+            fingerprint(&report)
+        });
+        check::set_enabled(true);
+        out
+    };
+    let reference = sweep(1, false, true);
+    for threads in [1usize, 2, 4, 8] {
+        for traced in [false, true] {
+            for audit in [true, false] {
+                if (threads, traced, audit) == (1, false, true) {
+                    continue;
+                }
+                assert_eq!(
+                    sweep(threads, traced, audit),
+                    reference,
+                    "fault sweep diverged at threads={threads} traced={traced} audit={audit}"
                 );
             }
         }

@@ -18,7 +18,9 @@
 
 use diversifi::world::{RunMode, RunReport, World, WorldConfig};
 use diversifi_simcore::telemetry::TRACE_COMPILED;
-use diversifi_simcore::{export, MergedTelemetry, SeedFactory, SimDuration, SweepRunner, TraceKind};
+use diversifi_simcore::{
+    export, FaultPlan, MergedTelemetry, SeedFactory, SimDuration, SimTime, SweepRunner, TraceKind,
+};
 use diversifi_wifi::{Channel, GeParams, LinkConfig};
 use std::fmt::Write as _;
 use std::sync::OnceLock;
@@ -27,8 +29,9 @@ const RUNS: usize = 4;
 const CAPACITY: usize = 1 << 16;
 
 /// The §6 testbed weak pair with a coexisting TCP flow — the scenario that
-/// touches every subsystem (APs, MAC, Algorithm 1, PSM, TCP). Kept short:
-/// this suite runs in debug CI, and the weak pair hops within the first
+/// touches every subsystem (APs, MAC, Algorithm 1, PSM, TCP, and a
+/// mid-run secondary power cycle for the fault engine). Kept short: this
+/// suite runs in debug CI, and the weak pair hops within the first
 /// second, so 4 s already exercises every event kind.
 fn scenario() -> WorldConfig {
     let mut primary = LinkConfig::office(Channel::CH1, 26.0);
@@ -39,6 +42,11 @@ fn scenario() -> WorldConfig {
     cfg.mode = RunMode::DiversifiCustomAp;
     cfg.with_tcp = true;
     cfg.spec.duration = SimDuration::from_secs(4);
+    cfg.faults = FaultPlan::single_ap_reboot(
+        1,
+        SimTime::ZERO + SimDuration::from_millis(1500),
+        SimDuration::from_millis(400),
+    );
     cfg
 }
 
