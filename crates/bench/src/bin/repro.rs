@@ -86,6 +86,15 @@ fn main() {
             "--trace-out" => trace_out = Some(args.next().expect("--trace-out PATH")),
             "--metrics-out" => metrics_out = Some(args.next().expect("--metrics-out PATH")),
             "--resilience" => wanted.push("resilience".to_string()),
+            "--phase-profile" => {
+                phase_profile(seed);
+                return;
+            }
+            "--bench-compare" => {
+                let fresh = args.next().expect("--bench-compare FRESH.json [BASELINE.json...]");
+                let baselines: Vec<String> = args.collect();
+                std::process::exit(bench_compare(&fresh, &baselines));
+            }
             "--telemetry-status" => {
                 println!(
                     "telemetry: compiled {}",
@@ -96,7 +105,9 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "repro [--quick] [--seed N] [--out DIR] [--trace-out PATH] \
-                     [--metrics-out PATH] [--telemetry-status] [--resilience] [EXPERIMENT...]\n\
+                     [--metrics-out PATH] [--telemetry-status] [--phase-profile] \
+                     [--bench-compare FRESH.json [BASELINE.json...]] \
+                     [--resilience] [EXPERIMENT...]\n\
                      experiments: table1 table2 table3 fig1 fig2a fig2b fig2c fig2d \
                      fig2e fig3 fig4 fig5 fig6 fig8 fig9 fig10 overhead mbox-scale all \
                      ablations fec crosstech uplink multiclient resilience"
@@ -170,6 +181,160 @@ fn main() {
             "resilience" => resilience(&mut ctx),
             other => eprintln!("unknown experiment: {other}"),
         }
+    }
+}
+
+/// Regression threshold for `--bench-compare`: a fresh benchmark slower
+/// than its committed baseline by more than this fraction fails the
+/// comparison (exit code 1).
+const BENCH_REGRESSION_FRAC: f64 = 0.25;
+
+/// Diff a fresh `BENCH_JSON` run against the committed `BENCH_*.json`
+/// baselines, keyed by benchmark name.
+///
+/// Comparisons use `lo_ns` (the fastest observed sample): on shared,
+/// noisy hosts the minimum is the stable signal — medians swing ±30%
+/// with background load, minima only move when the code does. Where a
+/// baseline name appears under several builds (the telemetry benches),
+/// the slowest baseline wins, since a fresh line carries no build tag.
+/// Returns the process exit code: 1 if any benchmark regressed more
+/// than [`BENCH_REGRESSION_FRAC`], 0 otherwise (new or missing
+/// benchmarks are reported but never fail).
+fn bench_compare(fresh_path: &str, baseline_paths: &[String]) -> i32 {
+    fn load(path: &str) -> Vec<(String, f64)> {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("bench-compare: cannot read {path}: {e}"));
+        text.lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| {
+                let v: serde_json::Value = serde_json::from_str(l)
+                    .unwrap_or_else(|e| panic!("bench-compare: bad JSON line in {path}: {e}"));
+                let name = v
+                    .get("name")
+                    .and_then(|n| n.as_str())
+                    .expect("bench line missing name")
+                    .to_string();
+                let lo =
+                    v.get("lo_ns").and_then(|n| n.as_f64()).expect("bench line missing lo_ns");
+                (name, lo)
+            })
+            .collect()
+    }
+
+    // Default baselines: every committed BENCH_*.json in the working dir.
+    let baseline_paths: Vec<String> = if baseline_paths.is_empty() {
+        let mut found: Vec<String> = std::fs::read_dir(".")
+            .expect("bench-compare: cannot list working directory")
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            .collect();
+        found.sort();
+        assert!(!found.is_empty(), "bench-compare: no BENCH_*.json baselines found");
+        found
+    } else {
+        baseline_paths.to_vec()
+    };
+
+    let mut baseline: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
+    for path in &baseline_paths {
+        for (name, lo) in load(path) {
+            let slot = baseline.entry(name).or_insert(lo);
+            *slot = slot.max(lo);
+        }
+    }
+
+    let mut regressions = 0usize;
+    println!("{:<44} {:>12} {:>12} {:>8}  verdict", "benchmark", "base lo_ns", "fresh lo_ns", "ratio");
+    for (name, fresh_lo) in load(fresh_path) {
+        match baseline.get(&name) {
+            None => println!("{name:<44} {:>12} {fresh_lo:>12.1} {:>8}  new (no baseline)", "-", "-"),
+            Some(&base_lo) => {
+                let ratio = fresh_lo / base_lo;
+                let verdict = if ratio > 1.0 + BENCH_REGRESSION_FRAC {
+                    regressions += 1;
+                    "REGRESSED"
+                } else if ratio < 1.0 - BENCH_REGRESSION_FRAC {
+                    "improved"
+                } else {
+                    "ok"
+                };
+                println!("{name:<44} {base_lo:>12.1} {fresh_lo:>12.1} {ratio:>8.2}  {verdict}");
+            }
+        }
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench-compare: {regressions} benchmark(s) regressed more than {:.0}% vs baseline",
+            BENCH_REGRESSION_FRAC * 100.0
+        );
+        1
+    } else {
+        0
+    }
+}
+
+/// Where does a paired three-arm run's time actually go? Runs the
+/// `channel/three_arm_10s` bench workload (warm realization cache) with a
+/// live telemetry session per arm and prints the Dispatch / ChannelSample
+/// / MetricsReduce span breakdown — the profile behind the hot-path
+/// optimisation notes in EXPERIMENTS.md. Needs `--features trace` in
+/// release builds; without it the spans are compiled out.
+fn phase_profile(seed: u64) {
+    use diversifi::world::{RunMode, World, WorldConfig};
+    use diversifi_simcore::telemetry::{Phase, PhaseProfile};
+    use diversifi_wifi::RealizationCache;
+
+    if !diversifi_simcore::telemetry::TRACE_COMPILED {
+        eprintln!(
+            "[phase-profile] warning: release build without the `trace` feature — \
+             span totals will read zero; rebuild with `--features trace`"
+        );
+    }
+    let a = LinkConfig::office(Channel::CH1, 16.0);
+    let mut b = LinkConfig::office(Channel::CH11, 26.0);
+    b.ge = GeParams::weak_link();
+    let modes = [
+        (RunMode::PrimaryOnly, "primary_only"),
+        (RunMode::DiversifiCustomAp, "diversifi_custom_ap"),
+        (RunMode::DiversifiMiddlebox, "diversifi_middlebox"),
+    ];
+    let seeds = SeedFactory::new(seed);
+    let cache = RealizationCache::new(4);
+    let mut total = PhaseProfile::default();
+    println!("three_arm_10s phase profile (warm realization cache, 1 thread):");
+    for (mode, label) in modes {
+        let mut cfg = WorldConfig::testbed(a.clone(), b.clone());
+        cfg.mode = mode;
+        cfg.spec = StreamSpec::voip();
+        cfg.spec.duration = SimDuration::from_secs(10);
+        // Warm the cache so the profiled pass measures the event loop, not
+        // channel materialisation (the sweep steady state).
+        drop(World::new_cached(&cfg, &seeds, &cache));
+        let wall = std::time::Instant::now();
+        let (_, session) = World::new_cached(&cfg, &seeds, &cache).run_traced(1 << 16);
+        let wall = wall.elapsed();
+        println!("\n[{label}] wall {:.3} ms", wall.as_secs_f64() * 1e3);
+        for phase in Phase::ALL {
+            let s = session.profile.get(phase);
+            println!(
+                "  {:<16} {:>8} spans  {:>10.3} ms",
+                phase.name(),
+                s.calls,
+                s.total_ns as f64 / 1e6
+            );
+        }
+        total.merge(&session.profile);
+    }
+    println!("\n[total across arms]");
+    for phase in Phase::ALL {
+        let s = total.get(phase);
+        println!(
+            "  {:<16} {:>8} spans  {:>10.3} ms",
+            phase.name(),
+            s.calls,
+            s.total_ns as f64 / 1e6
+        );
     }
 }
 

@@ -4,7 +4,7 @@
 
 use crate::world::{RunMode, RunReport, SwitchDelaySample, World, WorldConfig};
 use diversifi_net::{Middlebox, MiddleboxConfig};
-use diversifi_simcore::{mean, RngStream, SeedFactory, SimDuration, SweepRunner};
+use diversifi_simcore::{mean, RngStream, SeedFactory, SimDuration, SweepRunner, WorkerArena};
 use diversifi_voip::StreamTrace;
 use diversifi_wifi::{Channel, FlowId, GeParams, LinkConfig, RealizationCache};
 use serde::Serialize;
@@ -112,21 +112,21 @@ pub fn run_eval_corpus(opts: &EvalOptions, seed: u64) -> Vec<EvalRun> {
 
     SweepRunner::new(opts.threads).run_with(
         &locations,
-        || RealizationCache::new(16),
-        |_, (p, s, call_seeds), cache| {
+        || (RealizationCache::new(16), WorkerArena::new()),
+        |_, (p, s, call_seeds), (cache, arena)| {
             let mut cfg = WorldConfig::testbed(p.clone(), s.clone());
-            let mut run_one = |mode: RunMode| {
+            let mut run_one = |mode: RunMode, arena: &mut WorkerArena| {
                 cfg.mode = mode;
                 if opts.use_realization_cache {
-                    World::new_cached(&cfg, call_seeds, cache).run()
+                    World::new_cached_in(&cfg, call_seeds, cache, arena).run_in(arena)
                 } else {
                     World::new(&cfg, call_seeds).run()
                 }
             };
             EvalRun {
-                primary: run_one(RunMode::PrimaryOnly),
-                secondary: run_one(RunMode::SecondaryOnly),
-                diversifi: run_one(opts.mode),
+                primary: run_one(RunMode::PrimaryOnly, arena),
+                secondary: run_one(RunMode::SecondaryOnly, arena),
+                diversifi: run_one(opts.mode, arena),
             }
         },
     )
@@ -185,20 +185,20 @@ pub fn run_tcp_corpus(n_runs: usize, threads: usize, seed: u64) -> Vec<TcpPair> 
     let seeds = SeedFactory::new(seed);
     SweepRunner::new(threads).run_indexed_with(
         n_runs,
-        || RealizationCache::new(8),
-        |i, cache| {
+        || (RealizationCache::new(8), WorkerArena::new()),
+        |i, (cache, arena)| {
             let call_seeds = seeds.subfactory("tcp-run", i as u64);
             let mut rng = call_seeds.stream("location", 0);
             let (p, s) = testbed_location(&mut rng);
             let mut cfg = WorldConfig::testbed(p, s);
             cfg.with_tcp = true;
-            let mut run_one = |mode: RunMode| {
+            let mut run_one = |mode: RunMode, arena: &mut WorkerArena| {
                 cfg.mode = mode;
-                World::new_cached(&cfg, &call_seeds, cache).run().tcp_throughput_bps
+                World::new_cached_in(&cfg, &call_seeds, cache, arena).run_in(arena).tcp_throughput_bps
             };
             TcpPair {
-                off_bps: run_one(RunMode::PrimaryOnly),
-                on_bps: run_one(RunMode::DiversifiCustomAp),
+                off_bps: run_one(RunMode::PrimaryOnly, arena),
+                on_bps: run_one(RunMode::DiversifiCustomAp, arena),
             }
         },
     )

@@ -178,12 +178,21 @@ pub fn run_two_nic_cached(
     cache: &RealizationCache,
 ) -> TwoNicRun {
     let pipeline = PipelineConfig::default();
-    let a = run_link_cached(
-        &scn.spec, &scn.link_a, seeds, 0, scn.lan_delay, &pipeline, &[SimDuration::ZERO], cache,
-    );
-    let b = run_link_cached(
-        &scn.spec, &scn.link_b, seeds, 1, scn.lan_delay, &pipeline, &[SimDuration::ZERO], cache,
-    );
+    // Both links resolve through one batched lookup: misses materialise
+    // together in the SoA stepper instead of one link at a time.
+    let mut reals = cache
+        .get_or_materialize_batch(
+            &[(&scn.link_a, 0), (&scn.link_b, 1)],
+            seeds,
+            channel_horizon(&scn.spec),
+        )
+        .into_iter();
+    let link_a =
+        LinkModel::from_realization(scn.link_a.clone(), reals.next().expect("batch of 2"), seeds, 0);
+    let link_b =
+        LinkModel::from_realization(scn.link_b.clone(), reals.next().expect("batch of 2"), seeds, 1);
+    let a = run_link_on(&scn.spec, link_a, seeds, 0, scn.lan_delay, &pipeline, &[SimDuration::ZERO]);
+    let b = run_link_on(&scn.spec, link_b, seeds, 1, scn.lan_delay, &pipeline, &[SimDuration::ZERO]);
     TwoNicRun { a, b }
 }
 

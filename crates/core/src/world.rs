@@ -25,7 +25,8 @@ use diversifi_net::{Middlebox, MiddleboxConfig, StreamPacket, TcpConfig, TcpRece
 use diversifi_simcore::telemetry::{self, Phase, TelemetrySession};
 use diversifi_simcore::{
     trace_event, ComponentId, DecisionKind, EventQueue, FaultEdge, FaultEffect, FaultOutcome,
-    FaultPlan, FaultWindow, RngStream, SeedFactory, SimDuration, SimTime, TraceDetail, TraceKind,
+    FaultPlan, FaultWindow, QueueBackend, RngStream, SeedFactory, SimDuration, SimTime,
+    TraceDetail, TraceKind, WorkerArena, DAY_NANOS, WHEEL_DAYS,
 };
 use diversifi_voip::{StreamSpec, StreamTrace};
 use diversifi_wifi::{
@@ -294,16 +295,22 @@ impl<'a> World<'a> {
     /// by construction.
     pub fn new(cfg: &'a WorldConfig, seeds: &SeedFactory) -> World<'a> {
         let horizon = Self::channel_horizon(cfg);
+        let mut reals = ChannelRealization::materialize_batch(
+            &[(&cfg.primary, 0), (&cfg.secondary, 1)],
+            seeds,
+            horizon,
+        )
+        .into_iter();
         let links = [
             LinkModel::from_realization(
                 cfg.primary.clone(),
-                Arc::new(ChannelRealization::materialize(&cfg.primary, seeds, 0, horizon)),
+                Arc::new(reals.next().expect("batch of 2")),
                 seeds,
                 0,
             ),
             LinkModel::from_realization(
                 cfg.secondary.clone(),
-                Arc::new(ChannelRealization::materialize(&cfg.secondary, seeds, 1, horizon)),
+                Arc::new(reals.next().expect("batch of 2")),
                 seeds,
                 1,
             ),
@@ -313,28 +320,72 @@ impl<'a> World<'a> {
 
     /// Like [`World::new`], but fetches the channel realisations from
     /// `cache` so paired arms and repeated seeds materialise each
-    /// `(link, seed)` environment exactly once.
+    /// `(link, seed)` environment exactly once. Both links are looked up
+    /// (and, on miss, materialised) in one batched pass.
     pub fn new_cached(
         cfg: &'a WorldConfig,
         seeds: &SeedFactory,
         cache: &RealizationCache,
     ) -> World<'a> {
         let horizon = Self::channel_horizon(cfg);
+        let mut reals = cache
+            .get_or_materialize_batch(&[(&cfg.primary, 0), (&cfg.secondary, 1)], seeds, horizon)
+            .into_iter();
         let links = [
             LinkModel::from_realization(
                 cfg.primary.clone(),
-                cache.get_or_materialize(&cfg.primary, seeds, 0, horizon),
+                reals.next().expect("batch of 2"),
                 seeds,
                 0,
             ),
             LinkModel::from_realization(
                 cfg.secondary.clone(),
-                cache.get_or_materialize(&cfg.secondary, seeds, 1, horizon),
+                reals.next().expect("batch of 2"),
                 seeds,
                 1,
             ),
         ];
         Self::with_links(cfg, links, seeds)
+    }
+
+    /// [`World::new_cached`] with hot-path containers (the event queue and
+    /// the fault-bookkeeping vectors) recycled from a per-worker `arena`
+    /// instead of freshly allocated. Pair with [`World::run_in`] so the
+    /// containers return to the arena when the run finishes. Results are
+    /// bit-identical to [`World::new_cached`] — the arena only supplies
+    /// capacity (see `diversifi_simcore::arena`).
+    pub fn new_cached_in(
+        cfg: &'a WorldConfig,
+        seeds: &SeedFactory,
+        cache: &RealizationCache,
+        arena: &mut WorkerArena,
+    ) -> World<'a> {
+        let mut world = Self::new_cached(cfg, seeds, cache);
+        let mut q: EventQueue<Ev> = arena.take();
+        q.set_backend(Self::queue_backend(cfg));
+        world.q = q;
+        world.pending_recovery = arena.take();
+        world.active_brownouts = arena.take();
+        world.active_storms = arena.take();
+        let mut recovered: Vec<Option<SimTime>> = arena.take();
+        recovered.resize(world.fault_windows.len(), None);
+        world.fault_recovered = recovered;
+        world
+    }
+
+    /// The event-queue backend for this run: the calendar wheel when the
+    /// stream's packet clock is dense enough that most scheduling lands
+    /// inside the wheel span (the VoIP regime — emissions every 20 ms,
+    /// client timers down to 100 µs), the binary heap otherwise. Both
+    /// backends pop in the exact same order, so this is purely a
+    /// performance choice.
+    fn queue_backend(cfg: &WorldConfig) -> QueueBackend {
+        let span_ns = DAY_NANOS * WHEEL_DAYS;
+        if cfg.spec.interval.as_nanos().saturating_mul(4) <= span_ns {
+            QueueBackend::Calendar
+        } else {
+            QueueBackend::Heap
+        }
     }
 
     /// Horizon the realisations must cover: the measurement window plus the
@@ -380,7 +431,7 @@ impl<'a> World<'a> {
         let tcp_tx = TcpSender::new(TcpConfig::default());
 
         World {
-            q: EventQueue::new(),
+            q: EventQueue::with_backend(Self::queue_backend(cfg)),
             aps: [ap0, ap1],
             links,
             busy: [false, false],
@@ -412,7 +463,19 @@ impl<'a> World<'a> {
     }
 
     /// Run to completion and produce the report.
-    pub fn run(mut self) -> RunReport {
+    pub fn run(self) -> RunReport {
+        self.run_with_arena(None)
+    }
+
+    /// [`World::run`], but handing the recyclable hot-path containers (the
+    /// event queue and fault-bookkeeping vectors) back to `arena` once the
+    /// report is built, so the next [`World::new_cached_in`] on this worker
+    /// reuses their capacity. The report is bit-identical to [`World::run`].
+    pub fn run_in(self, arena: &mut WorkerArena) -> RunReport {
+        self.run_with_arena(Some(arena))
+    }
+
+    fn run_with_arena(mut self, arena: Option<&mut WorkerArena>) -> RunReport {
         // In the secondary-only baseline the client listens on the
         // secondary adapter; mark it awake and the primary ones asleep.
         if self.cfg.mode == RunMode::SecondaryOnly {
@@ -562,7 +625,7 @@ impl<'a> World<'a> {
 
         let duration = self.cfg.spec.duration.as_secs_f64();
         let tcp_throughput_bps = self.tcp_tx.acked_bytes() as f64 * 8.0 / duration;
-        RunReport {
+        let report = RunReport {
             trace: self.trace,
             primary_deliveries: self.primary_deliveries,
             alg_stats: self.alg.stats,
@@ -577,7 +640,15 @@ impl<'a> World<'a> {
             ),
             switch_delays: self.switch_delays,
             fault_outcomes,
+        };
+        if let Some(arena) = arena {
+            arena.put(self.q);
+            arena.put(self.pending_recovery);
+            arena.put(self.active_brownouts);
+            arena.put(self.active_storms);
+            arena.put(self.fault_recovered);
         }
+        report
     }
 
     /// Run to completion with a private telemetry session: trace events go
@@ -1509,6 +1580,52 @@ mod tests {
         let r2 = World::new(&cfg, &seeds(9)).run();
         assert_eq!(r1.trace.fates, r2.trace.fates);
         assert_eq!(r1.secondary_air_tx, r2.secondary_air_tx);
+    }
+
+    #[test]
+    fn arena_backed_cached_run_is_bit_identical() {
+        let (a, b) = weak_pair();
+        let mut cfg = WorldConfig::testbed(a, b);
+        cfg.with_tcp = true;
+        cfg.faults = diversifi_simcore::FaultPlan::single_ap_reboot(
+            1,
+            SimTime::from_secs(4),
+            SimDuration::from_secs(1),
+        );
+        short(&mut cfg, 10);
+        let plain = World::new(&cfg, &seeds(21)).run();
+        let cache = RealizationCache::new(8);
+        let mut arena = WorkerArena::new();
+        // Repeated runs so later ones are served entirely from recycled
+        // containers (the contract the parity suites pin at scale).
+        for round in 0..3 {
+            let r = World::new_cached_in(&cfg, &seeds(21), &cache, &mut arena).run_in(&mut arena);
+            assert_eq!(r.trace.fates, plain.trace.fates, "round {round}");
+            assert_eq!(r.secondary_air_tx, plain.secondary_air_tx, "round {round}");
+            assert_eq!(r.tcp_diag, plain.tcp_diag, "round {round}");
+            assert_eq!(
+                r.fault_outcomes[0].recovered_at, plain.fault_outcomes[0].recovered_at,
+                "round {round}"
+            );
+        }
+        let stats = arena.stats();
+        assert!(stats.hits > 0, "later rounds must reuse pooled containers: {stats:?}");
+    }
+
+    #[test]
+    fn queue_backend_selection_tracks_timer_density() {
+        let (a, b) = weak_pair();
+        let mut cfg = WorldConfig::testbed(a, b);
+        // VoIP (20 ms packet clock) is the dense regime.
+        assert_eq!(World::queue_backend(&cfg), QueueBackend::Calendar);
+        cfg.spec.interval = SimDuration::from_secs(1);
+        assert_eq!(World::queue_backend(&cfg), QueueBackend::Heap);
+        // Sparse streams still run correctly on the heap fallback.
+        cfg.spec.duration = SimDuration::from_secs(20);
+        cfg.mode = RunMode::PrimaryOnly;
+        let r1 = World::new(&cfg, &seeds(22)).run();
+        let r2 = World::new(&cfg, &seeds(22)).run();
+        assert_eq!(r1.trace.fates, r2.trace.fates);
     }
 
     #[test]

@@ -37,9 +37,11 @@
 // `clippy -D warnings` turns these into hard errors.
 #![warn(clippy::print_stdout, clippy::print_stderr)]
 
+pub mod arena;
 pub mod check;
 pub mod export;
 pub mod fault;
+pub mod merge;
 pub mod metrics;
 pub mod par;
 mod queue;
@@ -50,10 +52,11 @@ pub mod telemetry;
 mod time;
 mod trace;
 
+pub use arena::WorkerArena;
 pub use fault::{FaultEffect, FaultKind, FaultOutcome, FaultPlan, FaultSpec, FaultWindow};
 pub use metrics::{LogHistogram, MetricsRegistry};
 pub use par::SweepRunner;
-pub use queue::{EventId, EventQueue};
+pub use queue::{EventId, EventQueue, QueueBackend, DAY_NANOS, WHEEL_DAYS};
 pub use rng::{RngStream, SeedFactory};
 pub use scratch::MetricsScratch;
 pub use stats::{
@@ -184,7 +187,9 @@ mod proptests {
         /// naive reference (a flat list popped by min `(at, seq)`): random
         /// interleavings of schedule / cancel / pop must agree on every
         /// popped timestamp and payload, on `len()`, on `peek_time()`, and
-        /// cancelling an already-popped handle must stay a no-op.
+        /// cancelling an already-popped handle must stay a no-op. Runs the
+        /// same operation sequence against **both** backends — the slab
+        /// heap and the calendar wheel — so the model pins them equally.
         #[test]
         fn event_queue_matches_reference_model(
             ops in proptest::collection::vec(0u32..1_000_000, 1..300),
@@ -195,15 +200,25 @@ mod proptests {
                 tag: u64,
                 live: bool,
             }
-            let mut q = EventQueue::new();
+            for backend in [queue::QueueBackend::Heap, queue::QueueBackend::Calendar] {
+            let mut q = EventQueue::with_backend(backend);
             let mut model: Vec<Ref> = Vec::new();
             // Outstanding (device handle, model index) pairs.
             let mut handles: Vec<(EventId, usize)> = Vec::new();
             let (mut seq, mut tag) = (0u64, 0u64);
-            for op in ops {
+            for op in &ops {
+                let op = *op;
                 match op % 4 {
                     0 | 1 => {
-                        let delta = SimDuration::from_nanos(u64::from(op / 4) % 10_000);
+                        // Mostly sub-millisecond deltas, with an
+                        // occasional far-future one so the calendar
+                        // backend's overflow heap is exercised too.
+                        let base = u64::from(op / 4) % 10_000;
+                        let delta = if op % 97 == 0 {
+                            SimDuration::from_nanos(base * 100_000_000)
+                        } else {
+                            SimDuration::from_nanos(base)
+                        };
                         let at = q.now() + delta;
                         let id = q.schedule(at, tag);
                         model.push(Ref { at, seq, tag, live: true });
@@ -254,6 +269,7 @@ mod proptests {
                     .map(|m| m.at)
                     .min();
                 prop_assert_eq!(q.peek_time(), want_peek);
+            }
             }
         }
     }

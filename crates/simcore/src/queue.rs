@@ -6,14 +6,54 @@
 //! internals or hash ordering.
 //!
 //! Cancellation is O(1): each scheduled event owns a slot in a generation-
-//! stamped slab, and cancelling flips the slot's liveness flag; the heap
+//! stamped slab, and cancelling flips the slot's liveness flag; the pending
 //! entry is discarded lazily when it reaches the head. A stale [`EventId`]
 //! (already fired, or already cancelled) fails the generation check and the
 //! cancel is a true no-op — it can never skew [`EventQueue::len`].
+//!
+//! # Backends
+//!
+//! Two storage backends implement the identical pop order (global minimum
+//! `(at, seq)`), selectable per queue via [`QueueBackend`]:
+//!
+//! - **Heap** (default): a binary heap. O(log n) schedule/pop regardless
+//!   of the time distribution — the safe general-purpose choice.
+//! - **Calendar**: a calendar wheel of [`DAY_NANOS`]-wide buckets spanning
+//!   [`WHEEL_DAYS`] days from the current clock, with a heap for events
+//!   beyond the span. Events land in their day's bucket at schedule time
+//!   (sorted insertion into a short vector); pop takes the tail of the
+//!   first non-empty bucket at-or-after `now`, so the dense-timer regime
+//!   the world model generates (20 ms VoIP ticks, sub-ms MAC service
+//!   chains, keepalives and probes) schedules and pops in O(1) with no
+//!   heap rebalancing on the hot path. Far-future events (call teardown,
+//!   keepalive periods beyond the span) stay in the overflow heap and are
+//!   compared against the wheel head at pop.
+//!
+//! The two backends are pinned pop-order-identical by a differential test
+//! below and by the model-based proptest in `lib.rs`, which runs against
+//! both.
+//!
+//! The slab, generation stamps, FIFO tie-break, `len`/`peek_time`
+//! semantics and the schedule-in-the-past panic are backend-independent:
+//! the backend only decides *where* a pending entry waits.
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Width of one calendar bucket, in nanoseconds (250 µs). Chosen so one
+/// VoIP tick's burst of MAC events (service times are tens to hundreds of
+/// µs) spreads over a handful of buckets instead of piling into one.
+pub const DAY_NANOS: u64 = 250_000;
+
+/// Number of buckets in the calendar wheel. Span = `DAY_NANOS *
+/// WHEEL_DAYS` = 128 ms: comfortably covers the 20 ms tick cadence, the
+/// 50 ms TCP timer and per-frame retry backoffs; anything further out
+/// (keepalives, call teardown) waits in the overflow heap.
+pub const WHEEL_DAYS: u64 = 512;
+
+/// Words in the wheel's occupancy bitmap (one bit per bucket).
+const OCC_WORDS: usize = WHEEL_DAYS as usize / 64;
 
 /// A handle to a scheduled event, usable for cancellation.
 ///
@@ -36,27 +76,31 @@ impl EventId {
     }
 }
 
-struct Scheduled<E> {
+/// The ordering key of one pending event. Payloads live in the slab
+/// (`EventQueue::events`), so the heap/wheel shuffle 24-byte keys instead
+/// of full event values — sift swaps and bucket memmoves stay cheap no
+/// matter how large the caller's event enum is.
+#[derive(Clone, Copy)]
+struct Scheduled {
     at: SimTime,
     seq: u64,
     slot: u32,
-    event: E,
 }
 
 // BinaryHeap is a max-heap; invert the ordering so the earliest (time, seq)
 // pops first.
-impl<E> PartialEq for Scheduled<E> {
+impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for Scheduled<E> {
+impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
         (other.at, other.seq).cmp(&(self.at, self.seq))
     }
@@ -64,12 +108,140 @@ impl<E> Ord for Scheduled<E> {
 
 /// One slab slot: the generation of the handle it currently backs, and
 /// whether that event is still due to fire. A slot is freed (and its
-/// generation bumped) only when its heap entry drains, so slot indices in
-/// the heap are always valid.
+/// generation bumped) only when its pending entry drains, so slot indices
+/// held by the backend are always valid.
 #[derive(Clone, Copy)]
 struct Slot {
     gen: u32,
     live: bool,
+}
+
+/// Which storage backend a queue uses. Pop order is identical; only the
+/// complexity profile differs (see the [module docs](self)).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueueBackend {
+    /// Binary heap: O(log n) schedule/pop, robust to any time
+    /// distribution. The default.
+    #[default]
+    Heap,
+    /// Calendar wheel + overflow heap: O(1) schedule/pop in the
+    /// dense-timer regime where most events land within the wheel span
+    /// of the clock.
+    Calendar,
+}
+
+/// The calendar-wheel storage: near events bucketed by "day" (a
+/// [`DAY_NANOS`]-wide slice of time), far events in an overflow heap.
+///
+/// Invariant: since every pending event satisfies `at >= now` and events
+/// are only bucketed when their day is within [`WHEEL_DAYS`] of the
+/// schedule-time clock, every bucketed event's day lies in
+/// `[now/DAY_NANOS, now/DAY_NANOS + WHEEL_DAYS)` — so each bucket holds
+/// events of exactly one day, and a forward scan from `now`'s bucket
+/// visits days in increasing order.
+struct CalendarWheel {
+    /// `buckets[day % WHEEL_DAYS]`, each sorted by `(at, seq)`
+    /// *descending* so the bucket minimum pops from the back in O(1).
+    /// Allocated lazily on first use.
+    buckets: Vec<Vec<Scheduled>>,
+    /// One bit per bucket: set iff the bucket is non-empty. Pop finds the
+    /// next occupied bucket with a handful of word scans instead of
+    /// walking up to [`WHEEL_DAYS`] empty vectors between sparse events.
+    occ: [u64; OCC_WORDS],
+    /// Total entries across buckets (live + lazily-cancelled).
+    bucketed: usize,
+    /// Events beyond the wheel span, in a min-(at, seq) heap.
+    overflow: BinaryHeap<Scheduled>,
+}
+
+impl CalendarWheel {
+    fn new() -> CalendarWheel {
+        CalendarWheel {
+            buckets: Vec::new(),
+            occ: [0; OCC_WORDS],
+            bucketed: 0,
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    fn entries(&self) -> usize {
+        self.bucketed + self.overflow.len()
+    }
+
+    fn clear_occ(&mut self, idx: usize) {
+        self.occ[idx >> 6] &= !(1u64 << (idx & 63));
+    }
+
+    /// First occupied bucket in circular day order starting at `start`.
+    ///
+    /// The wheel invariant (every bucketed event's day lies within
+    /// [`WHEEL_DAYS`] of `now`'s day) makes the circular order from
+    /// `now`'s bucket exactly the increasing-day order, so the first
+    /// occupied bucket found holds the wheel's earliest day.
+    fn next_occupied(&self, start: usize) -> Option<usize> {
+        if self.bucketed == 0 {
+            return None;
+        }
+        let word0 = start >> 6;
+        let w = self.occ[word0] & (!0u64 << (start & 63));
+        if w != 0 {
+            return Some((word0 << 6) + w.trailing_zeros() as usize);
+        }
+        for step in 1..=OCC_WORDS {
+            let wi = (word0 + step) % OCC_WORDS;
+            let mut w = self.occ[wi];
+            if step == OCC_WORDS {
+                // Wrapped all the way back: only the bits below `start`.
+                w &= !(!0u64 << (start & 63));
+            }
+            if w != 0 {
+                return Some((wi << 6) + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Store one entry: sorted-insert into its day's bucket if the day is
+    /// within the wheel span of `now`, overflow heap otherwise.
+    fn insert(&mut self, s: Scheduled, now: SimTime) {
+        let day = s.at.as_nanos() / DAY_NANOS;
+        let day0 = now.as_nanos() / DAY_NANOS;
+        if day < day0 + WHEEL_DAYS {
+            if self.buckets.is_empty() {
+                self.buckets.resize_with(WHEEL_DAYS as usize, Vec::new);
+            }
+            let idx = (day % WHEEL_DAYS) as usize;
+            let bucket = &mut self.buckets[idx];
+            // Descending order; (at, seq) is unique, so no equal keys.
+            let pos = bucket.partition_point(|e| (e.at, e.seq) > (s.at, s.seq));
+            bucket.insert(pos, s);
+            self.occ[idx >> 6] |= 1u64 << (idx & 63);
+            self.bucketed += 1;
+        } else {
+            self.overflow.push(s);
+        }
+    }
+
+    fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.occ = [0; OCC_WORDS];
+        self.bucketed = 0;
+        self.overflow.clear();
+    }
+}
+
+/// The wheel's live minimum: `(at, seq, bucket index)`.
+type WheelHead = (SimTime, u64, usize);
+/// The overflow heap's live minimum key: `(at, seq)`.
+type OverflowHead = (SimTime, u64);
+
+/// Backend storage for pending entries (ordering keys only — payloads
+/// stay in the owning queue's slab).
+enum Backend {
+    Heap(BinaryHeap<Scheduled>),
+    Calendar(CalendarWheel),
 }
 
 /// A time-ordered queue of events of type `E`.
@@ -91,10 +263,15 @@ struct Slot {
 /// assert_eq!(ev, Ev::Tick(0));
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    backend: Backend,
     slots: Vec<Slot>,
+    /// Payload slab, parallel to `slots`: `events[slot]` holds the value
+    /// scheduled under that slot until it pops (or its cancelled entry
+    /// drains). Keeping payloads out of the backend means heap sifts and
+    /// bucket inserts move 24-byte keys, not whole event enums.
+    events: Vec<Option<E>>,
     free: Vec<u32>,
-    /// Heap entries whose slot was cancelled (they drain lazily).
+    /// Pending entries whose slot was cancelled (they drain lazily).
     cancelled: usize,
     next_seq: u64,
     now: SimTime,
@@ -107,7 +284,8 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// An empty queue with the clock at [`SimTime::ZERO`].
+    /// An empty queue with the clock at [`SimTime::ZERO`], on the default
+    /// heap backend.
     pub fn new() -> Self {
         Self::with_capacity(0)
     }
@@ -116,13 +294,63 @@ impl<E> EventQueue<E> {
     /// scheduling never reallocates the heap or the slot slab.
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
+            backend: Backend::Heap(BinaryHeap::with_capacity(cap)),
             slots: Vec::with_capacity(cap),
+            events: Vec::with_capacity(cap),
             free: Vec::new(),
             cancelled: 0,
             next_seq: 0,
             now: SimTime::ZERO,
         }
+    }
+
+    /// An empty queue on the chosen backend.
+    pub fn with_backend(backend: QueueBackend) -> Self {
+        let mut q = Self::new();
+        q.set_backend(backend);
+        q
+    }
+
+    /// Which backend this queue runs on.
+    pub fn backend(&self) -> QueueBackend {
+        match self.backend {
+            Backend::Heap(_) => QueueBackend::Heap,
+            Backend::Calendar(_) => QueueBackend::Calendar,
+        }
+    }
+
+    /// Switch an **empty** queue to `backend` (no-op if it already runs
+    /// on it, preserving pooled capacity across arena reuse).
+    ///
+    /// # Panics
+    /// If events are pending: entries cannot be moved between backends
+    /// without perturbing the slab, and no caller needs that.
+    pub fn set_backend(&mut self, backend: QueueBackend) {
+        assert!(self.is_empty(), "cannot switch backend with events pending");
+        match (&mut self.backend, backend) {
+            (Backend::Heap(_), QueueBackend::Heap)
+            | (Backend::Calendar(_), QueueBackend::Calendar) => {}
+            (b, QueueBackend::Heap) => *b = Backend::Heap(BinaryHeap::new()),
+            (b, QueueBackend::Calendar) => *b = Backend::Calendar(CalendarWheel::new()),
+        }
+    }
+
+    /// Clear everything — pending events, slab, clock, sequence counter —
+    /// while keeping allocated capacity (and the backend choice). A reset
+    /// queue is observationally identical to a fresh one; this is what
+    /// makes queues poolable in a [`WorkerArena`](crate::WorkerArena)
+    /// without breaking run-to-run determinism.
+    pub fn reset(&mut self) {
+        match &mut self.backend {
+            Backend::Heap(h) => h.clear(),
+            Backend::Calendar(w) => w.clear(),
+        }
+        self.slots.clear();
+        self.events.clear();
+        self.free.clear();
+        self.cancelled = 0;
+        self.next_seq = 0;
+        self.now = SimTime::ZERO;
     }
 
     /// The current simulated time: the timestamp of the most recently popped
@@ -133,12 +361,31 @@ impl<E> EventQueue<E> {
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled
+        let entries = match &self.backend {
+            Backend::Heap(h) => h.len(),
+            Backend::Calendar(w) => w.entries(),
+        };
+        entries - self.cancelled
     }
 
     /// `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Allocate a slab slot for a new entry.
+    fn alloc_slot(&mut self) -> u32 {
+        match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize].live = true;
+                s
+            }
+            None => {
+                self.slots.push(Slot { gen: 0, live: true });
+                self.events.push(None);
+                (self.slots.len() - 1) as u32
+            }
+        }
     }
 
     /// Schedule `event` at absolute time `at`.
@@ -154,43 +401,25 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        let slot = match self.free.pop() {
-            Some(s) => {
-                self.slots[s as usize].live = true;
-                s
-            }
-            None => {
-                self.slots.push(Slot { gen: 0, live: true });
-                (self.slots.len() - 1) as u32
-            }
-        };
-        self.heap.push(Scheduled { at, seq, slot, event });
+        let slot = self.alloc_slot();
+        self.events[slot as usize] = Some(event);
+        let entry = Scheduled { at, seq, slot };
+        match &mut self.backend {
+            Backend::Heap(h) => h.push(entry),
+            Backend::Calendar(w) => w.insert(entry, self.now),
+        }
         EventId::new(slot, self.slots[slot as usize].gen)
     }
 
     /// Schedule `event` at `now() + delta` — the dominant caller pattern
     /// (frame service times, retry backoffs, periodic timers).
     pub fn schedule_after(&mut self, delta: SimDuration, event: E) -> EventId {
-        let at = self.now + delta;
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        let slot = match self.free.pop() {
-            Some(s) => {
-                self.slots[s as usize].live = true;
-                s
-            }
-            None => {
-                self.slots.push(Slot { gen: 0, live: true });
-                (self.slots.len() - 1) as u32
-            }
-        };
-        self.heap.push(Scheduled { at, seq, slot, event });
-        EventId::new(slot, self.slots[slot as usize].gen)
+        self.schedule(self.now + delta, event)
     }
 
     /// Cancel a previously scheduled event. O(1): the slot is flagged dead
-    /// and the heap entry is skipped when it reaches the head. Cancelling an
-    /// already-fired or already-cancelled event is a true no-op (the
+    /// and the pending entry is skipped when it reaches the head. Cancelling
+    /// an already-fired or already-cancelled event is a true no-op (the
     /// generation check rejects stale handles).
     pub fn cancel(&mut self, id: EventId) {
         let slot = id.slot() as usize;
@@ -202,49 +431,161 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Free `slot` for reuse, invalidating all outstanding handles to it.
+    /// Free `slot` for reuse, invalidating all outstanding handles to it
+    /// and dropping any payload still parked in the slab.
     fn release(&mut self, slot: u32) {
         let s = &mut self.slots[slot as usize];
         s.gen = s.gen.wrapping_add(1);
         s.live = false;
+        self.events[slot as usize] = None;
         self.free.push(slot);
     }
 
     /// Pop the earliest pending event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(s) = self.heap.pop() {
-            let live = self.slots[s.slot as usize].live;
-            self.release(s.slot);
-            if !live {
-                self.cancelled -= 1;
-                continue;
-            }
+        let popped = match &mut self.backend {
+            Backend::Heap(_) => self.pop_heap(),
+            Backend::Calendar(_) => self.pop_calendar(),
+        };
+        if let Some((at, _)) = &popped {
             crate::sim_assert!(
-                s.at >= self.now,
+                *at >= self.now,
                 "event queue produced time travel: popped {:?} with clock at {:?}",
-                s.at,
+                at,
                 self.now
             );
-            self.now = s.at;
-            return Some((s.at, s.event));
+            self.now = *at;
         }
-        None
+        popped
+    }
+
+    fn pop_heap(&mut self) -> Option<(SimTime, E)> {
+        let EventQueue { backend, slots, events, free, cancelled, .. } = self;
+        let Backend::Heap(heap) = backend else { unreachable!() };
+        loop {
+            let s = heap.pop()?;
+            let slot = &mut slots[s.slot as usize];
+            let live = slot.live;
+            slot.gen = slot.gen.wrapping_add(1);
+            slot.live = false;
+            let ev = events[s.slot as usize].take();
+            free.push(s.slot);
+            if !live {
+                *cancelled -= 1;
+                continue;
+            }
+            return Some((s.at, ev.expect("live entry has payload")));
+        }
+    }
+
+    /// Find the wheel's live minimum `(at, seq, bucket)`, draining dead
+    /// tails (and overflow-heap heads) along the way.
+    ///
+    /// The occupancy bitmap jumps straight to the next non-empty bucket
+    /// at-or-after `now`'s, so the scan cost is a few word operations
+    /// rather than a walk over empty days. Each bucket holds one day's
+    /// events sorted descending, so the first live tail found is the
+    /// wheel minimum.
+    fn calendar_heads(&mut self) -> (Option<WheelHead>, Option<OverflowHead>) {
+        let EventQueue { backend, slots, events, free, cancelled, now, .. } = self;
+        let Backend::Calendar(w) = backend else { unreachable!() };
+        let start = ((now.as_nanos() / DAY_NANOS) % WHEEL_DAYS) as usize;
+        let mut wheel_head = None;
+        'scan: while let Some(idx) = w.next_occupied(start) {
+            loop {
+                let Some(tail) = w.buckets[idx].last() else {
+                    w.clear_occ(idx);
+                    continue 'scan;
+                };
+                if slots[tail.slot as usize].live {
+                    wheel_head = Some((tail.at, tail.seq, idx));
+                    break 'scan;
+                }
+                let dead = w.buckets[idx].pop().expect("tail vanished");
+                w.bucketed -= 1;
+                *cancelled -= 1;
+                let slot = &mut slots[dead.slot as usize];
+                slot.gen = slot.gen.wrapping_add(1);
+                events[dead.slot as usize] = None;
+                free.push(dead.slot);
+            }
+        }
+        // Overflow head: drain dead entries off the heap top.
+        while let Some(head) = w.overflow.peek() {
+            if slots[head.slot as usize].live {
+                break;
+            }
+            let dead = w.overflow.pop().expect("peeked entry vanished");
+            *cancelled -= 1;
+            let slot = &mut slots[dead.slot as usize];
+            slot.gen = slot.gen.wrapping_add(1);
+            events[dead.slot as usize] = None;
+            free.push(dead.slot);
+        }
+        (wheel_head, w.overflow.peek().map(|h| (h.at, h.seq)))
+    }
+
+    fn pop_calendar(&mut self) -> Option<(SimTime, E)> {
+        let (wheel_head, overflow_key) = self.calendar_heads();
+        let from_wheel = match (wheel_head, overflow_key) {
+            (None, None) => return None,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some((at, seq, _)), Some(okey)) => (at, seq) < okey,
+        };
+        let Backend::Calendar(w) = &mut self.backend else { unreachable!() };
+        let s = if from_wheel {
+            let (_, _, idx) = wheel_head.expect("wheel head chosen");
+            w.bucketed -= 1;
+            let s = w.buckets[idx].pop().expect("wheel head vanished");
+            if w.buckets[idx].is_empty() {
+                w.clear_occ(idx);
+            }
+            s
+        } else {
+            w.overflow.pop().expect("overflow head vanished")
+        };
+        let ev = self.events[s.slot as usize].take();
+        self.release(s.slot);
+        Some((s.at, ev.expect("live entry has payload")))
     }
 
     /// Timestamp of the earliest pending event without popping it.
     ///
-    /// A single `heap.peek()` per iteration: cancelled entries at the head
-    /// are drained as they are discovered.
+    /// Cancelled entries at the head are drained as they are discovered,
+    /// so repeated peeks stay cheap.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        loop {
-            let head = self.heap.peek()?;
-            if self.slots[head.slot as usize].live {
-                return Some(head.at);
+        match &mut self.backend {
+            Backend::Heap(_) => loop {
+                let Backend::Heap(heap) = &mut self.backend else { unreachable!() };
+                let head = heap.peek()?;
+                if self.slots[head.slot as usize].live {
+                    return Some(head.at);
+                }
+                let dead = heap.pop().expect("peeked entry vanished");
+                self.release(dead.slot);
+                self.cancelled -= 1;
+            },
+            Backend::Calendar(_) => {
+                // Same head selection as pop_calendar, without removal.
+                let (wheel_head, overflow_key) = self.calendar_heads();
+                match (wheel_head.map(|(at, seq, _)| (at, seq)), overflow_key) {
+                    (None, None) => None,
+                    (Some((at, _)), None) => Some(at),
+                    (None, Some((at, _))) => Some(at),
+                    (Some(wkey), Some(okey)) => Some(wkey.min(okey).0),
+                }
             }
-            let dead = self.heap.pop().expect("peeked entry vanished");
-            self.release(dead.slot);
-            self.cancelled -= 1;
         }
+    }
+}
+
+impl<E: 'static> crate::arena::Recycle for EventQueue<E> {
+    fn fresh() -> Self {
+        EventQueue::new()
+    }
+    fn recycle(&mut self) {
+        self.reset();
     }
 }
 
@@ -440,6 +781,150 @@ mod tests {
                 (None, None) => break,
                 (x, y) => assert_eq!(x, y),
             }
+        }
+    }
+
+    /// Run `f` once per backend, so behaviors are pinned on both.
+    fn for_both_backends(f: impl Fn(EventQueue<Tag>)) {
+        f(EventQueue::with_backend(QueueBackend::Heap));
+        f(EventQueue::with_backend(QueueBackend::Calendar));
+    }
+
+    #[test]
+    fn both_backends_pop_in_time_order_with_fifo_ties() {
+        for_both_backends(|mut q| {
+            q.schedule(SimTime::from_millis(30), Tag(3));
+            q.schedule(SimTime::from_millis(10), Tag(1));
+            q.schedule(SimTime::from_millis(10), Tag(2));
+            // Far beyond the calendar wheel span — lands in overflow.
+            q.schedule(SimTime::from_secs(300), Tag(9));
+            q.schedule(SimTime::from_millis(20), Tag(4));
+            let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, t)| t.0).collect();
+            assert_eq!(order, vec![1, 2, 4, 3, 9], "backend {:?}", q.backend());
+        });
+    }
+
+    #[test]
+    fn both_backends_cancel_and_peek() {
+        for_both_backends(|mut q| {
+            let a = q.schedule(SimTime::from_millis(1), Tag(1));
+            let b = q.schedule(SimTime::from_secs(200), Tag(2)); // overflow on calendar
+            q.schedule(SimTime::from_millis(3), Tag(3));
+            q.cancel(a);
+            q.cancel(b);
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.peek_time(), Some(SimTime::from_millis(3)));
+            assert_eq!(q.pop().unwrap().1, Tag(3));
+            assert_eq!(q.peek_time(), None);
+            assert!(q.pop().is_none());
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled event at")]
+    fn calendar_scheduling_in_past_panics() {
+        let mut q = EventQueue::with_backend(QueueBackend::Calendar);
+        q.schedule(SimTime::from_millis(10), Tag(0));
+        q.pop();
+        q.schedule(SimTime::from_millis(5), Tag(1));
+    }
+
+    #[test]
+    fn calendar_stale_handle_does_not_cancel_slot_reuser() {
+        let mut q = EventQueue::with_backend(QueueBackend::Calendar);
+        let a = q.schedule(SimTime::from_millis(1), Tag(1));
+        q.pop().unwrap();
+        let _b = q.schedule(SimTime::from_millis(2), Tag(2)); // reuses a's slot
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, Tag(2));
+    }
+
+    #[test]
+    fn set_backend_requires_empty_and_reset_restores_fresh_state() {
+        let mut q: EventQueue<Tag> = EventQueue::new();
+        assert_eq!(q.backend(), QueueBackend::Heap);
+        q.set_backend(QueueBackend::Calendar);
+        assert_eq!(q.backend(), QueueBackend::Calendar);
+        q.schedule(SimTime::from_millis(5), Tag(1));
+        q.schedule(SimTime::from_secs(500), Tag(2));
+        q.pop().unwrap();
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.backend(), QueueBackend::Calendar);
+        // Sequence counter and slab restart from scratch: a reset queue
+        // behaves exactly like a fresh one.
+        q.schedule(SimTime::from_millis(1), Tag(7));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(1), Tag(7))));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot switch backend")]
+    fn set_backend_panics_with_pending_events() {
+        let mut q: EventQueue<Tag> = EventQueue::new();
+        q.schedule(SimTime::from_millis(1), Tag(1));
+        q.set_backend(QueueBackend::Calendar);
+    }
+
+    /// The satellite differential test: identical randomized
+    /// schedule/cancel/pop interleavings — dense (timer-regime) and
+    /// sparse (keepalive-regime) time distributions — must produce
+    /// bit-identical pop sequences, lengths and peeks on both backends.
+    #[test]
+    fn heap_and_calendar_pop_order_is_identical() {
+        // Deterministic xorshift so the test needs no external RNG.
+        fn run(backend: QueueBackend, dense: bool) -> Vec<(SimTime, u32, usize)> {
+            let mut state = 0xDEADBEEFCAFEu64 ^ (dense as u64);
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let mut q = EventQueue::with_backend(backend);
+            let mut handles: Vec<EventId> = Vec::new();
+            let mut log = Vec::new();
+            for round in 0..2_000u32 {
+                match next() % 5 {
+                    0..=2 => {
+                        // Dense: sub-wheel-span deltas clustering like the
+                        // VoIP tick burst. Sparse: up to 10 s, mostly
+                        // overflow territory for the calendar.
+                        let delta = if dense {
+                            SimDuration::from_nanos(next() % 30_000_000)
+                        } else {
+                            SimDuration::from_nanos(next() % 10_000_000_000)
+                        };
+                        handles.push(q.schedule(q.now() + delta, Tag(round)));
+                    }
+                    3 => {
+                        if !handles.is_empty() {
+                            let k = (next() as usize) % handles.len();
+                            q.cancel(handles.swap_remove(k));
+                        }
+                    }
+                    _ => {
+                        if let Some((at, tag)) = q.pop() {
+                            log.push((at, tag.0, q.len()));
+                        }
+                    }
+                }
+                if next() % 7 == 0 {
+                    if let Some(t) = q.peek_time() {
+                        log.push((t, u32::MAX, q.len()));
+                    }
+                }
+            }
+            while let Some((at, tag)) = q.pop() {
+                log.push((at, tag.0, q.len()));
+            }
+            log
+        }
+        for dense in [true, false] {
+            let heap = run(QueueBackend::Heap, dense);
+            let calendar = run(QueueBackend::Calendar, dense);
+            assert_eq!(heap, calendar, "dense={dense}");
         }
     }
 

@@ -284,7 +284,10 @@ pub struct SweepEvent {
 /// into one table, profiles summed.
 #[derive(Debug, Default)]
 pub struct MergedTelemetry {
-    /// All surviving events across the sweep, `(at, run, seq)`-ordered.
+    /// All surviving events across the sweep, `(at, run, seq)`-ordered
+    /// once [`finish`](Self::finish) has run. Events pushed here directly
+    /// (the field is public for exporter tests and ad-hoc assembly) are
+    /// folded into the merge by the next `finish`.
     pub events: Vec<SweepEvent>,
     /// Total events evicted across all runs.
     pub dropped: u64,
@@ -293,6 +296,13 @@ pub struct MergedTelemetry {
     pub metrics: MetricsRegistry,
     /// Summed wall-clock profile across runs.
     pub profile: PhaseProfile,
+    /// Absorbed per-run streams awaiting `finish`. Each is sorted by
+    /// `(at, seq)` — checked on absorb — and carries a single run index,
+    /// so it is equally sorted under the full `(at, run, seq)` merge key.
+    pending: Vec<Vec<SweepEvent>>,
+    /// Set when some absorbed stream violated `at`-monotonicity; `finish`
+    /// then falls back to the full sort instead of the k-way merge.
+    pending_unsorted: bool,
 }
 
 impl MergedTelemetry {
@@ -300,23 +310,58 @@ impl MergedTelemetry {
     /// last run to establish the merge order.
     pub fn absorb(&mut self, run: u32, session: TelemetrySession) {
         let TelemetrySession { events, first_seq, dropped, profile, metrics } = session;
-        self.events.extend(
-            events
-                .into_iter()
-                .enumerate()
-                .map(|(i, event)| SweepEvent { run, seq: first_seq + i as u64, event }),
-        );
+        // Per-run seq is increasing by construction, so the stream is
+        // `(at, seq)`-sorted iff `at` never decreases. World runs emit at
+        // the event loop's monotone `now`, so this is the common case;
+        // a hand-built session that violates it just disables the k-way
+        // fast path for this merge.
+        let mut sorted = true;
+        let mut stream = Vec::with_capacity(events.len());
+        for (i, event) in events.into_iter().enumerate() {
+            if let Some(prev) = stream.last() {
+                let prev: &SweepEvent = prev;
+                sorted &= prev.event.at <= event.at;
+            }
+            stream.push(SweepEvent { run, seq: first_seq + i as u64, event });
+        }
+        self.pending_unsorted |= !sorted;
+        if !stream.is_empty() {
+            self.pending.push(stream);
+        }
         self.dropped += dropped;
         self.profile.merge(&profile);
         self.metrics.merge_from(&metrics);
     }
 
-    /// Sort events by `(sim-time, run, seq)` and metrics rows canonically.
-    /// Idempotent; the resulting order is independent of worker count and
-    /// absorption order of *events within runs* (runs are absorbed in
-    /// index order by the sweep entry points).
+    /// Establish the merge order: events by `(sim-time, run, seq)`,
+    /// metrics rows canonical. Idempotent; the resulting order is
+    /// independent of worker count and of the order runs were absorbed
+    /// in.
+    ///
+    /// Absorbed sessions are already sorted streams, so this is a
+    /// loser-tree k-way merge ([`crate::merge`]) — O(N log k) instead of
+    /// the O(N log N) concatenate-and-sort it replaces. Events pushed
+    /// into [`events`](Self::events) by hand, or absorbed streams that
+    /// were not time-sorted, fall back to the full sort with identical
+    /// output (the merge key is total: no two events compare equal).
     pub fn finish(&mut self) {
-        self.events.sort_unstable_by_key(|e| (e.event.at, e.run, e.seq));
+        let key = |e: &SweepEvent| (e.event.at, e.run, e.seq);
+        let mut streams = std::mem::take(&mut self.pending);
+        let head = std::mem::take(&mut self.events);
+        let fast = !self.pending_unsorted && crate::merge::is_sorted_by_key(&head, key);
+        if !head.is_empty() {
+            // The pre-existing contents participate as one more stream
+            // (already sorted on the fast path, e.g. from a prior finish).
+            streams.insert(0, head);
+        }
+        self.events = if fast {
+            crate::merge::merge_sorted_by_key(streams, key)
+        } else {
+            let mut all: Vec<SweepEvent> = streams.into_iter().flatten().collect();
+            all.sort_unstable_by_key(key);
+            all
+        };
+        self.pending_unsorted = false;
         self.metrics.sort_rows();
     }
 
@@ -329,9 +374,15 @@ impl MergedTelemetry {
         merged
     }
 
-    /// Earliest event time, if any events survived.
+    /// Earliest event time, if any events survived. Exact after
+    /// [`finish`](Self::finish); before it, the minimum over the merged
+    /// prefix and every pending stream.
     pub fn first_time(&self) -> Option<SimTime> {
-        self.events.first().map(|e| e.event.at)
+        self.events
+            .iter()
+            .map(|e| e.event.at)
+            .chain(self.pending.iter().flatten().map(|e| e.event.at))
+            .min()
     }
 }
 
@@ -468,5 +519,51 @@ mod tests {
         assert_eq!(order, vec![(0, 0), (1, 3), (1, 4)]);
         assert_eq!(merged.dropped, 3);
         assert_eq!(merged.first_time(), Some(SimTime::from_millis(5)));
+    }
+
+    #[test]
+    fn merge_falls_back_on_unsorted_sessions_and_external_events() {
+        // A hand-built session whose events go backwards in time must
+        // still merge into the exact same total order as a full sort.
+        let mut merged = MergedTelemetry::default();
+        let unsorted =
+            TelemetrySession { events: vec![ev(9, 0), ev(2, 1)], ..TelemetrySession::default() };
+        merged.absorb(0, unsorted);
+        merged.absorb(1, TelemetrySession { events: vec![ev(4, 0)], ..TelemetrySession::default() });
+        // Plus an event pushed straight into the public field.
+        merged.events.push(SweepEvent { run: 7, seq: 0, event: ev(3, 9) });
+        merged.finish();
+        let times: Vec<u64> =
+            merged.events.iter().map(|e| e.event.at.as_micros() / 1_000).collect();
+        assert_eq!(times, vec![2, 3, 4, 9]);
+        // finish() is idempotent.
+        merged.finish();
+        let again: Vec<u64> =
+            merged.events.iter().map(|e| e.event.at.as_micros() / 1_000).collect();
+        assert_eq!(again, vec![2, 3, 4, 9]);
+    }
+
+    #[test]
+    fn kway_merge_matches_sort_over_many_runs() {
+        // Differential: absorb many sorted runs, compare against the
+        // naive concatenate-and-sort on the same data.
+        let mut merged = MergedTelemetry::default();
+        let mut naive: Vec<(SimTime, u32, u64)> = Vec::new();
+        for run in 0..13u32 {
+            let events: Vec<TraceEvent> =
+                (0..17).map(|i| ev(u64::from((i * (run + 3)) % 29), u64::from(i))).collect();
+            let mut sorted = events.clone();
+            sorted.sort_by_key(|e| e.at);
+            for (i, e) in sorted.iter().enumerate() {
+                naive.push((e.at, run, i as u64));
+            }
+            merged
+                .absorb(run, TelemetrySession { events: sorted, ..TelemetrySession::default() });
+        }
+        merged.finish();
+        naive.sort_unstable();
+        let got: Vec<(SimTime, u32, u64)> =
+            merged.events.iter().map(|e| (e.event.at, e.run, e.seq)).collect();
+        assert_eq!(got, naive);
     }
 }

@@ -238,8 +238,30 @@ impl OrnsteinUhlenbeck {
         let dt = (t - self.last).as_secs_f64();
         self.last = t;
         if dt > 0.0 && self.sigma > 0.0 {
-            let a = (-dt / self.tau.as_secs_f64()).exp();
-            let noise_sd = self.sigma * (1.0 - a * a).sqrt();
+            let (a, noise_sd) = self.transition_coeffs(dt);
+            self.value = self.value * a + self.rng.normal(0.0, noise_sd);
+        }
+        self.value
+    }
+
+    /// The exact-transition coefficients `(decay, noise_sd)` for a step of
+    /// `dt` seconds. On a fixed grid these are constants, so batched
+    /// stepping ([`step_grid`](Self::step_grid)) computes them once per
+    /// track instead of one `exp` + `sqrt` per tick; because both paths
+    /// evaluate the *same expressions*, hoisting is bit-identical.
+    pub fn transition_coeffs(&self, dt: f64) -> (f64, f64) {
+        let a = (-dt / self.tau.as_secs_f64()).exp();
+        let noise_sd = self.sigma * (1.0 - a * a).sqrt();
+        (a, noise_sd)
+    }
+
+    /// Advance exactly one grid step of `dt` using coefficients from
+    /// [`transition_coeffs`](Self::transition_coeffs). Bit-identical to
+    /// `at(last + dt)` — in particular, `sigma == 0` draws nothing, so the
+    /// stream position stays in lockstep with the lazy path.
+    pub fn step_grid(&mut self, dt: SimDuration, a: f64, noise_sd: f64) -> f64 {
+        self.last += dt;
+        if self.sigma > 0.0 {
             self.value = self.value * a + self.rng.normal(0.0, noise_sd);
         }
         self.value
@@ -408,5 +430,25 @@ mod tests {
         let first = ou.at(SimTime::ZERO);
         assert_eq!(first, 0.0);
         assert_eq!(ou.at(SimTime::from_secs(5)), first);
+    }
+
+    #[test]
+    fn grid_stepping_is_bit_identical_to_lazy_queries() {
+        // Same seed, two consumers: one queried tick-by-tick through the
+        // general transition, one driven by hoisted grid coefficients.
+        let dt = SimDuration::from_millis(2);
+        for (sigma, tau) in [(3.0, SimDuration::from_secs(4)), (0.0, SimDuration::from_secs(1))] {
+            let mut lazy = OrnsteinUhlenbeck::new(sigma, tau, rng(11));
+            let mut grid = OrnsteinUhlenbeck::new(sigma, tau, rng(11));
+            let (a, noise_sd) = grid.transition_coeffs(dt.as_secs_f64());
+            for k in 1..=2_000u64 {
+                let want = lazy.at(SimTime::from_nanos(k * dt.as_nanos()));
+                let got = grid.step_grid(dt, a, noise_sd);
+                assert_eq!(want.to_bits(), got.to_bits(), "diverged at tick {k}");
+            }
+            // Afterwards both must resume from the same stream position.
+            let t = SimTime::from_nanos(2_001 * dt.as_nanos());
+            assert_eq!(lazy.at(t).to_bits(), grid.at(t).to_bits());
+        }
     }
 }

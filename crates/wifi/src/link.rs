@@ -250,16 +250,21 @@ impl LinkModel {
     pub fn attempt_erasure(&mut self, t: SimTime, rate: PhyRate, bytes: u32) -> f64 {
         let d = self.cfg.diversity_order.max(1) as f64;
         let snr = self.snr_at(t);
+        // `pow(x, 1.0) == x` exactly (IEEE 754), so the SISO fast path is
+        // bit-identical — and `powf` is the hottest transcendental on the
+        // per-attempt path.
+        let siso = d == 1.0;
 
         // PHY waterfall — independent across spatial streams.
-        let p_phy = radio::phy_per(snr, rate, bytes).powf(d);
+        let p_raw = radio::phy_per(snr, rate, bytes);
+        let p_phy = if siso { p_raw } else { p_raw.powf(d) };
 
         // Burst fading — diversity helps only multipath-class (short) fades.
         let p_fade = match self.fade_at(t) {
             (GeState::Good, _) => self.cfg.ge.good_loss,
             (GeState::Bad, long) => {
                 let base = self.cfg.ge.bad_loss;
-                if long {
+                if long || siso {
                     base
                 } else {
                     base.powf(d)
