@@ -74,6 +74,8 @@ fn main() {
     let mut wanted: Vec<String> = Vec::new();
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut campaign_path: Option<String> = None;
+    let mut validate_paths: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -95,6 +97,12 @@ fn main() {
                 let baselines: Vec<String> = args.collect();
                 std::process::exit(bench_compare(&fresh, &baselines));
             }
+            "--campaign" => {
+                campaign_path = Some(args.next().expect("--campaign SCENARIO.{json,toml}"));
+            }
+            "--validate-scenario" => {
+                validate_paths.push(args.next().expect("--validate-scenario SCENARIO.{json,toml}"));
+            }
             "--telemetry-status" => {
                 println!(
                     "telemetry: compiled {}",
@@ -107,15 +115,35 @@ fn main() {
                     "repro [--quick] [--seed N] [--out DIR] [--trace-out PATH] \
                      [--metrics-out PATH] [--telemetry-status] [--phase-profile] \
                      [--bench-compare FRESH.json [BASELINE.json...]] \
+                     [--campaign SCENARIO.{{json,toml}}] \
+                     [--validate-scenario SCENARIO.{{json,toml}}] \
                      [--resilience] [EXPERIMENT...]\n\
                      experiments: table1 table2 table3 fig1 fig2a fig2b fig2c fig2d \
                      fig2e fig3 fig4 fig5 fig6 fig8 fig9 fig10 overhead mbox-scale all \
-                     ablations fec crosstech uplink multiclient resilience"
+                     ablations fec crosstech uplink multiclient resilience\n\
+                     --campaign runs a declarative scenario file's fleet campaign \
+                     (sharded, checkpointable) and writes a JSON report under --out;\n\
+                     --validate-scenario parses + lowers a scenario file and prints \
+                     the lowered configuration or a field-path error."
                 );
                 return;
             }
             other => wanted.push(other.to_string()),
         }
+    }
+    // Scenario-file modes run on their own and exit: validation first
+    // (all requested files, worst exit code wins), then the campaign.
+    if !validate_paths.is_empty() || campaign_path.is_some() {
+        let mut code = 0;
+        for p in &validate_paths {
+            code = code.max(validate_scenario_cli(p));
+        }
+        if let Some(p) = &campaign_path {
+            if code == 0 {
+                code = campaign_cli(p, &out_dir);
+            }
+        }
+        std::process::exit(code);
     }
     // With only telemetry flags given, run just the capture scenario.
     let telemetry_only =
@@ -190,18 +218,24 @@ fn main() {
 const BENCH_REGRESSION_FRAC: f64 = 0.25;
 
 /// Diff a fresh `BENCH_JSON` run against the committed `BENCH_*.json`
-/// baselines, keyed by benchmark name.
+/// baselines, keyed by **(build tag, benchmark name)**.
 ///
 /// Comparisons use `lo_ns` (the fastest observed sample): on shared,
 /// noisy hosts the minimum is the stable signal — medians swing ±30%
-/// with background load, minima only move when the code does. Where a
-/// baseline name appears under several builds (the telemetry benches),
-/// the slowest baseline wins, since a fresh line carries no build tag.
-/// Returns the process exit code: 1 if any benchmark regressed more
-/// than [`BENCH_REGRESSION_FRAC`], 0 otherwise (new or missing
-/// benchmarks are reported but never fail).
+/// with background load, minima only move when the code does.
+///
+/// Every line — fresh and baseline — must carry a `build` tag
+/// (`"release"`, `"release+trace"`, ...) as emitted by the bench
+/// harness. A fresh line whose tag has no baseline under the *same* tag
+/// but does exist under a different one is a **build-tag mismatch** —
+/// debug-vs-release or trace-vs-plain numbers would silently pass or
+/// fail for the wrong reason — and fails the comparison outright.
+/// Missing tags on either side are a hard error. Genuinely new
+/// benchmark names (no baseline under any tag) are reported but never
+/// fail. Returns the process exit code: 1 on any regression beyond
+/// [`BENCH_REGRESSION_FRAC`] or any tag mismatch, 0 otherwise.
 fn bench_compare(fresh_path: &str, baseline_paths: &[String]) -> i32 {
-    fn load(path: &str) -> Vec<(String, f64)> {
+    fn load(path: &str) -> Vec<(String, String, f64)> {
         let text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("bench-compare: cannot read {path}: {e}"));
         text.lines()
@@ -214,9 +248,20 @@ fn bench_compare(fresh_path: &str, baseline_paths: &[String]) -> i32 {
                     .and_then(|n| n.as_str())
                     .expect("bench line missing name")
                     .to_string();
+                let build = v
+                    .get("build")
+                    .and_then(|b| b.as_str())
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "bench-compare: line for {name:?} in {path} carries no \"build\" \
+                             tag; re-run the benches with the current harness (or re-record \
+                             the baseline) — untagged numbers cannot be compared safely"
+                        )
+                    })
+                    .to_string();
                 let lo =
                     v.get("lo_ns").and_then(|n| n.as_f64()).expect("bench line missing lo_ns");
-                (name, lo)
+                (build, name, lo)
             })
             .collect()
     }
@@ -236,19 +281,25 @@ fn bench_compare(fresh_path: &str, baseline_paths: &[String]) -> i32 {
         baseline_paths.to_vec()
     };
 
-    let mut baseline: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
+    let mut baseline: std::collections::BTreeMap<(String, String), f64> =
+        std::collections::BTreeMap::new();
     for path in &baseline_paths {
-        for (name, lo) in load(path) {
-            let slot = baseline.entry(name).or_insert(lo);
+        for (build, name, lo) in load(path) {
+            // Duplicate (build, name) across baseline files: slowest wins,
+            // so re-recorded baselines stay conservative.
+            let slot = baseline.entry((build, name)).or_insert(lo);
             *slot = slot.max(lo);
         }
     }
 
     let mut regressions = 0usize;
-    println!("{:<44} {:>12} {:>12} {:>8}  verdict", "benchmark", "base lo_ns", "fresh lo_ns", "ratio");
-    for (name, fresh_lo) in load(fresh_path) {
-        match baseline.get(&name) {
-            None => println!("{name:<44} {:>12} {fresh_lo:>12.1} {:>8}  new (no baseline)", "-", "-"),
+    let mut mismatches = 0usize;
+    println!(
+        "{:<44} {:<14} {:>12} {:>12} {:>8}  verdict",
+        "benchmark", "build", "base lo_ns", "fresh lo_ns", "ratio"
+    );
+    for (build, name, fresh_lo) in load(fresh_path) {
+        match baseline.get(&(build.clone(), name.clone())) {
             Some(&base_lo) => {
                 let ratio = fresh_lo / base_lo;
                 let verdict = if ratio > 1.0 + BENCH_REGRESSION_FRAC {
@@ -259,19 +310,216 @@ fn bench_compare(fresh_path: &str, baseline_paths: &[String]) -> i32 {
                 } else {
                     "ok"
                 };
-                println!("{name:<44} {base_lo:>12.1} {fresh_lo:>12.1} {ratio:>8.2}  {verdict}");
+                println!(
+                    "{name:<44} {build:<14} {base_lo:>12.1} {fresh_lo:>12.1} {ratio:>8.2}  {verdict}"
+                );
+            }
+            None => {
+                let other_builds: Vec<&str> = baseline
+                    .keys()
+                    .filter(|(_, n)| *n == name)
+                    .map(|(b, _)| b.as_str())
+                    .collect();
+                if other_builds.is_empty() {
+                    println!(
+                        "{name:<44} {build:<14} {:>12} {fresh_lo:>12.1} {:>8}  new (no baseline)",
+                        "-", "-"
+                    );
+                } else {
+                    mismatches += 1;
+                    println!(
+                        "{name:<44} {build:<14} {:>12} {fresh_lo:>12.1} {:>8}  BUILD MISMATCH \
+                         (baseline has: {})",
+                        "-",
+                        "-",
+                        other_builds.join(", ")
+                    );
+                }
             }
         }
+    }
+    if mismatches > 0 {
+        eprintln!(
+            "bench-compare: {mismatches} benchmark(s) built as a different build than every \
+             baseline entry of the same name — refusing to compare across builds. Re-run the \
+             benches with the matching feature set/profile, or re-record the baseline."
+        );
     }
     if regressions > 0 {
         eprintln!(
             "bench-compare: {regressions} benchmark(s) regressed more than {:.0}% vs baseline",
             BENCH_REGRESSION_FRAC * 100.0
         );
+    }
+    if regressions > 0 || mismatches > 0 {
         1
     } else {
         0
     }
+}
+
+/// Load + parse a scenario file, reporting I/O and field-path parse
+/// errors on stderr. `.toml` files go through the TOML front-end,
+/// everything else through JSON.
+fn load_scenario(path: &str) -> Result<diversifi::Scenario, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    diversifi::Scenario::from_file_text(&text, path)
+}
+
+/// `repro --validate-scenario FILE`: parse, validate, and lower a
+/// scenario file, then print the lowered configuration summary. Exit 0
+/// on success, 2 with the field-path error on stderr otherwise.
+fn validate_scenario_cli(path: &str) -> i32 {
+    use diversifi::scenario::mode_tag;
+    let scn = match load_scenario(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("validate-scenario: {e}");
+            return 2;
+        }
+    };
+    let cfg = scn.campaign_config();
+    println!("[scenario] OK: {path}");
+    println!("[scenario] name={:?} seed={} venue={}", scn.name, scn.seed, scn.venue.tag());
+    for (label, ap) in [("primary", &scn.primary), ("secondary", &scn.secondary)] {
+        println!(
+            "[scenario] {label}: {} @ {:.1} m, {} link, {:.1} dBm, diversity x{}",
+            diversifi::scenario::channel_tag(ap.channel),
+            ap.distance_m,
+            ap.quality.tag(),
+            ap.tx_power_dbm,
+            ap.diversity_order,
+        );
+    }
+    println!(
+        "[scenario] fleet: {} calls in {} shards of {} ({} threads, checkpoints: {})",
+        scn.fleet.calls,
+        cfg.shards(),
+        cfg.shard_size,
+        if scn.campaign.threads == 0 { "auto".to_string() } else { scn.campaign.threads.to_string() },
+        scn.campaign.checkpoint_dir.as_deref().unwrap_or("off"),
+    );
+    let arms: Vec<String> =
+        scn.arms.iter().map(|a| format!("{}:{}", a.name, mode_tag(a.mode))).collect();
+    println!("[scenario] arms: [{}]", arms.join(", "));
+    if !scn.faults.specs.is_empty() {
+        println!("[scenario] faults: {} spec(s)", scn.faults.specs.len());
+    }
+    println!("[scenario] fingerprint: {:016x}", scn.fingerprint());
+    0
+}
+
+/// `repro --campaign FILE`: run the scenario's sharded fleet campaign
+/// with live progress (including calls/sec), print the campaign report,
+/// and write the JSON artifact under `--out`. Exit 0 on success, 2 on
+/// parse/run failure.
+fn campaign_cli(path: &str, out_dir: &str) -> i32 {
+    let scn = match load_scenario(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            return 2;
+        }
+    };
+    println!(
+        "[campaign] {:?}: {} calls, shard size {}, fingerprint {:016x}",
+        scn.name,
+        scn.fleet.calls,
+        scn.campaign.shard_size.max(1),
+        scn.fingerprint()
+    );
+    if let Some(dir) = &scn.campaign.checkpoint_dir {
+        println!("[campaign] checkpoints: {dir}");
+    }
+
+    let start = std::time::Instant::now();
+    // Throttle progress lines to ~4/s; always print the final one.
+    let last_print = std::sync::Mutex::new(None::<std::time::Instant>);
+    let progress = |p: &diversifi_simcore::CampaignProgress| {
+        let done = p.shards_done == p.shards_total;
+        {
+            let mut last = last_print.lock().unwrap();
+            if !done
+                && last.is_some_and(|t| t.elapsed() < std::time::Duration::from_millis(250))
+            {
+                return;
+            }
+            *last = Some(std::time::Instant::now());
+        }
+        let rate = p.calls_done as f64 / start.elapsed().as_secs_f64().max(1e-9);
+        let pct = if p.calls_planned == 0 {
+            100.0
+        } else {
+            100.0 * p.calls_done as f64 / p.calls_planned as f64
+        };
+        println!(
+            "[campaign] {:>12}/{} calls ({pct:5.1}%)  shards {}/{} ({} resumed)  {rate:.0} calls/s",
+            p.calls_done, p.calls_planned, p.shards_done, p.shards_total, p.shards_resumed,
+        );
+    };
+    let rep = match diversifi::run_fleet_campaign(&scn, progress) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            return 2;
+        }
+    };
+    let elapsed = start.elapsed();
+
+    println!(
+        "[campaign] done in {:.2} s — {} calls, {} shards run, {} resumed, {:.0} calls/s",
+        elapsed.as_secs_f64(),
+        rep.calls,
+        rep.shards_run,
+        rep.shards_resumed,
+        rep.calls as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    println!("[campaign] digest fingerprint: {:016x}", rep.fingerprint);
+    println!(
+        "[campaign] poor-call rate {:.3}%  MOS mean {:.3} ± {:.3}  p10/p50/p90 {:.3}/{:.3}/{:.3}",
+        100.0 * rep.poor_rate,
+        rep.mos_mean,
+        rep.mos_stddev,
+        rep.mos_p10,
+        rep.mos_p50,
+        rep.mos_p90,
+    );
+    println!(
+        "[campaign] mouth-to-ear delay p50 {:.1} ms, p99 {:.1} ms",
+        rep.delay_p50_ms, rep.delay_p99_ms
+    );
+    let mut t = TextTable::new(&["Subset", "EE", "EW", "WW"]);
+    for (label, row) in [
+        ("All", &rep.table1.all),
+        ("/24s with #E>=#W", &rep.table1.wired_majority),
+        ("PC", &rep.table1.pc),
+        ("PC & /24s filter", &rep.table1.pc_wired_majority),
+    ] {
+        t.row(&[
+            label.into(),
+            signed_pct(row.ee),
+            signed_pct(row.ew),
+            signed_pct(row.ww),
+        ]);
+    }
+    println!("{}", t.render());
+    for arm in &rep.arms {
+        println!(
+            "[campaign] arm {:<16} ({:<14}) loss {:6.3}%  wasteful dup {:6.2}%  secondary air {:6.2}%",
+            arm.name, arm.mode, arm.loss_pct, arm.wasteful_dup_pct, arm.secondary_air_pct
+        );
+    }
+
+    let artifact = format!("campaign_{}", rep.scenario.replace([' ', '/'], "_"));
+    match report::write_json(out_dir, &artifact, &rep) {
+        Ok(p) => println!("[artifact] {p}"),
+        Err(e) => {
+            eprintln!("campaign: failed to write artifact: {e}");
+            return 2;
+        }
+    }
+    0
 }
 
 /// Where does a paired three-arm run's time actually go? Runs the

@@ -1,0 +1,362 @@
+//! The million-call fleet campaign: a [`Scenario`]'s client fleet folded
+//! through the sharded [`diversifi_simcore::campaign`] engine.
+//!
+//! Each call is sampled by [`CallSampler`] (a pure function of the call
+//! index) and folded straight into per-shard digests — counters for every
+//! Table 1 cell, a Welford summary + quantile sketch of MOS, and a
+//! half-octave histogram of mouth-to-ear delay. Memory is constant in the
+//! call count: nothing per-call is ever materialised, and the digest
+//! counters reproduce [`table1`] **bit-for-bit** because they carry the
+//! same integer counts the exact computation divides.
+
+use crate::population::{CallSampler, RatedCall, SampledCall, Table1, Table1Row};
+use crate::population::relative_delta;
+use crate::scenario::{Arm, Scenario};
+use crate::world::World;
+use diversifi_simcore::{
+    run_campaign, CampaignConfig, CampaignProgress, ChannelId, DigestSchema, SeedFactory,
+    ShardDigest,
+};
+use diversifi_voip::DEFAULT_DEADLINE;
+use serde::Serialize;
+
+/// Channel names for every Table 1 cell: `subset/class/{total,poor}`.
+/// Index order: subset (all, wired, pc, pcw) × hop class (ee, ew, ww).
+const CELL_NAMES: [[[&str; 2]; 3]; 4] = [
+    [
+        ["all/ee/total", "all/ee/poor"],
+        ["all/ew/total", "all/ew/poor"],
+        ["all/ww/total", "all/ww/poor"],
+    ],
+    [
+        ["wired/ee/total", "wired/ee/poor"],
+        ["wired/ew/total", "wired/ew/poor"],
+        ["wired/ww/total", "wired/ww/poor"],
+    ],
+    [
+        ["pc/ee/total", "pc/ee/poor"],
+        ["pc/ew/total", "pc/ew/poor"],
+        ["pc/ww/total", "pc/ww/poor"],
+    ],
+    [
+        ["pcw/ee/total", "pcw/ee/poor"],
+        ["pcw/ew/total", "pcw/ew/poor"],
+        ["pcw/ww/total", "pcw/ww/poor"],
+    ],
+];
+
+/// Hop-class index of a call: 0 = Ethernet–Ethernet, 1 = mixed, 2 = WiFi–WiFi.
+fn class_of(c: &RatedCall) -> usize {
+    use crate::population::LastHop;
+    let n = |h: LastHop| usize::from(h == LastHop::Wifi);
+    n(c.hops.0) + n(c.hops.1)
+}
+
+/// The fleet campaign's digest layout: schema plus the channel handles the
+/// per-call fold indexes with (no string lookups on the hot path).
+pub struct FleetSchema {
+    /// The digest schema (drives campaign ids and checkpoint validation).
+    pub schema: DigestSchema,
+    cells: [[[ChannelId; 2]; 3]; 4],
+    mos_summary: ChannelId,
+    mos_sketch: ChannelId,
+    delay_us: ChannelId,
+}
+
+impl FleetSchema {
+    /// Build the fleet digest layout.
+    pub fn new() -> FleetSchema {
+        let mut schema = DigestSchema::new();
+        let dummy = schema.counter(CELL_NAMES[0][0][0]);
+        let mut cells = [[[dummy; 2]; 3]; 4];
+        for (si, subset) in CELL_NAMES.iter().enumerate() {
+            for (ci, class) in subset.iter().enumerate() {
+                for (k, name) in class.iter().enumerate() {
+                    cells[si][ci][k] = if (si, ci, k) == (0, 0, 0) {
+                        dummy
+                    } else {
+                        schema.counter(name)
+                    };
+                }
+            }
+        }
+        let mos_summary = schema.summary("mos");
+        let mos_sketch = schema.sketch("mos_sketch");
+        let delay_us = schema.histogram("delay_us");
+        FleetSchema { schema, cells, mos_summary, mos_sketch, delay_us }
+    }
+
+    /// Fold one sampled call into a shard digest.
+    pub fn fold(&self, s: &SampledCall, digest: &mut ShardDigest) {
+        let class = class_of(&s.call);
+        let subsets = [
+            true,
+            s.call.wired_majority_subnets,
+            s.pc_pair,
+            s.call.wired_majority_subnets && s.pc_pair,
+        ];
+        let poor = usize::from(s.call.rated_poor);
+        for (si, member) in subsets.iter().enumerate() {
+            if *member {
+                digest.add(self.cells[si][class][0], 1);
+                if poor == 1 {
+                    digest.add(self.cells[si][class][1], 1);
+                }
+            }
+        }
+        digest.observe(self.mos_summary, s.mos);
+        digest.sketch_insert(self.mos_sketch, s.mos);
+        digest.record(self.delay_us, (s.delay_ms * 1000.0) as u64);
+    }
+
+    /// Reconstruct Table 1 from the merged digest. Bit-identical to
+    /// [`crate::population::table1`] over the same calls: the digest holds
+    /// the same integer counts, so every division and relative delta is
+    /// the same f64 operation.
+    pub fn table1(&self, digest: &ShardDigest) -> Table1 {
+        let counts = |si: usize| -> ([u64; 3], [u64; 3]) {
+            let mut total = [0u64; 3];
+            let mut poor = [0u64; 3];
+            for ci in 0..3 {
+                total[ci] = digest.count(self.cells[si][ci][0]);
+                poor[ci] = digest.count(self.cells[si][ci][1]);
+            }
+            (total, poor)
+        };
+        let (all_total, all_poor) = counts(0);
+        let n: u64 = all_total.iter().sum();
+        let pcr_all = if n == 0 {
+            0.0
+        } else {
+            all_poor.iter().sum::<u64>() as f64 / n as f64
+        };
+        let row = |si: usize| -> Table1Row {
+            let (total, poor) = counts(si);
+            let pcr_of =
+                |i: usize| if total[i] == 0 { 0.0 } else { poor[i] as f64 / total[i] as f64 };
+            Table1Row {
+                ee: relative_delta(pcr_all, pcr_of(0)),
+                ew: relative_delta(pcr_all, pcr_of(1)),
+                ww: relative_delta(pcr_all, pcr_of(2)),
+                baseline_pcr: pcr_all,
+            }
+        };
+        Table1 {
+            all: row(0),
+            wired_majority: row(1),
+            pc: row(2),
+            pc_wired_majority: row(3),
+        }
+    }
+}
+
+impl Default for FleetSchema {
+    fn default() -> FleetSchema {
+        FleetSchema::new()
+    }
+}
+
+/// One arm's closed-loop probe run (a single world simulation at the
+/// scenario's deployment — the sanity row next to the fleet statistics).
+#[derive(Clone, Debug, Serialize)]
+pub struct ArmReport {
+    /// Arm label.
+    pub name: String,
+    /// Client behaviour (scenario-file tag).
+    pub mode: String,
+    /// Residual loss (%) at the default playout deadline.
+    pub loss_pct: f64,
+    /// Wastefully duplicated packets (% of stream).
+    pub wasteful_dup_pct: f64,
+    /// All secondary-air transmissions (% of stream).
+    pub secondary_air_pct: f64,
+}
+
+/// The campaign-level artifact written by `repro --campaign`.
+#[derive(Clone, Debug, Serialize)]
+pub struct FleetCampaignReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Calls folded.
+    pub calls: u64,
+    /// Digest fingerprint — bit-identical across thread counts and
+    /// resume/uninterrupted runs of the same scenario.
+    pub fingerprint: u64,
+    /// Shards in the plan.
+    pub shards_total: usize,
+    /// Shards executed by this run.
+    pub shards_run: usize,
+    /// Shards loaded from checkpoints.
+    pub shards_resumed: usize,
+    /// Table 1 at campaign scale.
+    pub table1: Table1,
+    /// Overall poor-call rate.
+    pub poor_rate: f64,
+    /// Mean device-adjusted MOS.
+    pub mos_mean: f64,
+    /// MOS standard deviation.
+    pub mos_stddev: f64,
+    /// MOS quantiles (p10 / p50 / p90) from the streaming sketch.
+    pub mos_p10: f64,
+    /// Median MOS.
+    pub mos_p50: f64,
+    /// 90th-percentile MOS.
+    pub mos_p90: f64,
+    /// Median mouth-to-ear delay (ms).
+    pub delay_p50_ms: f64,
+    /// 99th-percentile mouth-to-ear delay (ms).
+    pub delay_p99_ms: f64,
+    /// Per-arm closed-loop probe runs.
+    pub arms: Vec<ArmReport>,
+}
+
+/// Run the scenario's fleet campaign with the scenario's own execution
+/// knobs (sharding, threads, checkpoint dir).
+pub fn run_fleet_campaign<P>(
+    scn: &Scenario,
+    progress: P,
+) -> std::io::Result<FleetCampaignReport>
+where
+    P: Fn(&CampaignProgress) + Sync,
+{
+    run_fleet_campaign_with(scn, &scn.campaign_config(), progress)
+}
+
+/// Run the fleet campaign with an explicit engine config (tests and the
+/// repro binary override shard caps / thread counts this way). The config
+/// must describe the same scenario (`campaign_config()` plus overrides);
+/// its fingerprint pins the checkpoints.
+pub fn run_fleet_campaign_with<P>(
+    scn: &Scenario,
+    cfg: &CampaignConfig,
+    progress: P,
+) -> std::io::Result<FleetCampaignReport>
+where
+    P: Fn(&CampaignProgress) + Sync,
+{
+    let (model, _) = scn.population();
+    let sampler = CallSampler::new(&model, scn.seed);
+    let fleet = FleetSchema::new();
+    let outcome = run_campaign(
+        cfg,
+        &fleet.schema,
+        |i, _scratch, digest| fleet.fold(&sampler.call(i), digest),
+        progress,
+    )?;
+    let digest = outcome.digest.ok_or_else(|| {
+        std::io::Error::other(format!(
+            "campaign incomplete: {}/{} shards done (raise max_new_shards or resume)",
+            outcome.shards_resumed + outcome.shards_run,
+            outcome.shards_total
+        ))
+    })?;
+
+    let table1 = fleet.table1(&digest);
+    let total: u64 = (0..3).map(|ci| digest.count(fleet.cells[0][ci][0])).sum();
+    let poor: u64 = (0..3).map(|ci| digest.count(fleet.cells[0][ci][1])).sum();
+    let mos = digest.summary(fleet.mos_summary);
+    let sketch = digest.sketch(fleet.mos_sketch);
+    let delays = digest.histogram(fleet.delay_us);
+    Ok(FleetCampaignReport {
+        scenario: scn.name.clone(),
+        seed: scn.seed,
+        calls: digest.len(),
+        fingerprint: outcome.fingerprint.expect("complete campaign has a fingerprint"),
+        shards_total: outcome.shards_total,
+        shards_run: outcome.shards_run,
+        shards_resumed: outcome.shards_resumed,
+        table1,
+        poor_rate: if total == 0 { 0.0 } else { poor as f64 / total as f64 },
+        mos_mean: mos.mean(),
+        mos_stddev: mos.stddev(),
+        mos_p10: sketch.quantile(0.10),
+        mos_p50: sketch.quantile(0.50),
+        mos_p90: sketch.quantile(0.90),
+        delay_p50_ms: delays.quantile(0.50) as f64 / 1000.0,
+        delay_p99_ms: delays.quantile(0.99) as f64 / 1000.0,
+        arms: run_arm_probes(scn),
+    })
+}
+
+/// One closed-loop world run per experiment arm at the scenario's
+/// deployment (empty when the scenario declares no arms).
+pub fn run_arm_probes(scn: &Scenario) -> Vec<ArmReport> {
+    scn.arms.iter().map(|arm| run_arm_probe(scn, arm)).collect()
+}
+
+fn run_arm_probe(scn: &Scenario, arm: &Arm) -> ArmReport {
+    let cfg = scn.world_config(arm);
+    let seeds = SeedFactory::new(scn.seed);
+    let r = World::new(&cfg, &seeds).run();
+    let n = r.trace.len().max(1) as f64;
+    ArmReport {
+        name: arm.name.clone(),
+        mode: crate::scenario::mode_tag(arm.mode).to_string(),
+        loss_pct: r.trace.loss_rate(DEFAULT_DEADLINE) * 100.0,
+        wasteful_dup_pct: 100.0 * r.secondary_wasteful_tx as f64 / n,
+        secondary_air_pct: 100.0 * r.secondary_air_tx as f64 / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::{pcr_of_calls, simulate_calls, table1};
+
+    fn tiny_scenario(calls: u64) -> Scenario {
+        let mut s = Scenario::new("tiny", 0x7AB1E1);
+        s.fleet.calls = calls;
+        s.campaign.shard_size = 1000;
+        s.campaign.threads = 2;
+        s
+    }
+
+    #[test]
+    fn digest_table1_matches_exact_computation_bit_for_bit() {
+        let scn = tiny_scenario(20_000);
+        let report = run_fleet_campaign(&scn, |_| {}).unwrap();
+        let (model, n) = scn.population();
+        let calls = simulate_calls(&model, n as usize, scn.seed);
+        let exact = table1(&calls);
+        for (got, want) in [
+            (&report.table1.all, &exact.all),
+            (&report.table1.wired_majority, &exact.wired_majority),
+            (&report.table1.pc, &exact.pc),
+            (&report.table1.pc_wired_majority, &exact.pc_wired_majority),
+        ] {
+            assert_eq!(got.ee.to_bits(), want.ee.to_bits());
+            assert_eq!(got.ew.to_bits(), want.ew.to_bits());
+            assert_eq!(got.ww.to_bits(), want.ww.to_bits());
+            assert_eq!(got.baseline_pcr.to_bits(), want.baseline_pcr.to_bits());
+        }
+        assert_eq!(report.calls, 20_000);
+        let exact_pcr = pcr_of_calls(&calls);
+        assert_eq!(report.poor_rate.to_bits(), exact_pcr.to_bits());
+    }
+
+    #[test]
+    fn fingerprint_is_thread_invariant() {
+        let mut prints = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let mut scn = tiny_scenario(5_000);
+            scn.campaign.threads = threads;
+            let r = run_fleet_campaign(&scn, |_| {}).unwrap();
+            prints.push(r.fingerprint);
+        }
+        assert!(prints.windows(2).all(|w| w[0] == w[1]), "{prints:?}");
+    }
+
+    #[test]
+    fn arm_probes_follow_scenario_arms() {
+        let mut scn = Scenario::testbed("probe", 11);
+        scn.fleet.calls = 0; // probes only
+        let arms = run_arm_probes(&scn);
+        assert_eq!(arms.len(), 3);
+        assert_eq!(arms[0].name, "primary-only");
+        // The DiversiFi arm must beat the primary-only baseline at this
+        // (good primary / marginal secondary) deployment.
+        assert!(arms[2].loss_pct <= arms[0].loss_pct + 0.5);
+    }
+}

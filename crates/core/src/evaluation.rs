@@ -2,9 +2,10 @@
 //! §6.3 overhead), the 26-run TCP coexistence experiment (Fig. 10), the
 //! Table 3 delay breakdown, and the §6.4 middlebox scalability sweep.
 
+use crate::scenario::LinkQuality;
 use crate::world::{RunMode, RunReport, SwitchDelaySample, World, WorldConfig};
 use diversifi_net::{Middlebox, MiddleboxConfig};
-use diversifi_simcore::{mean, RngStream, SeedFactory, SimDuration, SweepRunner, WorkerArena};
+use diversifi_simcore::{mean, RngStream, SeedFactory, SweepRunner, WorkerArena};
 use diversifi_voip::StreamTrace;
 use diversifi_wifi::{Channel, FlowId, GeParams, LinkConfig, RealizationCache};
 use serde::Serialize;
@@ -13,14 +14,8 @@ use serde::Serialize;
 /// weaker secondary (the paper's secondary had a 26.2% PCR on its own).
 pub fn testbed_location(rng: &mut RngStream) -> (LinkConfig, LinkConfig) {
     // A "marginal" office link: clearly worse than healthy, not yet awful.
-    let marginal = GeParams {
-        mean_good: SimDuration::from_millis(2000),
-        mean_bad_short: SimDuration::from_millis(90),
-        mean_bad_long: SimDuration::from_millis(400),
-        p_long: 0.15,
-        bad_loss: 0.8,
-        good_loss: 0.006,
-    };
+    // The preset lives in the scenario schema's shared quality catalog.
+    let marginal = LinkQuality::Marginal.ge_params();
 
     // Primary: healthy at most spots; a sizeable minority of marginal or
     // outright weak corners (the paper's primary averaged 1.97% loss with
@@ -44,14 +39,7 @@ pub fn testbed_location(rng: &mut RngStream) -> (LinkConfig, LinkConfig) {
     if q < 0.22 {
         // An awful far corner: drives the paper-style 52% worst windows.
         secondary.distance_m += rng.range_f64(10.0, 20.0);
-        secondary.ge = GeParams {
-            mean_good: SimDuration::from_millis(500),
-            mean_bad_short: SimDuration::from_millis(80),
-            mean_bad_long: SimDuration::from_millis(900),
-            p_long: 0.3,
-            bad_loss: 0.9,
-            good_loss: 0.02,
-        };
+        secondary.ge = LinkQuality::Awful.ge_params();
     } else if q < 0.6 {
         secondary.ge = marginal;
     }

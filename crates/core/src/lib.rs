@@ -54,6 +54,7 @@
 
 pub mod ablation;
 pub mod analysis;
+pub mod campaign;
 pub mod corpus;
 pub mod crosstech;
 pub mod evaluation;
@@ -61,13 +62,16 @@ pub mod multiworld;
 pub mod nettest;
 pub mod population;
 pub mod report;
+pub mod scenario;
 pub mod survey;
 pub mod twonic;
 pub mod uplink;
 pub mod world;
 
 pub use analysis::{AnalysisOptions, CallRecord, QualityParams, Strategy};
+pub use campaign::{run_fleet_campaign, run_fleet_campaign_with, FleetCampaignReport, FleetSchema};
 pub use corpus::{CallEnvironment, CorpusMix};
 pub use evaluation::{EvalOptions, EvalRun, OverheadSummary};
+pub use scenario::{ApSpec, Arm, LinkQuality, Scenario, Traffic, Venue};
 pub use twonic::{run_single, run_temporal, run_two_nic, TwoNicScenario};
 pub use world::{RunMode, RunReport, World, WorldConfig};

@@ -135,23 +135,47 @@ fn wifi_hop(rng: &mut RngStream) -> (f64, f64) {
     }
 }
 
-/// Simulate `n_calls` rated calls.
-///
-/// Runs on the shared [`SweepRunner`]: the subnet universe is drawn once
-/// from the "population" stream, then each call draws from its own
-/// "pop-call" stream, so the output is a pure function of `seed` at any
-/// worker count.
-pub fn simulate_calls(model: &PopulationModel, n_calls: usize, seed: u64) -> Vec<RatedCall> {
-    let seeds = SeedFactory::new(seed);
-    let mut rng = seeds.stream("population", 0);
-    let subnets: Vec<Subnet> = (0..model.n_subnets)
-        .map(|_| sample_subnet(&mut rng))
-        .collect();
+/// One sampled call with its internal quality figures exposed — what the
+/// streaming campaign digests record beyond the boolean rating.
+#[derive(Clone, Copy, Debug)]
+pub struct SampledCall {
+    /// The rated call (the [`simulate_calls`] output record).
+    pub call: RatedCall,
+    /// Device-adjusted MOS the rating model saw.
+    pub mos: f64,
+    /// End-to-end mouth-to-ear delay (ms).
+    pub delay_ms: f64,
+    /// Whether both peers are PC-class (the Table 1 row 3 filter).
+    pub pc_pair: bool,
+}
 
-    let draw_endpoint = |rng: &mut RngStream| -> Endpoint {
-        let subnet = rng.index(subnets.len());
-        let sn = subnets[subnet];
-        let device = if rng.chance(model.pc_fraction) {
+/// A reusable per-call sampler: the subnet universe is drawn once at
+/// construction (from the "population" stream), then [`CallSampler::call`]
+/// is a pure function of the call index (each call draws from its own
+/// "pop-call" stream). This is the indexed form [`simulate_calls`] always
+/// used internally, extracted so campaign shards can fold calls one at a
+/// time without materialising the population.
+pub struct CallSampler {
+    model: PopulationModel,
+    seeds: SeedFactory,
+    subnets: Vec<Subnet>,
+}
+
+impl CallSampler {
+    /// Draw the subnet universe for `(model, seed)`.
+    pub fn new(model: &PopulationModel, seed: u64) -> CallSampler {
+        let seeds = SeedFactory::new(seed);
+        let mut rng = seeds.stream("population", 0);
+        let subnets: Vec<Subnet> = (0..model.n_subnets)
+            .map(|_| sample_subnet(&mut rng))
+            .collect();
+        CallSampler { model: *model, seeds, subnets }
+    }
+
+    fn draw_endpoint(&self, rng: &mut RngStream) -> Endpoint {
+        let subnet = rng.index(self.subnets.len());
+        let sn = self.subnets[subnet];
+        let device = if rng.chance(self.model.pc_fraction) {
             DeviceClass::Pc
         } else {
             DeviceClass::Mobile
@@ -172,14 +196,17 @@ pub fn simulate_calls(model: &PopulationModel, n_calls: usize, seed: u64) -> Vec
             last_hop,
             device,
         }
-    };
+    }
 
-    SweepRunner::available().run_indexed(n_calls, |i| {
-        let mut rng = seeds.stream("pop-call", i as u64);
-        let a = draw_endpoint(&mut rng);
-        let b = draw_endpoint(&mut rng);
-        let sa = subnets[a.subnet];
-        let sb = subnets[b.subnet];
+    /// Sample call `i`. Bit-identical for a given `(model, seed, i)` at
+    /// any thread count and in any order.
+    pub fn call(&self, i: u64) -> SampledCall {
+        let model = &self.model;
+        let mut rng = self.seeds.stream("pop-call", i);
+        let a = self.draw_endpoint(&mut rng);
+        let b = self.draw_endpoint(&mut rng);
+        let sa = self.subnets[a.subnet];
+        let sb = self.subnets[b.subnet];
 
         // Compose loss multiplicatively and delay additively.
         let mut loss_pct = sa.backhaul_loss_pct + sb.backhaul_loss_pct;
@@ -214,13 +241,29 @@ pub fn simulate_calls(model: &PopulationModel, n_calls: usize, seed: u64) -> Vec
         let rated_poor = rng.chance(p_poor);
 
         let wired_majority = sa.ethernet_fraction >= 0.5 && sb.ethernet_fraction >= 0.5;
-        RatedCall {
-            hops: (a.last_hop, b.last_hop),
-            devices: (a.device, b.device),
-            wired_majority_subnets: wired_majority,
-            rated_poor,
+        SampledCall {
+            call: RatedCall {
+                hops: (a.last_hop, b.last_hop),
+                devices: (a.device, b.device),
+                wired_majority_subnets: wired_majority,
+                rated_poor,
+            },
+            mos,
+            delay_ms,
+            pc_pair: a.device == DeviceClass::Pc && b.device == DeviceClass::Pc,
         }
-    })
+    }
+}
+
+/// Simulate `n_calls` rated calls.
+///
+/// Runs on the shared [`SweepRunner`]: the subnet universe is drawn once
+/// from the "population" stream, then each call draws from its own
+/// "pop-call" stream, so the output is a pure function of `seed` at any
+/// worker count.
+pub fn simulate_calls(model: &PopulationModel, n_calls: usize, seed: u64) -> Vec<RatedCall> {
+    let sampler = CallSampler::new(model, seed);
+    SweepRunner::available().run_indexed(n_calls, |i| sampler.call(i as u64).call)
 }
 
 /// The EE / EW / WW relative-ΔPCR cells of one Table 1 row.
@@ -238,6 +281,15 @@ pub struct Table1Row {
 }
 
 fn pcr(calls: &[&RatedCall]) -> f64 {
+    if calls.is_empty() {
+        return 0.0;
+    }
+    calls.iter().filter(|c| c.rated_poor).count() as f64 / calls.len() as f64
+}
+
+/// Poor-call rate over a whole population (same division [`table1`]'s
+/// global baseline uses).
+pub fn pcr_of_calls(calls: &[RatedCall]) -> f64 {
     if calls.is_empty() {
         return 0.0;
     }

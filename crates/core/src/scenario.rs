@@ -1,0 +1,1023 @@
+//! Declarative experiment scenarios.
+//!
+//! A [`Scenario`] is the single source of truth for one experiment: venue
+//! class, AP deployment and channel plan, traffic mix, client fleet
+//! (the Table 1 population model), a [`FaultPlan`], and the experiment
+//! arms. Scenarios are written in JSON or in the vendored TOML subset,
+//! lower into the existing strongly-typed configs ([`WorldConfig`],
+//! [`PopulationModel`], [`TwoNicScenario`]), and replace the hand-coded
+//! setups that used to be duplicated across `population`, `twonic`,
+//! `evaluation` and `ablation`.
+//!
+//! Parsing is hand-rolled over the vendored [`serde::Value`] tree so that
+//! every error carries the **field path** that caused it
+//! (`arms[1].mode: unknown run mode "divirsifi" …`), unknown keys are
+//! rejected (typos fail loudly instead of silently using a default), and
+//! `parse → lower → re-serialize → re-parse` is idempotent: serialisation
+//! always writes every field, so one round-trip reaches a fixed point.
+//!
+//! The link-quality catalog ([`LinkQuality`]) is shared with the §6
+//! testbed generator in [`crate::evaluation`]: the `marginal` and `awful`
+//! Gilbert–Elliott presets that used to live as literals there are now
+//! named here, so a scenario file and the random testbed draw from the
+//! same vocabulary.
+
+use crate::population::PopulationModel;
+use crate::twonic::TwoNicScenario;
+use crate::world::{RunMode, WorldConfig};
+use diversifi_simcore::{CampaignConfig, FaultPlan, SimDuration};
+use diversifi_voip::StreamSpec;
+use diversifi_wifi::{Band, Channel, GeParams, LinkConfig};
+use serde::{Deserialize, Serialize, Value};
+use std::path::PathBuf;
+
+// ---------------------------------------------------------------- schema
+
+/// Venue class: sets the propagation environment every AP in the
+/// deployment shares (path-loss exponent and shadowing spread).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Venue {
+    /// Cubicled office (the paper's testbed): PLE 3.2, σ 2.5 dB.
+    Office,
+    /// Open-plan floor: milder path loss, less shadowing.
+    OpenPlan,
+    /// Apartment block: walls everywhere.
+    Apartment,
+}
+
+impl Venue {
+    /// `(path_loss_exponent, shadow_sigma_db)` of this venue class.
+    pub fn propagation(self) -> (f64, f64) {
+        match self {
+            Venue::Office => (3.2, 2.5),
+            Venue::OpenPlan => (2.7, 2.0),
+            Venue::Apartment => (3.8, 3.5),
+        }
+    }
+
+    /// Scenario-file tag (`"office"`, `"open-plan"`, `"apartment"`).
+    pub fn tag(self) -> &'static str {
+        match self {
+            Venue::Office => "office",
+            Venue::OpenPlan => "open-plan",
+            Venue::Apartment => "apartment",
+        }
+    }
+
+    fn from_tag(s: &str, path: &str) -> Result<Venue, String> {
+        match s {
+            "office" => Ok(Venue::Office),
+            "open-plan" => Ok(Venue::OpenPlan),
+            "apartment" => Ok(Venue::Apartment),
+            other => Err(format!(
+                "{path}: unknown venue class {other:?} (expected \"office\", \"open-plan\" or \"apartment\")"
+            )),
+        }
+    }
+}
+
+/// Named link-quality presets: the Gilbert–Elliott burst-fade catalog the
+/// §6 testbed generator and scenario files share.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkQuality {
+    /// Healthy office link ([`GeParams::good_link`]).
+    Good,
+    /// Clearly worse than healthy, not yet awful — the §6.1 testbed's
+    /// mid-tier spots.
+    Marginal,
+    /// Frequent fades with a heavy long tail ([`GeParams::weak_link`]).
+    Weak,
+    /// A far corner: mostly bad, drives the paper-style 52% worst windows.
+    Awful,
+}
+
+impl LinkQuality {
+    /// The preset's Gilbert–Elliott parameters.
+    pub fn ge_params(self) -> GeParams {
+        match self {
+            LinkQuality::Good => GeParams::good_link(),
+            LinkQuality::Marginal => GeParams {
+                mean_good: SimDuration::from_millis(2000),
+                mean_bad_short: SimDuration::from_millis(90),
+                mean_bad_long: SimDuration::from_millis(400),
+                p_long: 0.15,
+                bad_loss: 0.8,
+                good_loss: 0.006,
+            },
+            LinkQuality::Weak => GeParams::weak_link(),
+            LinkQuality::Awful => GeParams {
+                mean_good: SimDuration::from_millis(500),
+                mean_bad_short: SimDuration::from_millis(80),
+                mean_bad_long: SimDuration::from_millis(900),
+                p_long: 0.3,
+                bad_loss: 0.9,
+                good_loss: 0.02,
+            },
+        }
+    }
+
+    /// Scenario-file tag (`"good"`, `"marginal"`, `"weak"`, `"awful"`).
+    pub fn tag(self) -> &'static str {
+        match self {
+            LinkQuality::Good => "good",
+            LinkQuality::Marginal => "marginal",
+            LinkQuality::Weak => "weak",
+            LinkQuality::Awful => "awful",
+        }
+    }
+
+    fn from_tag(s: &str, path: &str) -> Result<LinkQuality, String> {
+        match s {
+            "good" => Ok(LinkQuality::Good),
+            "marginal" => Ok(LinkQuality::Marginal),
+            "weak" => Ok(LinkQuality::Weak),
+            "awful" => Ok(LinkQuality::Awful),
+            other => Err(format!(
+                "{path}: unknown link quality {other:?} (expected \"good\", \"marginal\", \"weak\" or \"awful\")"
+            )),
+        }
+    }
+}
+
+/// One AP of the deployment: where it is, what channel it runs, and how
+/// good the radio environment toward the client is.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ApSpec {
+    /// Operating channel, written `"2.4/1"` or `"5/36"` in scenario files.
+    pub channel: Channel,
+    /// AP–client distance in metres.
+    pub distance_m: f64,
+    /// Burst-fade quality preset.
+    pub quality: LinkQuality,
+    /// Transmit power (dBm).
+    pub tx_power_dbm: f64,
+    /// PHY receive-diversity order (1 = SISO).
+    pub diversity_order: u8,
+}
+
+impl ApSpec {
+    /// An AP at `distance_m` on `channel` with the given quality and the
+    /// testbed defaults for everything else.
+    pub fn new(channel: Channel, distance_m: f64, quality: LinkQuality) -> ApSpec {
+        ApSpec { channel, distance_m, quality, tx_power_dbm: 16.0, diversity_order: 1 }
+    }
+
+    /// Lower into a [`LinkConfig`] under `venue`'s propagation.
+    pub fn lower(&self, venue: Venue) -> LinkConfig {
+        let (ple, sigma) = venue.propagation();
+        let mut link = LinkConfig::office(self.channel, self.distance_m);
+        link.path_loss_exponent = ple;
+        link.shadow_sigma_db = sigma;
+        link.tx_power_dbm = self.tx_power_dbm;
+        link.diversity_order = self.diversity_order;
+        link.ge = self.quality.ge_params();
+        link
+    }
+}
+
+/// The traffic mix of the streamed workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Traffic {
+    /// The paper's G.711-like VoIP stream (64 kbps, 20 ms spacing).
+    Voip,
+    /// The §4.5 high-rate stream (5 Mbps, 1.6 ms spacing).
+    HighRate,
+    /// An explicit stream: payload bytes, inter-packet spacing (µs),
+    /// duration (ms).
+    Custom {
+        /// Application payload bytes per packet.
+        packet_bytes: u32,
+        /// Inter-packet spacing in microseconds.
+        interval_us: u64,
+        /// Stream duration in milliseconds.
+        duration_ms: u64,
+    },
+}
+
+impl Traffic {
+    /// Lower into a [`StreamSpec`].
+    pub fn lower(&self) -> StreamSpec {
+        match *self {
+            Traffic::Voip => StreamSpec::voip(),
+            Traffic::HighRate => StreamSpec::high_rate(),
+            Traffic::Custom { packet_bytes, interval_us, duration_ms } => StreamSpec {
+                packet_bytes,
+                interval: SimDuration::from_micros(interval_us),
+                duration: SimDuration::from_millis(duration_ms),
+            },
+        }
+    }
+}
+
+/// One experiment arm: a client behaviour plus the world knobs it changes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Arm {
+    /// Arm label, used in reports.
+    pub name: String,
+    /// Client behaviour.
+    pub mode: RunMode,
+    /// Frames the secondary AP commits to hardware per PSM wake.
+    pub wake_batch: usize,
+    /// Run a concurrent greedy TCP download on the DEF link.
+    pub with_tcp: bool,
+    /// Per-attempt uplink control-message loss probability.
+    pub uplink_loss: f64,
+}
+
+impl Arm {
+    /// An arm named after its mode, with the testbed defaults.
+    pub fn new(name: &str, mode: RunMode) -> Arm {
+        Arm { name: name.to_string(), mode, wake_batch: 1, with_tcp: false, uplink_loss: 0.05 }
+    }
+}
+
+/// Scenario-file tag for a [`RunMode`] (`"primary-only"`, `"custom-ap"`, ...).
+pub fn mode_tag(mode: RunMode) -> &'static str {
+    match mode {
+        RunMode::PrimaryOnly => "primary-only",
+        RunMode::SecondaryOnly => "secondary-only",
+        RunMode::DiversifiCustomAp => "custom-ap",
+        RunMode::DiversifiMiddlebox => "middlebox",
+        RunMode::EndToEndPsm => "end-to-end-psm",
+    }
+}
+
+fn mode_from_tag(s: &str, path: &str) -> Result<RunMode, String> {
+    match s {
+        "primary-only" => Ok(RunMode::PrimaryOnly),
+        "secondary-only" => Ok(RunMode::SecondaryOnly),
+        "custom-ap" => Ok(RunMode::DiversifiCustomAp),
+        "middlebox" => Ok(RunMode::DiversifiMiddlebox),
+        "end-to-end-psm" => Ok(RunMode::EndToEndPsm),
+        other => Err(format!(
+            "{path}: unknown run mode {other:?} (expected \"primary-only\", \"secondary-only\", \
+             \"custom-ap\", \"middlebox\" or \"end-to-end-psm\")"
+        )),
+    }
+}
+
+/// The client fleet: the Table 1 call-population model plus how many calls
+/// the campaign simulates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fleet {
+    /// Rated calls the campaign simulates.
+    pub calls: u64,
+    /// Number of /24 subnets in the universe.
+    pub subnets: usize,
+    /// Fraction of endpoints that are PC-class.
+    pub pc_fraction: f64,
+    /// MOS penalty for a low-end mobile device.
+    pub mobile_mos_penalty: f64,
+    /// Logistic steepness of the rating model.
+    pub rating_steepness: f64,
+    /// MOS at which a user is 50% likely to rate the call poor.
+    pub rating_midpoint_mos: f64,
+    /// MOS-independent floor on poor ratings.
+    pub rating_floor: f64,
+}
+
+impl Default for Fleet {
+    fn default() -> Fleet {
+        let m = PopulationModel::default();
+        Fleet {
+            calls: 100_000,
+            subnets: m.n_subnets,
+            pc_fraction: m.pc_fraction,
+            mobile_mos_penalty: m.mobile_mos_penalty,
+            rating_steepness: m.rating_steepness,
+            rating_midpoint_mos: m.rating_midpoint_mos,
+            rating_floor: m.rating_floor,
+        }
+    }
+}
+
+impl Fleet {
+    /// Lower into the population model + call count.
+    pub fn lower(&self) -> (PopulationModel, u64) {
+        (
+            PopulationModel {
+                n_subnets: self.subnets,
+                pc_fraction: self.pc_fraction,
+                mobile_mos_penalty: self.mobile_mos_penalty,
+                rating_steepness: self.rating_steepness,
+                rating_midpoint_mos: self.rating_midpoint_mos,
+                rating_floor: self.rating_floor,
+            },
+            self.calls,
+        )
+    }
+}
+
+/// Campaign execution knobs: sharding, parallelism, checkpointing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignSpec {
+    /// Calls per shard (the checkpoint granule).
+    pub shard_size: u64,
+    /// Worker threads (0 = all available).
+    pub threads: usize,
+    /// Checkpoint directory; `None` disables checkpointing.
+    pub checkpoint_dir: Option<String>,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> CampaignSpec {
+        CampaignSpec { shard_size: 8192, threads: 0, checkpoint_dir: None }
+    }
+}
+
+/// A complete declarative experiment scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (report labels, artifact file names).
+    pub name: String,
+    /// Master seed: the scenario is a pure function of `(self, seed)`.
+    pub seed: u64,
+    /// Venue class (shared propagation environment).
+    pub venue: Venue,
+    /// Primary AP.
+    pub primary: ApSpec,
+    /// Secondary AP.
+    pub secondary: ApSpec,
+    /// Traffic mix.
+    pub traffic: Traffic,
+    /// Client fleet (population campaign input).
+    pub fleet: Fleet,
+    /// Deterministic fault schedule applied to every arm.
+    pub faults: FaultPlan,
+    /// Experiment arms (closed-loop world runs).
+    pub arms: Vec<Arm>,
+    /// Campaign execution knobs.
+    pub campaign: CampaignSpec,
+}
+
+impl Scenario {
+    /// A new scenario with the office testbed defaults and no arms.
+    pub fn new(name: &str, seed: u64) -> Scenario {
+        Scenario {
+            name: name.to_string(),
+            seed,
+            venue: Venue::Office,
+            primary: ApSpec::new(Channel::CH1, 14.0, LinkQuality::Good),
+            secondary: ApSpec::new(Channel::CH11, 24.0, LinkQuality::Marginal),
+            traffic: Traffic::Voip,
+            fleet: Fleet::default(),
+            faults: FaultPlan::none(),
+            arms: Vec::new(),
+            campaign: CampaignSpec::default(),
+        }
+    }
+
+    // ------------------------------------------------------------ presets
+
+    /// The short-range healthy office pair the §4 two-NIC experiments use
+    /// (CH1 @ 10 m / CH11 @ 14 m, both good).
+    pub fn office_short(name: &str, seed: u64) -> Scenario {
+        let mut s = Scenario::new(name, seed);
+        s.primary = ApSpec::new(Channel::CH1, 10.0, LinkQuality::Good);
+        s.secondary = ApSpec::new(Channel::CH11, 14.0, LinkQuality::Good);
+        s
+    }
+
+    /// Two weak links at the office edge (CH1 @ 30 m / CH11 @ 35 m), the
+    /// §4 "both links fade" stress pair.
+    pub fn office_weak_pair(name: &str, seed: u64) -> Scenario {
+        let mut s = Scenario::new(name, seed);
+        s.primary = ApSpec::new(Channel::CH1, 30.0, LinkQuality::Weak);
+        s.secondary = ApSpec::new(Channel::CH11, 35.0, LinkQuality::Weak);
+        s
+    }
+
+    /// The §6 testbed default: decent primary, marginal far secondary,
+    /// with the three paired evaluation arms.
+    pub fn testbed(name: &str, seed: u64) -> Scenario {
+        let mut s = Scenario::new(name, seed);
+        s.arms = vec![
+            Arm::new("primary-only", RunMode::PrimaryOnly),
+            Arm::new("secondary-only", RunMode::SecondaryOnly),
+            Arm::new("diversifi", RunMode::DiversifiCustomAp),
+        ];
+        s
+    }
+
+    // ----------------------------------------------------------- lowering
+
+    /// Lower one arm into a full [`WorldConfig`].
+    pub fn world_config(&self, arm: &Arm) -> WorldConfig {
+        let mut cfg = WorldConfig::testbed(self.primary.lower(self.venue), self.secondary.lower(self.venue));
+        cfg.spec = self.traffic.lower();
+        cfg.mode = arm.mode;
+        cfg.wake_batch = arm.wake_batch;
+        cfg.with_tcp = arm.with_tcp;
+        cfg.uplink_loss = arm.uplink_loss;
+        cfg.faults = self.faults.clone();
+        cfg
+    }
+
+    /// Lower into a §4 two-NIC scenario (traffic + both links; arms and
+    /// fleet do not apply).
+    pub fn two_nic(&self) -> TwoNicScenario {
+        TwoNicScenario::new(
+            self.traffic.lower(),
+            self.primary.lower(self.venue),
+            self.secondary.lower(self.venue),
+        )
+    }
+
+    /// Lower the fleet into the population model + call count.
+    pub fn population(&self) -> (PopulationModel, u64) {
+        self.fleet.lower()
+    }
+
+    /// Build the campaign engine config for the fleet campaign. The
+    /// scenario fingerprint pins checkpoints to this exact scenario: a
+    /// checkpoint directory holding shards from a different scenario (or
+    /// an edited one) is discarded, never merged.
+    pub fn campaign_config(&self) -> CampaignConfig {
+        let mut cfg = CampaignConfig::new(self.fleet.calls);
+        cfg.shard_size = self.campaign.shard_size.max(1);
+        cfg.threads = self.campaign.threads;
+        cfg.checkpoint_dir = self.campaign.checkpoint_dir.as_ref().map(PathBuf::from);
+        cfg.config_fingerprint = self.fingerprint();
+        cfg
+    }
+
+    /// FNV-1a fingerprint of the canonical (JSON) serialization.
+    pub fn fingerprint(&self) -> u64 {
+        let text = serde_json::to_string(&self.to_value())
+            .expect("scenario serialization cannot fail");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in text.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    // ------------------------------------------------------------ parsing
+
+    /// Parse a scenario from JSON text.
+    pub fn from_json(text: &str) -> Result<Scenario, String> {
+        let v: Value = serde_json::from_str(text).map_err(|e| format!("scenario: {e}"))?;
+        Scenario::from_value_at(&v, "scenario")
+    }
+
+    /// Parse a scenario from the vendored TOML subset.
+    pub fn from_toml(text: &str) -> Result<Scenario, String> {
+        let v = toml::parse_str(text).map_err(|e| format!("scenario: {e}"))?;
+        Scenario::from_value_at(&v, "scenario")
+    }
+
+    /// Parse from text, dispatching on the file extension (`.toml` uses
+    /// the TOML front-end, everything else JSON).
+    pub fn from_file_text(text: &str, path: &str) -> Result<Scenario, String> {
+        if path.ends_with(".toml") {
+            Scenario::from_toml(text)
+        } else {
+            Scenario::from_json(text)
+        }
+    }
+
+    /// Parse from a [`Value`] tree with field-path error context rooted at
+    /// `path`.
+    pub fn from_value_at(v: &Value, path: &str) -> Result<Scenario, String> {
+        let obj = Obj::new(
+            v,
+            path,
+            &["name", "seed", "venue", "deployment", "traffic", "fleet", "faults", "arms", "campaign"],
+        )?;
+        let name = obj.req_str("name")?.to_string();
+        let seed = obj.opt_u64("seed")?.unwrap_or(0);
+        let venue = match obj.get("venue") {
+            Some((v, p)) => Venue::from_tag(want_str(v, &p)?, &p)?,
+            None => Venue::Office,
+        };
+        let default = Scenario::new(&name, seed);
+        let (primary, secondary) = match obj.get("deployment") {
+            Some((v, p)) => {
+                let dep = Obj::new(v, &p, &["primary", "secondary"])?;
+                let (pv, pp) = dep.req("primary")?;
+                let (sv, sp) = dep.req("secondary")?;
+                (parse_ap(pv, &pp)?, parse_ap(sv, &sp)?)
+            }
+            None => (default.primary, default.secondary),
+        };
+        let traffic = match obj.get("traffic") {
+            Some((v, p)) => parse_traffic(v, &p)?,
+            None => Traffic::Voip,
+        };
+        let fleet = match obj.get("fleet") {
+            Some((v, p)) => parse_fleet(v, &p)?,
+            None => Fleet::default(),
+        };
+        let faults = match obj.get("faults") {
+            Some((v, p)) => FaultPlan::from_value(v).map_err(|e| format!("{p}: {e}"))?,
+            None => FaultPlan::none(),
+        };
+        let arms = match obj.get("arms") {
+            Some((v, p)) => {
+                let items = want_array(v, &p)?;
+                let mut arms = Vec::with_capacity(items.len());
+                for (i, item) in items.iter().enumerate() {
+                    arms.push(parse_arm(item, &format!("{p}[{i}]"))?);
+                }
+                arms
+            }
+            None => Vec::new(),
+        };
+        let campaign = match obj.get("campaign") {
+            Some((v, p)) => parse_campaign(v, &p)?,
+            None => CampaignSpec::default(),
+        };
+        Ok(Scenario { name, seed, venue, primary, secondary, traffic, fleet, faults, arms, campaign })
+    }
+
+    // ------------------------------------------------------ serialization
+
+    /// Render into a [`Value`] tree; every field is written, so parsing it
+    /// back yields an identical scenario.
+    pub fn to_value(&self) -> Value {
+        let ap = |a: &ApSpec| {
+            Value::Object(vec![
+                ("channel".into(), Value::Str(channel_tag(a.channel))),
+                ("distance_m".into(), Value::F64(a.distance_m)),
+                ("quality".into(), Value::Str(a.quality.tag().into())),
+                ("tx_power_dbm".into(), Value::F64(a.tx_power_dbm)),
+                ("diversity_order".into(), Value::U64(u64::from(a.diversity_order))),
+            ])
+        };
+        let traffic = match self.traffic {
+            Traffic::Voip => Value::Object(vec![("mix".into(), Value::Str("voip".into()))]),
+            Traffic::HighRate => Value::Object(vec![("mix".into(), Value::Str("high-rate".into()))]),
+            Traffic::Custom { packet_bytes, interval_us, duration_ms } => Value::Object(vec![
+                ("mix".into(), Value::Str("custom".into())),
+                ("packet_bytes".into(), Value::U64(u64::from(packet_bytes))),
+                ("interval_us".into(), Value::U64(interval_us)),
+                ("duration_ms".into(), Value::U64(duration_ms)),
+            ]),
+        };
+        let arms = self
+            .arms
+            .iter()
+            .map(|a| {
+                Value::Object(vec![
+                    ("name".into(), Value::Str(a.name.clone())),
+                    ("mode".into(), Value::Str(mode_tag(a.mode).into())),
+                    ("wake_batch".into(), Value::U64(a.wake_batch as u64)),
+                    ("with_tcp".into(), Value::Bool(a.with_tcp)),
+                    ("uplink_loss".into(), Value::F64(a.uplink_loss)),
+                ])
+            })
+            .collect();
+        let mut campaign = vec![
+            ("shard_size".into(), Value::U64(self.campaign.shard_size)),
+            ("threads".into(), Value::U64(self.campaign.threads as u64)),
+        ];
+        if let Some(dir) = &self.campaign.checkpoint_dir {
+            campaign.push(("checkpoint_dir".into(), Value::Str(dir.clone())));
+        }
+        Value::Object(vec![
+            ("name".into(), Value::Str(self.name.clone())),
+            ("seed".into(), Value::U64(self.seed)),
+            ("venue".into(), Value::Str(self.venue.tag().into())),
+            (
+                "deployment".into(),
+                Value::Object(vec![
+                    ("primary".into(), ap(&self.primary)),
+                    ("secondary".into(), ap(&self.secondary)),
+                ]),
+            ),
+            ("traffic".into(), traffic),
+            (
+                "fleet".into(),
+                Value::Object(vec![
+                    ("calls".into(), Value::U64(self.fleet.calls)),
+                    ("subnets".into(), Value::U64(self.fleet.subnets as u64)),
+                    ("pc_fraction".into(), Value::F64(self.fleet.pc_fraction)),
+                    ("mobile_mos_penalty".into(), Value::F64(self.fleet.mobile_mos_penalty)),
+                    ("rating_steepness".into(), Value::F64(self.fleet.rating_steepness)),
+                    ("rating_midpoint_mos".into(), Value::F64(self.fleet.rating_midpoint_mos)),
+                    ("rating_floor".into(), Value::F64(self.fleet.rating_floor)),
+                ]),
+            ),
+            ("faults".into(), self.faults.to_value()),
+            ("arms".into(), Value::Array(arms)),
+            ("campaign".into(), Value::Object(campaign)),
+        ])
+    }
+
+    /// Canonical pretty-JSON text of the scenario.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).expect("scenario serialization cannot fail")
+    }
+}
+
+// ----------------------------------------------------- component parsers
+
+fn parse_ap(v: &Value, path: &str) -> Result<ApSpec, String> {
+    let obj = Obj::new(v, path, &["channel", "distance_m", "quality", "tx_power_dbm", "diversity_order"])?;
+    let (cv, cp) = obj.req("channel")?;
+    let channel = parse_channel(want_str(cv, &cp)?, &cp)?;
+    let distance_m = obj.req_f64("distance_m")?;
+    if distance_m <= 0.0 {
+        return Err(format!("{path}.distance_m: must be > 0, got {distance_m}"));
+    }
+    let quality = match obj.get("quality") {
+        Some((v, p)) => LinkQuality::from_tag(want_str(v, &p)?, &p)?,
+        None => LinkQuality::Good,
+    };
+    let tx_power_dbm = obj.opt_f64("tx_power_dbm")?.unwrap_or(16.0);
+    let diversity_order = match obj.opt_u64("diversity_order")?.unwrap_or(1) {
+        d @ 1..=8 => d as u8,
+        d => return Err(format!("{path}.diversity_order: must be 1..=8, got {d}")),
+    };
+    Ok(ApSpec { channel, distance_m, quality, tx_power_dbm, diversity_order })
+}
+
+fn parse_traffic(v: &Value, path: &str) -> Result<Traffic, String> {
+    let obj = Obj::new(v, path, &["mix", "packet_bytes", "interval_us", "duration_ms"])?;
+    let mix = obj.req_str("mix")?;
+    match mix {
+        "voip" => Ok(Traffic::Voip),
+        "high-rate" => Ok(Traffic::HighRate),
+        "custom" => {
+            let packet_bytes = obj.req_u64("packet_bytes")?;
+            if packet_bytes == 0 || packet_bytes > 65_000 {
+                return Err(format!("{path}.packet_bytes: must be 1..=65000, got {packet_bytes}"));
+            }
+            let interval_us = obj.req_u64("interval_us")?;
+            if interval_us == 0 {
+                return Err(format!("{path}.interval_us: must be > 0"));
+            }
+            let duration_ms = obj.req_u64("duration_ms")?;
+            if duration_ms == 0 {
+                return Err(format!("{path}.duration_ms: must be > 0"));
+            }
+            Ok(Traffic::Custom { packet_bytes: packet_bytes as u32, interval_us, duration_ms })
+        }
+        other => Err(format!(
+            "{path}.mix: unknown traffic mix {other:?} (expected \"voip\", \"high-rate\" or \"custom\")"
+        )),
+    }
+}
+
+fn parse_fleet(v: &Value, path: &str) -> Result<Fleet, String> {
+    let obj = Obj::new(
+        v,
+        path,
+        &[
+            "calls",
+            "subnets",
+            "pc_fraction",
+            "mobile_mos_penalty",
+            "rating_steepness",
+            "rating_midpoint_mos",
+            "rating_floor",
+        ],
+    )?;
+    let d = Fleet::default();
+    let fleet = Fleet {
+        calls: obj.opt_u64("calls")?.unwrap_or(d.calls),
+        subnets: obj.opt_u64("subnets")?.unwrap_or(d.subnets as u64) as usize,
+        pc_fraction: obj.opt_f64("pc_fraction")?.unwrap_or(d.pc_fraction),
+        mobile_mos_penalty: obj.opt_f64("mobile_mos_penalty")?.unwrap_or(d.mobile_mos_penalty),
+        rating_steepness: obj.opt_f64("rating_steepness")?.unwrap_or(d.rating_steepness),
+        rating_midpoint_mos: obj.opt_f64("rating_midpoint_mos")?.unwrap_or(d.rating_midpoint_mos),
+        rating_floor: obj.opt_f64("rating_floor")?.unwrap_or(d.rating_floor),
+    };
+    if fleet.subnets == 0 {
+        return Err(format!("{path}.subnets: must be > 0"));
+    }
+    for (key, x) in [
+        ("pc_fraction", fleet.pc_fraction),
+        ("rating_floor", fleet.rating_floor),
+    ] {
+        if !(0.0..=1.0).contains(&x) {
+            return Err(format!("{path}.{key}: must be within [0, 1], got {x}"));
+        }
+    }
+    Ok(fleet)
+}
+
+fn parse_arm(v: &Value, path: &str) -> Result<Arm, String> {
+    let obj = Obj::new(v, path, &["name", "mode", "wake_batch", "with_tcp", "uplink_loss"])?;
+    let (mv, mp) = obj.req("mode")?;
+    let mode = mode_from_tag(want_str(mv, &mp)?, &mp)?;
+    let name = match obj.get("name") {
+        Some((v, p)) => want_str(v, &p)?.to_string(),
+        None => mode_tag(mode).to_string(),
+    };
+    let wake_batch = obj.opt_u64("wake_batch")?.unwrap_or(1);
+    if wake_batch == 0 || wake_batch > 64 {
+        return Err(format!("{path}.wake_batch: must be 1..=64, got {wake_batch}"));
+    }
+    let with_tcp = match obj.get("with_tcp") {
+        Some((v, p)) => want_bool(v, &p)?,
+        None => false,
+    };
+    let uplink_loss = obj.opt_f64("uplink_loss")?.unwrap_or(0.05);
+    if !(0.0..1.0).contains(&uplink_loss) {
+        return Err(format!("{path}.uplink_loss: must be within [0, 1), got {uplink_loss}"));
+    }
+    Ok(Arm { name, mode, wake_batch: wake_batch as usize, with_tcp, uplink_loss })
+}
+
+fn parse_campaign(v: &Value, path: &str) -> Result<CampaignSpec, String> {
+    let obj = Obj::new(v, path, &["shard_size", "threads", "checkpoint_dir"])?;
+    let d = CampaignSpec::default();
+    let shard_size = obj.opt_u64("shard_size")?.unwrap_or(d.shard_size);
+    if shard_size == 0 {
+        return Err(format!("{path}.shard_size: must be > 0"));
+    }
+    let threads = obj.opt_u64("threads")?.unwrap_or(0);
+    if threads > 1024 {
+        return Err(format!("{path}.threads: must be 0 (= all) ..= 1024, got {threads}"));
+    }
+    let checkpoint_dir = match obj.get("checkpoint_dir") {
+        Some((v, p)) => Some(want_str(v, &p)?.to_string()),
+        None => None,
+    };
+    Ok(CampaignSpec { shard_size, threads: threads as usize, checkpoint_dir })
+}
+
+/// Render a channel as the scenario-file string form (`"2.4/1"`, `"5/36"`).
+pub fn channel_tag(ch: Channel) -> String {
+    match ch.band {
+        Band::Ghz2_4 => format!("2.4/{}", ch.number),
+        Band::Ghz5 => format!("5/{}", ch.number),
+    }
+}
+
+/// Parse the `"band/number"` channel string form.
+pub fn parse_channel(s: &str, path: &str) -> Result<Channel, String> {
+    let (band, num) = s
+        .split_once('/')
+        .ok_or_else(|| format!("{path}: expected \"band/number\" (e.g. \"2.4/1\" or \"5/36\"), got {s:?}"))?;
+    let number: u8 = num
+        .parse()
+        .map_err(|_| format!("{path}: channel number {num:?} is not a small integer"))?;
+    match band {
+        "2.4" => {
+            if !(1..=13).contains(&number) {
+                return Err(format!("{path}: 2.4 GHz channels are 1..=13, got {number}"));
+            }
+            Ok(Channel::ghz2_4(number))
+        }
+        "5" => {
+            if !(36..=177).contains(&number) {
+                return Err(format!("{path}: 5 GHz channels are 36..=177, got {number}"));
+            }
+            Ok(Channel::ghz5(number))
+        }
+        other => Err(format!("{path}: unknown band {other:?} (expected \"2.4\" or \"5\")")),
+    }
+}
+
+// ------------------------------------------------- path-tracking decoder
+
+/// One object scope of the decoder: holds the field list, its path, and
+/// rejects unknown keys up front so typos fail loudly.
+struct Obj<'a> {
+    path: String,
+    fields: &'a [(String, Value)],
+}
+
+impl<'a> Obj<'a> {
+    fn new(v: &'a Value, path: &str, allowed: &[&str]) -> Result<Obj<'a>, String> {
+        let fields = want_object(v, path)?;
+        for (k, _) in fields {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!(
+                    "{path}.{k}: unknown field (expected one of: {})",
+                    allowed.join(", ")
+                ));
+            }
+        }
+        Ok(Obj { path: path.to_string(), fields })
+    }
+
+    fn get(&self, key: &str) -> Option<(&'a Value, String)> {
+        serde::get_field(self.fields, key).map(|v| (v, format!("{}.{key}", self.path)))
+    }
+
+    fn req(&self, key: &str) -> Result<(&'a Value, String), String> {
+        self.get(key)
+            .ok_or_else(|| format!("{}.{key}: missing required field", self.path))
+    }
+
+    fn req_str(&self, key: &str) -> Result<&'a str, String> {
+        let (v, p) = self.req(key)?;
+        want_str(v, &p)
+    }
+
+    fn req_f64(&self, key: &str) -> Result<f64, String> {
+        let (v, p) = self.req(key)?;
+        want_f64(v, &p)
+    }
+
+    fn req_u64(&self, key: &str) -> Result<u64, String> {
+        let (v, p) = self.req(key)?;
+        want_u64(v, &p)
+    }
+
+    fn opt_f64(&self, key: &str) -> Result<Option<f64>, String> {
+        self.get(key).map(|(v, p)| want_f64(v, &p)).transpose()
+    }
+
+    fn opt_u64(&self, key: &str) -> Result<Option<u64>, String> {
+        self.get(key).map(|(v, p)| want_u64(v, &p)).transpose()
+    }
+}
+
+fn kind_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "a bool",
+        Value::I64(_) | Value::U64(_) => "an integer",
+        Value::F64(_) => "a float",
+        Value::Str(_) => "a string",
+        Value::Array(_) => "an array",
+        Value::Object(_) => "an object",
+    }
+}
+
+fn want_object<'a>(v: &'a Value, path: &str) -> Result<&'a [(String, Value)], String> {
+    v.as_object()
+        .ok_or_else(|| format!("{path}: expected an object, got {}", kind_name(v)))
+}
+
+fn want_array<'a>(v: &'a Value, path: &str) -> Result<&'a [Value], String> {
+    v.as_array()
+        .ok_or_else(|| format!("{path}: expected an array, got {}", kind_name(v)))
+}
+
+fn want_str<'a>(v: &'a Value, path: &str) -> Result<&'a str, String> {
+    v.as_str()
+        .ok_or_else(|| format!("{path}: expected a string, got {}", kind_name(v)))
+}
+
+fn want_f64(v: &Value, path: &str) -> Result<f64, String> {
+    let x = v
+        .as_f64()
+        .ok_or_else(|| format!("{path}: expected a number, got {}", kind_name(v)))?;
+    if !x.is_finite() {
+        return Err(format!("{path}: expected a finite number"));
+    }
+    Ok(x)
+}
+
+fn want_u64(v: &Value, path: &str) -> Result<u64, String> {
+    v.as_u64()
+        .ok_or_else(|| format!("{path}: expected a non-negative integer, got {}", kind_name(v)))
+}
+
+fn want_bool(v: &Value, path: &str) -> Result<bool, String> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        other => Err(format!("{path}: expected a bool, got {}", kind_name(other))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOML_SCENARIO: &str = r#"
+        name = "office-demo"
+        seed = 42
+        venue = "office"
+
+        [deployment.primary]
+        channel = "2.4/1"
+        distance_m = 14.0
+        quality = "good"
+
+        [deployment.secondary]
+        channel = "2.4/11"
+        distance_m = 24.0
+        quality = "marginal"
+
+        [traffic]
+        mix = "voip"
+
+        [fleet]
+        calls = 50000
+        subnets = 400
+
+        [[arms]]
+        name = "baseline"
+        mode = "primary-only"
+
+        [[arms]]
+        name = "diversifi"
+        mode = "custom-ap"
+        wake_batch = 2
+
+        [campaign]
+        shard_size = 4096
+        threads = 2
+    "#;
+
+    #[test]
+    fn toml_and_json_front_ends_agree() {
+        let from_toml = Scenario::from_toml(TOML_SCENARIO).unwrap();
+        let json = from_toml.to_json_pretty();
+        let from_json = Scenario::from_json(&json).unwrap();
+        assert_eq!(from_toml, from_json);
+        assert_eq!(from_toml.fingerprint(), from_json.fingerprint());
+    }
+
+    #[test]
+    fn round_trip_is_idempotent() {
+        let s = Scenario::from_toml(TOML_SCENARIO).unwrap();
+        let v1 = s.to_value();
+        let s2 = Scenario::from_value_at(&v1, "scenario").unwrap();
+        let v2 = s2.to_value();
+        assert_eq!(s, s2);
+        assert_eq!(
+            serde_json::to_string(&v1).unwrap(),
+            serde_json::to_string(&v2).unwrap()
+        );
+    }
+
+    #[test]
+    fn lowering_matches_hand_coded_testbed() {
+        let s = Scenario::testbed("t", 7);
+        let arm = &s.arms[2];
+        let cfg = s.world_config(arm);
+        let reference = WorldConfig::testbed(
+            LinkConfig::office(Channel::CH1, 14.0),
+            {
+                let mut l = LinkConfig::office(Channel::CH11, 24.0);
+                l.ge = LinkQuality::Marginal.ge_params();
+                l
+            },
+        );
+        assert_eq!(cfg.mode, RunMode::DiversifiCustomAp);
+        assert_eq!(cfg.primary.distance_m, reference.primary.distance_m);
+        assert_eq!(cfg.primary.ge, reference.primary.ge);
+        assert_eq!(cfg.secondary.ge, reference.secondary.ge);
+        assert_eq!(cfg.spec.packet_bytes, reference.spec.packet_bytes);
+        assert_eq!(cfg.wake_batch, 1);
+    }
+
+    #[test]
+    fn office_short_preset_matches_twonic_hand_setup() {
+        let two = Scenario::office_short("s", 1).two_nic();
+        assert_eq!(two.link_a.channel, Channel::CH1);
+        assert_eq!(two.link_a.distance_m, 10.0);
+        assert_eq!(two.link_a.ge, GeParams::good_link());
+        assert_eq!(two.link_b.channel, Channel::CH11);
+        assert_eq!(two.link_b.distance_m, 14.0);
+    }
+
+    #[test]
+    fn errors_carry_field_paths() {
+        let bad_mode = r#"{"name": "x", "arms": [{"mode": "primary-only"}, {"mode": "divirsifi"}]}"#;
+        let err = Scenario::from_json(bad_mode).unwrap_err();
+        assert!(err.starts_with("scenario.arms[1].mode:"), "{err}");
+
+        let bad_type = r#"{"name": "x", "fleet": {"calls": "many"}}"#;
+        let err = Scenario::from_json(bad_type).unwrap_err();
+        assert!(err.starts_with("scenario.fleet.calls:"), "{err}");
+
+        let unknown = r#"{"name": "x", "fleeet": {}}"#;
+        let err = Scenario::from_json(unknown).unwrap_err();
+        assert!(err.contains("scenario.fleeet: unknown field"), "{err}");
+
+        let bad_channel = r#"{"name": "x", "deployment": {"primary": {"channel": "6", "distance_m": 5.0},
+            "secondary": {"channel": "2.4/11", "distance_m": 9.0}}}"#;
+        let err = Scenario::from_json(bad_channel).unwrap_err();
+        assert!(err.starts_with("scenario.deployment.primary.channel:"), "{err}");
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let a = Scenario::testbed("t", 7);
+        let mut b = a.clone();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.fleet.calls += 1;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn quality_presets_pin_evaluation_literals() {
+        // The §6 testbed generator draws from this catalog; these literals
+        // are load-bearing for the paper-parity corpus.
+        let m = LinkQuality::Marginal.ge_params();
+        assert_eq!(m.mean_good, SimDuration::from_millis(2000));
+        assert_eq!(m.bad_loss, 0.8);
+        let a = LinkQuality::Awful.ge_params();
+        assert_eq!(a.mean_bad_long, SimDuration::from_millis(900));
+        assert_eq!(a.p_long, 0.3);
+    }
+
+    #[test]
+    fn channel_string_round_trips() {
+        for ch in [Channel::CH1, Channel::CH6, Channel::CH11, Channel::CH36, Channel::CH149] {
+            let tag = channel_tag(ch);
+            assert_eq!(parse_channel(&tag, "p").unwrap(), ch);
+        }
+        assert!(parse_channel("2.4/14", "p").is_err());
+        assert!(parse_channel("6/1", "p").is_err());
+    }
+}

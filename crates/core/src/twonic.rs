@@ -256,11 +256,9 @@ mod tests {
 
     #[test]
     fn clean_links_deliver_nearly_everything() {
-        let scn = TwoNicScenario::new(
-            StreamSpec::voip(),
-            LinkConfig::office(Channel::CH1, 10.0),
-            LinkConfig::office(Channel::CH11, 14.0),
-        );
+        // The declarative preset lowers to the same hand-built pair this
+        // test used to construct (CH1 @ 10 m / CH11 @ 14 m, both good).
+        let scn = crate::scenario::Scenario::office_short("clean", 0).two_nic();
         let run = run_two_nic(&scn, &seeds(0));
         assert!(run.a.trace.loss_rate(DEFAULT_DEADLINE) < 0.05);
         assert!(run.b.trace.loss_rate(DEFAULT_DEADLINE) < 0.05);
@@ -269,11 +267,7 @@ mod tests {
 
     #[test]
     fn merged_beats_both_links() {
-        let mut weak_a = LinkConfig::office(Channel::CH1, 30.0);
-        weak_a.ge = diversifi_wifi::GeParams::weak_link();
-        let mut weak_b = LinkConfig::office(Channel::CH11, 35.0);
-        weak_b.ge = diversifi_wifi::GeParams::weak_link();
-        let scn = TwoNicScenario::new(StreamSpec::voip(), weak_a, weak_b);
+        let scn = crate::scenario::Scenario::office_weak_pair("weak", 0).two_nic();
         let run = run_two_nic(&scn, &seeds(1));
         let la = run.a.trace.loss_rate(DEFAULT_DEADLINE);
         let lb = run.b.trace.loss_rate(DEFAULT_DEADLINE);

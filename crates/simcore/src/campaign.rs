@@ -1,0 +1,553 @@
+//! Sharded million-call campaign engine with checkpoint/resume.
+//!
+//! A *campaign* folds `n_calls` independent, seeded calls into one
+//! [`ShardDigest`](crate::digest::ShardDigest). The call range is cut into
+//! contiguous shards; shards run in parallel on a [`SweepRunner`], each one
+//! folded serially in index order into its own digest, and the per-shard
+//! digests merge in shard order — so the campaign digest is a pure
+//! function of `(fold, n_calls, shard_size)` at **any** thread count, and
+//! peak memory is one digest plus one [`MetricsScratch`] per worker,
+//! independent of `n_calls`.
+//!
+//! # Checkpoint/resume
+//!
+//! With a checkpoint directory configured, every completed shard writes
+//! `shard-NNNNNN.json` (atomically: temp file + rename) carrying the
+//! campaign id, the shard's call range and its serialised digest. A later
+//! run with the same configuration loads the completed shards, re-runs
+//! only the missing ones, and — because digest serialisation round-trips
+//! floats exactly and the merge order is fixed — produces a campaign
+//! digest **bit-identical** to an uninterrupted run. A checkpoint whose
+//! campaign id, schema layout or call range disagrees, or that fails to
+//! parse (e.g. a file truncated by a kill), is discarded and its shard
+//! re-run; resume never degrades to a silently different result.
+//!
+//! The engine itself never prints; callers observe progress through the
+//! [`progress`](CampaignConfig::run) callback (the `repro --campaign`
+//! front-end turns it into a calls/sec ticker).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use serde::Value;
+
+use crate::digest::{DigestSchema, ShardDigest};
+use crate::scratch::MetricsScratch;
+use crate::par::SweepRunner;
+
+/// How often (in calls) workers publish progress between shard
+/// boundaries. Purely a reporting cadence — small enough for a live
+/// calls/sec ticker, large enough that the atomic add never shows up in
+/// profiles.
+const PROGRESS_CHUNK: u64 = 4096;
+
+/// Configuration of one campaign run.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Total calls to fold.
+    pub n_calls: u64,
+    /// Calls per shard (the checkpoint granularity). The last shard may be
+    /// short.
+    pub shard_size: u64,
+    /// Worker threads; `0` means [`SweepRunner::available`].
+    pub threads: usize,
+    /// Where to write/load per-shard checkpoints; `None` disables
+    /// checkpointing entirely.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Caller-supplied fingerprint of everything that determines the fold
+    /// (scenario, seed, …). Folded together with the digest schema and the
+    /// shard plan into the id that guards checkpoints.
+    pub config_fingerprint: u64,
+    /// Stop after this many *newly executed* shards (resumed shards don't
+    /// count), leaving a partial checkpoint directory behind. `None` runs
+    /// to completion. This is how tests — and budget-limited runs —
+    /// simulate a mid-campaign kill deterministically.
+    pub max_new_shards: Option<usize>,
+}
+
+impl CampaignConfig {
+    /// A campaign over `n_calls` with the default shard size (8192 calls),
+    /// auto threads, no checkpointing.
+    pub fn new(n_calls: u64) -> CampaignConfig {
+        CampaignConfig {
+            n_calls,
+            shard_size: 8192,
+            threads: 0,
+            checkpoint_dir: None,
+            config_fingerprint: 0,
+            max_new_shards: None,
+        }
+    }
+
+    /// Number of shards in the plan.
+    pub fn shards(&self) -> usize {
+        assert!(self.shard_size > 0, "shard_size must be positive");
+        (self.n_calls.div_ceil(self.shard_size)) as usize
+    }
+
+    /// Call range `[first, first + len)` of shard `s`.
+    pub fn shard_range(&self, s: usize) -> (u64, u64) {
+        let first = s as u64 * self.shard_size;
+        let len = self.shard_size.min(self.n_calls - first);
+        (first, len)
+    }
+
+    /// The id stamped into (and demanded of) every checkpoint: the
+    /// caller's config fingerprint folded with the schema layout and the
+    /// shard plan, so a checkpoint from any other campaign shape can never
+    /// be resumed into this one.
+    pub fn campaign_id(&self, schema: &DigestSchema) -> u64 {
+        let mut id = 0xcbf29ce484222325u64;
+        for v in
+            [self.config_fingerprint, schema.fingerprint(), self.n_calls, self.shard_size]
+        {
+            for b in v.to_le_bytes() {
+                id ^= b as u64;
+                id = id.wrapping_mul(0x100000001b3);
+            }
+        }
+        id
+    }
+
+    /// Run the campaign. See [`run_campaign`].
+    pub fn run<F, P>(
+        &self,
+        schema: &DigestSchema,
+        per_call: F,
+        progress: P,
+    ) -> std::io::Result<CampaignOutcome>
+    where
+        F: Fn(u64, &mut MetricsScratch, &mut ShardDigest) + Sync,
+        P: Fn(&CampaignProgress) + Sync,
+    {
+        run_campaign(self, schema, per_call, progress)
+    }
+}
+
+/// A progress snapshot, published on shard completion and every
+/// [`PROGRESS_CHUNK`] calls in between.
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignProgress {
+    /// Calls folded so far (monotone, across all workers).
+    pub calls_done: u64,
+    /// Total calls the campaign will fold (excluding resumed shards).
+    pub calls_planned: u64,
+    /// Shards finished so far (run or resumed).
+    pub shards_done: usize,
+    /// Total shards in the plan.
+    pub shards_total: usize,
+    /// Of the finished shards, how many were loaded from checkpoints.
+    pub shards_resumed: usize,
+}
+
+/// What a campaign run produced.
+#[derive(Clone, Debug)]
+pub struct CampaignOutcome {
+    /// The merged digest over `[0, n_calls)` — `None` when the run was
+    /// truncated by `max_new_shards` (a partial merge would silently drop
+    /// trailing shards, so none is offered).
+    pub digest: Option<ShardDigest>,
+    /// Fingerprint of the merged digest (see
+    /// [`ShardDigest::fingerprint`]); `None` when incomplete.
+    pub fingerprint: Option<u64>,
+    /// Shards in the plan.
+    pub shards_total: usize,
+    /// Shards executed by this run.
+    pub shards_run: usize,
+    /// Shards loaded from checkpoints.
+    pub shards_resumed: usize,
+    /// True when every shard is accounted for.
+    pub complete: bool,
+}
+
+fn shard_path(dir: &Path, s: usize) -> PathBuf {
+    dir.join(format!("shard-{s:06}.json"))
+}
+
+/// Load one shard checkpoint, returning `None` (shard will re-run) on any
+/// mismatch or corruption.
+fn load_shard(
+    dir: &Path,
+    s: usize,
+    id: u64,
+    schema: &DigestSchema,
+    want: (u64, u64),
+) -> Option<ShardDigest> {
+    let text = std::fs::read_to_string(shard_path(dir, s)).ok()?;
+    let v: Value = serde_json::from_str(&text).ok()?;
+    let file_id = v.get("campaign_id").and_then(Value::as_u64)?;
+    if file_id != id {
+        return None;
+    }
+    let d = ShardDigest::from_value_checked(schema, v.get("digest")?).ok()?;
+    if (d.first(), d.len()) != want {
+        return None;
+    }
+    Some(d)
+}
+
+/// Write one shard checkpoint atomically (temp file in the same directory,
+/// then rename), so a kill mid-write leaves either the old state or a
+/// `.tmp` orphan — never a half-written checkpoint under the final name.
+fn store_shard(
+    dir: &Path,
+    s: usize,
+    id: u64,
+    schema: &DigestSchema,
+    digest: &ShardDigest,
+) -> std::io::Result<()> {
+    let body = Value::Object(vec![
+        ("campaign_id".to_string(), Value::U64(id)),
+        ("shard".to_string(), Value::U64(s as u64)),
+        ("digest".to_string(), digest.to_value(schema)),
+    ]);
+    let text = serde_json::to_string(&body)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let tmp = dir.join(format!("shard-{s:06}.json.tmp"));
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, shard_path(dir, s))
+}
+
+/// Execute a sharded campaign: resume what the checkpoint directory
+/// already holds, run the remaining shards on a [`SweepRunner`], and merge
+/// everything in shard order.
+///
+/// `per_call(i, scratch, digest)` must be a pure function of `i` given the
+/// campaign configuration — the same contract as every other sweep, and
+/// what makes resumption bit-exact. The scratch is the usual per-worker
+/// metrics buffer bundle; the digest is the shard's accumulator.
+///
+/// Memory is **independent of the campaign size**: shards are produced in
+/// index-ordered batches of a few per worker and merged into a single
+/// running digest as each batch completes, so at most one batch of shard
+/// digests is ever live — a 100k-call and a 100M-call campaign peak at the
+/// same RSS. The merge consumes shards strictly in index order, which is
+/// what keeps fingerprints bit-identical across thread counts and
+/// resume/uninterrupted runs.
+pub fn run_campaign<F, P>(
+    cfg: &CampaignConfig,
+    schema: &DigestSchema,
+    per_call: F,
+    progress: P,
+) -> std::io::Result<CampaignOutcome>
+where
+    F: Fn(u64, &mut MetricsScratch, &mut ShardDigest) + Sync,
+    P: Fn(&CampaignProgress) + Sync,
+{
+    let shards_total = cfg.shards();
+    let id = cfg.campaign_id(schema);
+    if shards_total == 0 {
+        let empty = ShardDigest::new(schema, 0, 0);
+        let fp = empty.fingerprint(schema);
+        return Ok(CampaignOutcome {
+            digest: Some(empty),
+            fingerprint: Some(fp),
+            shards_total: 0,
+            shards_run: 0,
+            shards_resumed: 0,
+            complete: true,
+        });
+    }
+
+    // Phase 1: validity scan. Decide per shard whether its checkpoint
+    // resumes (parse + campaign-id + range check), dropping each parsed
+    // digest immediately — only a bit per shard is retained. Shards are
+    // re-read during the merge pass; checkpoint files are small and this
+    // keeps resident memory flat no matter how many shards resumed.
+    let mut valid = vec![false; shards_total];
+    if let Some(dir) = &cfg.checkpoint_dir {
+        std::fs::create_dir_all(dir)?;
+        for (s, v) in valid.iter_mut().enumerate() {
+            *v = load_shard(dir, s, id, schema, cfg.shard_range(s)).is_some();
+        }
+    }
+    let shards_resumed = valid.iter().filter(|v| **v).count();
+
+    // Which missing shards this run may execute: the first
+    // `max_new_shards` in index order — deterministic, so a killed run
+    // always leaves the same prefix of checkpoints behind.
+    let mut todo: Vec<usize> = (0..shards_total).filter(|&s| !valid[s]).collect();
+    let skipped = cfg.max_new_shards.map_or(0, |cap| todo.len().saturating_sub(cap));
+    if let Some(cap) = cfg.max_new_shards {
+        todo.truncate(cap);
+    }
+    let may_run = {
+        let mut m = vec![false; shards_total];
+        for &s in &todo {
+            m[s] = true;
+        }
+        m
+    };
+    let calls_planned: u64 = todo.iter().map(|&s| cfg.shard_range(s).1).sum();
+
+    let calls_done = AtomicU64::new(0);
+    let shards_done = AtomicUsize::new(shards_resumed);
+    let publish = |calls: u64| {
+        progress(&CampaignProgress {
+            calls_done: calls,
+            calls_planned,
+            shards_done: shards_done.load(Ordering::Relaxed),
+            shards_total,
+            shards_resumed,
+        });
+    };
+    if shards_resumed > 0 || todo.is_empty() {
+        publish(0);
+    }
+
+    let runner =
+        if cfg.threads == 0 { SweepRunner::available() } else { SweepRunner::new(cfg.threads) };
+    // Batch size: enough shards per barrier to keep every worker busy,
+    // small enough that the live digest set stays O(threads), not
+    // O(shards).
+    let batch = (runner.threads() * 4).max(8);
+
+    // Phase 2: produce + merge, one index-ordered batch at a time. Every
+    // shard in a batch resolves to Some(digest) (resumed from disk or run
+    // fresh) or None (missing but over the max_new_shards cap). Because
+    // the executable set is the first missing shards in index order, a
+    // None can never precede an unexecuted shard — so merging stops at
+    // the first None with no checkpoint left unwritten.
+    let mut merged: Option<ShardDigest> = None;
+    let mut shards_run = 0usize;
+    let mut complete = true;
+    let mut next = 0usize;
+    'batches: while next < shards_total {
+        let n = batch.min(shards_total - next);
+        let first_shard = next;
+        let results: Vec<Option<ShardDigest>> =
+            runner.run_indexed_with(n, MetricsScratch::new, |j, scratch| {
+                let s = first_shard + j;
+                let (first, len) = cfg.shard_range(s);
+                if valid[s] {
+                    // Validated in phase 1; a `None` here means the file
+                    // changed underneath us — surfaced as an incomplete
+                    // campaign rather than silently re-running.
+                    let dir = cfg.checkpoint_dir.as_ref().expect("valid implies dir");
+                    return load_shard(dir, s, id, schema, (first, len));
+                }
+                if !may_run[s] {
+                    return None;
+                }
+                let mut digest = ShardDigest::new(schema, first, len);
+                let mut since_publish = 0u64;
+                for i in first..first + len {
+                    per_call(i, scratch, &mut digest);
+                    since_publish += 1;
+                    if since_publish == PROGRESS_CHUNK {
+                        let done = calls_done.fetch_add(since_publish, Ordering::Relaxed)
+                            + since_publish;
+                        since_publish = 0;
+                        publish(done);
+                    }
+                }
+                let done =
+                    calls_done.fetch_add(since_publish, Ordering::Relaxed) + since_publish;
+                if let Some(dir) = &cfg.checkpoint_dir {
+                    // A checkpoint failure is worth surfacing, but not
+                    // worth killing a running campaign over: the shard
+                    // result is still correct, a later run simply
+                    // re-executes it.
+                    let _ = store_shard(dir, s, id, schema, &digest);
+                }
+                shards_done.fetch_add(1, Ordering::Relaxed);
+                publish(done);
+                Some(digest)
+            });
+        next += n;
+        for (j, r) in results.into_iter().enumerate() {
+            let s = first_shard + j;
+            match r {
+                Some(d) => {
+                    if !valid[s] {
+                        shards_run += 1;
+                    }
+                    match &mut merged {
+                        None => merged = Some(d),
+                        Some(acc) => acc.merge_from(&d),
+                    }
+                }
+                None => {
+                    complete = false;
+                    break 'batches;
+                }
+            }
+        }
+    }
+    // Shards past the cap never entered a batch when the skip fired in an
+    // earlier one; they are missing by construction.
+    if skipped > 0 {
+        complete = false;
+    }
+
+    let (digest, fingerprint) = if complete {
+        let merged = merged.expect("complete campaign has at least one shard");
+        let fp = merged.fingerprint(schema);
+        (Some(merged), Some(fp))
+    } else {
+        (None, None)
+    };
+
+    Ok(CampaignOutcome {
+        digest,
+        fingerprint,
+        shards_total,
+        shards_run,
+        shards_resumed,
+        complete,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::ChannelId;
+    use crate::rng::SeedFactory;
+
+    fn schema() -> (DigestSchema, [ChannelId; 3]) {
+        let mut s = DigestSchema::new();
+        let a = s.counter("events");
+        let b = s.summary("value");
+        let c = s.sketch("value_q");
+        (s, [a, b, c])
+    }
+
+    fn fold(ids: [ChannelId; 3]) -> impl Fn(u64, &mut MetricsScratch, &mut ShardDigest) + Sync {
+        let seeds = SeedFactory::new(0xCA3A16);
+        move |i, _scratch, d| {
+            let mut rng = seeds.stream("call", i);
+            d.add(ids[0], 1);
+            let x = rng.normal(5.0, 2.0);
+            d.observe(ids[1], x);
+            d.sketch_insert(ids[2], x);
+        }
+    }
+
+    #[test]
+    fn campaign_is_thread_count_invariant() {
+        let (schema, ids) = schema();
+        let mut fps = Vec::new();
+        for threads in [1usize, 2, 4, 8] {
+            let mut cfg = CampaignConfig::new(10_000);
+            cfg.shard_size = 768;
+            cfg.threads = threads;
+            let out = cfg.run(&schema, fold(ids), |_| {}).unwrap();
+            assert!(out.complete);
+            assert_eq!(out.shards_run, cfg.shards());
+            fps.push(out.fingerprint.unwrap());
+        }
+        assert!(fps.windows(2).all(|w| w[0] == w[1]), "fingerprints differ: {fps:x?}");
+    }
+
+    #[test]
+    fn campaign_digest_matches_serial_fold() {
+        let (schema, ids) = schema();
+        let n = 5000u64;
+        let mut cfg = CampaignConfig::new(n);
+        cfg.shard_size = 512;
+        cfg.threads = 4;
+        let out = cfg.run(&schema, fold(ids), |_| {}).unwrap();
+
+        let f = fold(ids);
+        let mut scratch = MetricsScratch::new();
+        let mut whole = ShardDigest::new(&schema, 0, n);
+        for i in 0..n {
+            f(i, &mut scratch, &mut whole);
+        }
+        // The sharded sketch differs from the single-pass sketch only by
+        // compaction boundaries; counters and summaries must agree
+        // exactly.
+        let got = out.digest.unwrap();
+        assert_eq!(got.count(ids[0]), whole.count(ids[0]));
+        assert_eq!(got.summary(ids[1]).count(), whole.summary(ids[1]).count());
+        assert!((got.summary(ids[1]).mean() - whole.summary(ids[1]).mean()).abs() < 1e-9);
+        assert_eq!(
+            got.summary(ids[1]).min().to_bits(),
+            whole.summary(ids[1]).min().to_bits()
+        );
+    }
+
+    #[test]
+    fn progress_reaches_total() {
+        let (schema, ids) = schema();
+        let mut cfg = CampaignConfig::new(9000);
+        cfg.shard_size = 1024;
+        cfg.threads = 2;
+        let max_seen = AtomicU64::new(0);
+        let out = cfg
+            .run(&schema, fold(ids), |p| {
+                max_seen.fetch_max(p.calls_done, Ordering::Relaxed);
+                assert!(p.shards_done <= p.shards_total);
+            })
+            .unwrap();
+        assert!(out.complete);
+        assert_eq!(max_seen.load(Ordering::Relaxed), 9000);
+    }
+
+    #[test]
+    fn resume_is_bit_identical_and_corruption_is_survived() {
+        let (schema, ids) = schema();
+        let dir = std::env::temp_dir().join(format!(
+            "diversifi-campaign-test-{}-{}",
+            std::process::id(),
+            0xC0FFEEu32
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut cfg = CampaignConfig::new(6000);
+        cfg.shard_size = 500;
+        cfg.threads = 4;
+
+        // Uninterrupted reference (no checkpointing at all).
+        let reference = cfg.run(&schema, fold(ids), |_| {}).unwrap();
+
+        // Interrupted: run only 5 of the 12 shards, then "kill".
+        cfg.checkpoint_dir = Some(dir.clone());
+        cfg.max_new_shards = Some(5);
+        let partial = cfg.run(&schema, fold(ids), |_| {}).unwrap();
+        assert!(!partial.complete);
+        assert_eq!(partial.shards_run, 5);
+        assert!(partial.digest.is_none());
+
+        // Simulate a kill mid-checkpoint-write: corrupt one finished shard
+        // and truncate another to garbage.
+        std::fs::write(shard_path(&dir, 0), "{\"campaign_id\":1,tr").unwrap();
+        std::fs::write(shard_path(&dir, 1), "").unwrap();
+
+        // Resume to completion.
+        cfg.max_new_shards = None;
+        let resumed = cfg.run(&schema, fold(ids), |_| {}).unwrap();
+        assert!(resumed.complete);
+        // 3 valid checkpoints survive (5 written − 2 corrupted).
+        assert_eq!(resumed.shards_resumed, 3);
+        assert_eq!(resumed.shards_run, cfg.shards() - 3);
+        assert_eq!(resumed.fingerprint, reference.fingerprint);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoints_from_other_campaigns_are_rejected() {
+        let (schema, ids) = schema();
+        let dir = std::env::temp_dir().join(format!(
+            "diversifi-campaign-test-{}-{}",
+            std::process::id(),
+            0xBEEFu32
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut cfg = CampaignConfig::new(2000);
+        cfg.shard_size = 400;
+        cfg.checkpoint_dir = Some(dir.clone());
+        cfg.config_fingerprint = 1;
+        cfg.run(&schema, fold(ids), |_| {}).unwrap();
+
+        // Same directory, different config fingerprint: nothing resumes.
+        cfg.config_fingerprint = 2;
+        let out = cfg.run(&schema, fold(ids), |_| {}).unwrap();
+        assert_eq!(out.shards_resumed, 0);
+        assert_eq!(out.shards_run, cfg.shards());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

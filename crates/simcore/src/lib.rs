@@ -38,7 +38,9 @@
 #![warn(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod arena;
+pub mod campaign;
 pub mod check;
+pub mod digest;
 pub mod export;
 pub mod fault;
 pub mod merge;
@@ -53,6 +55,8 @@ mod time;
 mod trace;
 
 pub use arena::WorkerArena;
+pub use campaign::{run_campaign, CampaignConfig, CampaignOutcome, CampaignProgress};
+pub use digest::{ChannelId, ChannelKind, DigestSchema, QuantileSketch, ShardDigest, Welford};
 pub use fault::{FaultEffect, FaultKind, FaultOutcome, FaultPlan, FaultSpec, FaultWindow};
 pub use metrics::{LogHistogram, MetricsRegistry};
 pub use par::SweepRunner;

@@ -189,6 +189,68 @@ impl LogHistogram {
     }
 }
 
+// Checkpoint serialisation (`campaign` shard digests): sparse
+// `[bin_index, count]` pairs plus the exact aggregates. The `u128` sum is
+// split into two `u64` halves — every field round-trips through JSON
+// exactly, which the campaign resume contract (bit-identical merged
+// digests) depends on.
+impl serde::Serialize for LogHistogram {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        let bins: Vec<Value> = self
+            .bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| Value::Array(vec![Value::U64(i as u64), Value::U64(c)]))
+            .collect();
+        Value::Object(vec![
+            ("count".to_string(), Value::U64(self.count)),
+            ("sum_hi".to_string(), Value::U64((self.sum >> 64) as u64)),
+            ("sum_lo".to_string(), Value::U64(self.sum as u64)),
+            ("min".to_string(), Value::U64(self.min)),
+            ("max".to_string(), Value::U64(self.max)),
+            ("bins".to_string(), Value::Array(bins)),
+        ])
+    }
+}
+
+impl serde::Deserialize for LogHistogram {
+    fn from_value(v: &serde::Value) -> Result<Self, String> {
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(|f| f.as_u64())
+                .ok_or_else(|| format!("LogHistogram: missing/invalid field `{name}`"))
+        };
+        let mut h = LogHistogram {
+            bins: [0; HIST_BINS],
+            count: field("count")?,
+            sum: ((field("sum_hi")? as u128) << 64) | field("sum_lo")? as u128,
+            min: field("min")?,
+            max: field("max")?,
+        };
+        let bins = v
+            .get("bins")
+            .and_then(|b| b.as_array())
+            .ok_or("LogHistogram: missing `bins` array")?;
+        for pair in bins {
+            let p = pair.as_array().ok_or("LogHistogram: bin entry is not a pair")?;
+            let (i, c) = match p {
+                [i, c] => (
+                    i.as_u64().ok_or("LogHistogram: bad bin index")?,
+                    c.as_u64().ok_or("LogHistogram: bad bin count")?,
+                ),
+                _ => return Err("LogHistogram: bin entry is not a pair".to_string()),
+            };
+            if i as usize >= HIST_BINS {
+                return Err(format!("LogHistogram: bin index {i} out of range"));
+            }
+            h.bins[i as usize] = c;
+        }
+        Ok(h)
+    }
+}
+
 /// One snapshot value in a [`MetricsRegistry`].
 //
 // A registry holds at most a few dozen rows, so the size spread between

@@ -29,7 +29,7 @@ pub enum GeState {
 }
 
 /// Parameters of the Gilbert–Elliott process.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct GeParams {
     /// Mean dwell time in the Good state.
     pub mean_good: SimDuration,

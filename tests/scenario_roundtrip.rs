@@ -1,0 +1,238 @@
+//! Scenario-schema round-trip properties.
+//!
+//! Two guarantees the declarative front-end makes:
+//!
+//! - **Idempotence**: `parse → lower-ready struct → re-serialize →
+//!   re-parse` is a fixed point. The canonical form writes every field,
+//!   so a scenario survives any number of round trips bit-identically —
+//!   including its fingerprint, which guards campaign checkpoints.
+//! - **Error context**: malformed scenarios are rejected with the full
+//!   field path (`scenario.deployment.primary.channel: ...`), never a
+//!   bare "invalid value".
+
+use diversifi::scenario::{mode_tag, parse_channel, ApSpec, Arm, LinkQuality, Scenario, Traffic, Venue};
+use diversifi::world::RunMode;
+use proptest::prelude::*;
+
+/// Tiny deterministic generator state (splitmix64) so scenario shapes
+/// derive from a single proptest-supplied seed.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// A float in `[lo, hi)` quantized to 1/64 so every generated value
+    /// is exactly representable and survives JSON round-trips without
+    /// relying on the writer's shortest-form correctness.
+    fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        let steps = ((hi - lo) * 64.0) as u64;
+        lo + self.below(steps.max(1)) as f64 / 64.0
+    }
+}
+
+fn random_scenario(seed: u64) -> Scenario {
+    let mut g = Gen(seed);
+    let venues = [Venue::Office, Venue::OpenPlan, Venue::Apartment];
+    let qualities =
+        [LinkQuality::Good, LinkQuality::Marginal, LinkQuality::Weak, LinkQuality::Awful];
+    let channels = ["2.4/1", "2.4/6", "2.4/11", "5/36", "5/149"];
+    let modes = [
+        RunMode::PrimaryOnly,
+        RunMode::SecondaryOnly,
+        RunMode::DiversifiCustomAp,
+        RunMode::DiversifiMiddlebox,
+        RunMode::EndToEndPsm,
+    ];
+
+    let ap = |g: &mut Gen| {
+        let ch = parse_channel(channels[g.below(5) as usize], "gen").unwrap();
+        let mut ap = ApSpec::new(
+            ch,
+            g.f64(2.0, 40.0),
+            qualities[g.below(4) as usize],
+        );
+        ap.tx_power_dbm = g.f64(10.0, 20.0);
+        ap.diversity_order = 1 + g.below(4) as u8;
+        ap
+    };
+
+    let mut s = Scenario::new(&format!("gen-{seed:x}"), g.next());
+    s.venue = venues[g.below(3) as usize];
+    s.primary = ap(&mut g);
+    s.secondary = ap(&mut g);
+    s.traffic = match g.below(3) {
+        0 => Traffic::Voip,
+        1 => Traffic::HighRate,
+        _ => Traffic::Custom {
+            packet_bytes: 100 + g.below(1200) as u32,
+            interval_us: 1000 + g.below(40_000),
+            duration_ms: 1000 + g.below(60_000),
+        },
+    };
+    s.fleet.calls = g.below(1_000_000);
+    s.fleet.subnets = 10 + g.below(1000) as usize;
+    s.fleet.pc_fraction = g.f64(0.0, 1.0);
+    s.arms = (0..g.below(4))
+        .map(|i| {
+            let mode = modes[g.below(5) as usize];
+            let mut arm = Arm::new(&format!("arm{i}-{}", mode_tag(mode)), mode);
+            arm.wake_batch = 1 + g.below(8) as usize;
+            arm.with_tcp = g.below(2) == 1;
+            arm.uplink_loss = g.f64(0.0, 0.9);
+            arm
+        })
+        .collect();
+    s.campaign.shard_size = 1 + g.below(20_000);
+    s.campaign.threads = g.below(16) as usize;
+    if g.below(2) == 1 {
+        s.campaign.checkpoint_dir = Some(format!("ckpt-{seed:x}"));
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// parse(serialize(s)) == s, serialize(parse(serialize(s))) ==
+    /// serialize(s), and the fingerprint is stable — for arbitrary
+    /// scenarios through the JSON front-end.
+    #[test]
+    fn parse_lower_reserialize_reparse_is_idempotent(seed in any::<u64>()) {
+        let s = random_scenario(seed);
+        let json1 = s.to_json_pretty();
+        let s2 = Scenario::from_json(&json1).expect("canonical form must parse");
+        prop_assert_eq!(&s, &s2, "parse(serialize(s)) != s");
+        let json2 = s2.to_json_pretty();
+        prop_assert_eq!(&json1, &json2, "serialization is not a fixed point");
+        prop_assert_eq!(s.fingerprint(), s2.fingerprint());
+    }
+
+    /// Lowering an arbitrary valid scenario never panics, and the lowered
+    /// world configs follow the declared arms.
+    #[test]
+    fn lowering_never_panics(seed in any::<u64>()) {
+        let s = random_scenario(seed);
+        for arm in &s.arms {
+            let cfg = s.world_config(arm);
+            prop_assert_eq!(cfg.mode, arm.mode);
+            prop_assert_eq!(cfg.wake_batch, arm.wake_batch);
+        }
+        let _ = s.two_nic();
+        let _ = s.population();
+        let _ = s.campaign_config();
+    }
+}
+
+/// Every malformed input is rejected with the full field path of the
+/// offending field in the error message.
+#[test]
+fn malformed_scenarios_report_field_paths() {
+    const GOOD_AP: &str = r#"{"channel": "2.4/1", "distance_m": 5.0, "quality": "good"}"#;
+    let dep = |primary: &str, secondary: &str| {
+        format!(
+            r#"{{"name": "x", "deployment": {{"primary": {primary}, "secondary": {secondary}}}}}"#
+        )
+    };
+    let cases: Vec<(String, &str)> = vec![
+        // The one required field, missing.
+        (r#"{}"#.into(), "scenario.name"),
+        // Wrong type at a leaf.
+        (r#"{"name": 7}"#.into(), "scenario.name"),
+        // Unknown top-level field (typo).
+        (r#"{"name": "x", "fleeet": {}}"#.into(), "scenario.fleeet"),
+        // Unknown nested field.
+        (r#"{"name": "x", "fleet": {"callz": 5}}"#.into(), "scenario.fleet.callz"),
+        // Bad enum tag, nested two levels down.
+        (
+            dep(
+                r#"{"channel": "2.4/1", "distance_m": 5.0, "quality": "excellent"}"#,
+                GOOD_AP,
+            ),
+            "scenario.deployment.primary.quality",
+        ),
+        // Out-of-band channel.
+        (
+            dep(r#"{"channel": "2.4/99", "distance_m": 5.0, "quality": "good"}"#, GOOD_AP),
+            "scenario.deployment.primary.channel",
+        ),
+        // Domain violation: negative distance.
+        (
+            dep(GOOD_AP, r#"{"channel": "5/36", "distance_m": -1.0, "quality": "good"}"#),
+            "scenario.deployment.secondary.distance_m",
+        ),
+        // A deployment must declare both APs.
+        (
+            format!(r#"{{"name": "x", "deployment": {{"primary": {GOOD_AP}}}}}"#),
+            "scenario.deployment.secondary",
+        ),
+        // Array element paths carry the index.
+        (
+            r#"{"name": "x", "arms": [{"name": "a", "mode": "primary-only"}, {"name": "b", "mode": "warp-drive"}]}"#.into(),
+            "scenario.arms[1].mode",
+        ),
+        // Range violation under [campaign].
+        (
+            r#"{"name": "x", "campaign": {"shard_size": 0}}"#.into(),
+            "scenario.campaign.shard_size",
+        ),
+        // Domain violation: a fraction above 1.
+        (
+            r#"{"name": "x", "fleet": {"pc_fraction": 1.5}}"#.into(),
+            "scenario.fleet.pc_fraction",
+        ),
+    ];
+    let cases: Vec<(&str, &str)> = cases.iter().map(|(i, p)| (i.as_str(), *p)).collect();
+    for (input, want_path) in cases {
+        let err = Scenario::from_json(input).expect_err(input);
+        assert!(
+            err.starts_with(want_path),
+            "error for {input} should start with {want_path:?}, got: {err}"
+        );
+    }
+}
+
+/// The TOML front-end and the JSON front-end agree on a non-trivial
+/// scenario, and a TOML syntax error carries a line number.
+#[test]
+fn toml_front_end_round_trips_through_json() {
+    let toml_text = r#"
+name = "rt"
+seed = 9
+venue = "open-plan"
+
+[deployment.primary]
+channel = "5/36"
+distance_m = 9.5
+quality = "good"
+
+[deployment.secondary]
+channel = "2.4/6"
+distance_m = 17.25
+quality = "weak"
+
+[traffic]
+mix = "high-rate"
+
+[[arms]]
+name = "dvf"
+mode = "middlebox"
+uplink_loss = 0.125
+"#;
+    let s = Scenario::from_toml(toml_text).unwrap();
+    let s2 = Scenario::from_json(&s.to_json_pretty()).unwrap();
+    assert_eq!(s, s2);
+    assert_eq!(s.fingerprint(), s2.fingerprint());
+
+    let err = Scenario::from_toml("name = \"x\"\nveue =\n").expect_err("syntax error");
+    assert!(err.contains("line 2"), "TOML error should carry a line number: {err}");
+}

@@ -11,8 +11,10 @@
 //! Two environment variables hook the harness into CI:
 //!
 //! - `BENCH_JSON=<path>` appends one JSON line per benchmark
-//!   (`{"name":...,"median_ns":...,"lo_ns":...,"hi_ns":...,...}`) so runs
-//!   can be diffed without scraping stdout.
+//!   (`{"build":...,"name":...,"median_ns":...,"lo_ns":...,"hi_ns":...,...}`)
+//!   so runs can be diffed without scraping stdout. The `build` tag
+//!   ([`build_tag`]) identifies the compilation the numbers came from;
+//!   comparison tools must refuse to diff lines across different tags.
 //! - `BENCH_SMOKE=1` clamps every benchmark to a single sample of a
 //!   single iteration — an execution check, not a measurement.
 
@@ -24,6 +26,22 @@ use std::time::{Duration, Instant};
 /// work.
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
+}
+
+/// The build tag stamped into every `BENCH_JSON` line: `"debug"` or
+/// `"release"` from the compilation profile, with `"+trace"` appended
+/// when the `trace` feature is active. Because the tag is derived from
+/// `cfg!` at compile time it cannot drift from what was actually built —
+/// numbers from different tags are not comparable (debug vs release, or
+/// trace instrumentation compiled in vs out) and comparison tooling
+/// refuses to mix them.
+pub fn build_tag() -> &'static str {
+    match (cfg!(debug_assertions), cfg!(feature = "trace")) {
+        (true, false) => "debug",
+        (true, true) => "debug+trace",
+        (false, false) => "release",
+        (false, true) => "release+trace",
+    }
 }
 
 /// Batch sizing for [`Bencher::iter_batched`]. The stand-in treats them
@@ -264,7 +282,8 @@ fn run_bench(cfg: &Config, name: &str, mut f: impl FnMut(&mut Bencher)) {
     // the stand-in dependency-free.
     if let Some(path) = std::env::var_os("BENCH_JSON") {
         let line = format!(
-            "{{\"name\":\"{}\",\"median_ns\":{:.1},\"lo_ns\":{:.1},\"hi_ns\":{:.1},\"samples\":{},\"iters\":{}}}\n",
+            "{{\"build\":\"{}\",\"name\":\"{}\",\"median_ns\":{:.1},\"lo_ns\":{:.1},\"hi_ns\":{:.1},\"samples\":{},\"iters\":{}}}\n",
+            build_tag(),
             name.replace('\\', "\\\\").replace('"', "\\\""),
             median,
             lo,
@@ -363,6 +382,10 @@ mod tests {
         assert!(line.starts_with('{') && line.ends_with('}'), "line is a JSON object: {line}");
         assert!(line.contains("\"median_ns\":"), "median recorded: {line}");
         assert!(line.contains("\"iters\":1"), "smoke mode runs one iteration: {line}");
+        assert!(
+            line.contains(&format!("\"build\":\"{}\"", build_tag())),
+            "line carries the build tag: {line}"
+        );
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,612 @@
+//! Offline stand-in for `toml`: a std-only parser for the TOML subset the
+//! workspace's scenario files use, lowering to the vendored
+//! [`serde::Value`] tree so TOML and JSON front-ends share one schema.
+//!
+//! Supported subset:
+//!
+//! - comments (`#` to end of line);
+//! - `[table]` and dotted `[a.b]` headers;
+//! - `[[array.of.tables]]` headers;
+//! - bare, `"quoted"` and `'literal'` keys, dotted key paths;
+//! - values: basic strings (with `\n \t \r \\ \" \uXXXX` escapes), literal
+//!   strings, integers (underscore separators, sign), floats (including
+//!   exponents), booleans, arrays (multi-line, trailing comma allowed) and
+//!   inline tables `{ k = v, ... }`.
+//!
+//! Not supported (reported as errors, never silently misparsed): multi-line
+//! strings, dates/times, and key redefinition with a conflicting type.
+//!
+//! Integers lower to `Value::U64` when non-negative and `Value::I64`
+//! otherwise, matching the vendored `serde_json` parser, so a scenario is
+//! identical whether it arrived as TOML or JSON.
+
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Value};
+
+/// A parse error with 1-based line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// 1-based line the error was detected on.
+    pub line: usize,
+    msg: String,
+}
+
+impl Error {
+    fn new(line: usize, msg: impl Into<String>) -> Error {
+        Error { line, msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TOML parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Parse a TOML document into a [`Value::Object`] tree.
+pub fn parse_str(input: &str) -> Result<Value, Error> {
+    let mut p = Parser { chars: input.as_bytes(), pos: 0, line: 1 };
+    let mut root: Vec<(String, Value)> = Vec::new();
+    // Path of the table currently being filled; array-of-table segments
+    // implicitly mean "the last element".
+    let mut current: Vec<String> = Vec::new();
+
+    loop {
+        p.skip_trivia();
+        if p.at_end() {
+            break;
+        }
+        if p.peek() == b'[' {
+            let line = p.line;
+            p.bump();
+            let array = p.peek_is(b'[');
+            if array {
+                p.bump();
+            }
+            let path = p.parse_key_path()?;
+            p.expect(b']')?;
+            if array {
+                p.expect(b']')?;
+            }
+            p.expect_line_end()?;
+            if array {
+                let arr = navigate_mut(&mut root, &path[..path.len() - 1], line)?;
+                let slot = entry_mut(arr, path.last().unwrap());
+                match slot {
+                    Value::Null => *slot = Value::Array(vec![Value::Object(Vec::new())]),
+                    Value::Array(items) => items.push(Value::Object(Vec::new())),
+                    _ => {
+                        return Err(Error::new(
+                            line,
+                            format!("[[{}]] conflicts with a non-array value", path.join(".")),
+                        ))
+                    }
+                }
+            } else {
+                // Materialise the table (erroring on type conflicts).
+                navigate_mut(&mut root, &path, line)?;
+            }
+            current = path;
+        } else {
+            let line = p.line;
+            let path = p.parse_key_path()?;
+            p.expect(b'=')?;
+            p.skip_inline_ws();
+            let value = p.parse_value()?;
+            p.expect_line_end()?;
+            let table = navigate_mut(&mut root, &current, line)?;
+            insert_dotted(table, &path, value, line)?;
+        }
+    }
+    Ok(Value::Object(root))
+}
+
+/// Parse a TOML document straight into a [`Deserialize`] type.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let v = parse_str(input)?;
+    T::from_value(&v).map_err(|e| Error::new(0, e))
+}
+
+/// Look up or create `key` in an object, returning the value slot
+/// (`Value::Null` marks a fresh slot).
+fn entry_mut<'a>(obj: &'a mut Vec<(String, Value)>, key: &str) -> &'a mut Value {
+    if let Some(i) = obj.iter().position(|(k, _)| k == key) {
+        return &mut obj[i].1;
+    }
+    obj.push((key.to_string(), Value::Null));
+    &mut obj.last_mut().unwrap().1
+}
+
+/// Walk `path` from `root`, creating tables as needed; a segment holding an
+/// array of tables descends into its last element.
+fn navigate_mut<'a>(
+    root: &'a mut Vec<(String, Value)>,
+    path: &[String],
+    line: usize,
+) -> Result<&'a mut Vec<(String, Value)>, Error> {
+    let mut obj = root;
+    for seg in path {
+        let slot = entry_mut(obj, seg);
+        if matches!(slot, Value::Null) {
+            *slot = Value::Object(Vec::new());
+        }
+        obj = match slot {
+            Value::Object(o) => o,
+            Value::Array(items) => match items.last_mut() {
+                Some(Value::Object(o)) => o,
+                _ => return Err(Error::new(line, format!("`{seg}` is not a table array"))),
+            },
+            _ => return Err(Error::new(line, format!("`{seg}` is not a table"))),
+        };
+    }
+    Ok(obj)
+}
+
+/// Insert `value` at a dotted key path inside `table`.
+fn insert_dotted(
+    table: &mut Vec<(String, Value)>,
+    path: &[String],
+    value: Value,
+    line: usize,
+) -> Result<(), Error> {
+    let parent = navigate_mut(table, &path[..path.len() - 1], line)?;
+    let slot = entry_mut(parent, path.last().unwrap());
+    if !matches!(slot, Value::Null) {
+        return Err(Error::new(line, format!("duplicate key `{}`", path.join("."))));
+    }
+    *slot = value;
+    Ok(())
+}
+
+struct Parser<'a> {
+    chars: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    fn peek(&self) -> u8 {
+        self.chars[self.pos]
+    }
+
+    fn peek_is(&self, c: u8) -> bool {
+        !self.at_end() && self.peek() == c
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.chars[self.pos];
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    /// Skip spaces/tabs on the current line.
+    fn skip_inline_ws(&mut self) {
+        while !self.at_end() && matches!(self.peek(), b' ' | b'\t' | b'\r') {
+            self.bump();
+        }
+    }
+
+    /// Skip whitespace, newlines and comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            while !self.at_end() && matches!(self.peek(), b' ' | b'\t' | b'\r' | b'\n') {
+                self.bump();
+            }
+            if self.peek_is(b'#') {
+                while !self.at_end() && self.peek() != b'\n' {
+                    self.bump();
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), Error> {
+        self.skip_inline_ws();
+        if self.peek_is(c) {
+            self.bump();
+            Ok(())
+        } else {
+            let got = if self.at_end() {
+                "end of input".to_string()
+            } else {
+                format!("`{}`", self.peek() as char)
+            };
+            Err(Error::new(self.line, format!("expected `{}`, found {got}", c as char)))
+        }
+    }
+
+    /// After a header or key/value: only a comment may follow on the line.
+    fn expect_line_end(&mut self) -> Result<(), Error> {
+        self.skip_inline_ws();
+        if self.peek_is(b'#') {
+            while !self.at_end() && self.peek() != b'\n' {
+                self.bump();
+            }
+        }
+        if self.at_end() || self.peek() == b'\n' {
+            Ok(())
+        } else {
+            Err(Error::new(
+                self.line,
+                format!("unexpected `{}` after value", self.peek() as char),
+            ))
+        }
+    }
+
+    /// A dotted key path: `a.b."quoted seg"`.
+    fn parse_key_path(&mut self) -> Result<Vec<String>, Error> {
+        let mut path = Vec::new();
+        loop {
+            self.skip_inline_ws();
+            path.push(self.parse_key_segment()?);
+            self.skip_inline_ws();
+            if self.peek_is(b'.') {
+                self.bump();
+            } else {
+                return Ok(path);
+            }
+        }
+    }
+
+    fn parse_key_segment(&mut self) -> Result<String, Error> {
+        if self.at_end() {
+            return Err(Error::new(self.line, "expected key, found end of input"));
+        }
+        match self.peek() {
+            b'"' => self.parse_basic_string(),
+            b'\'' => self.parse_literal_string(),
+            c if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' => {
+                let start = self.pos;
+                while !self.at_end()
+                    && (self.peek().is_ascii_alphanumeric() || matches!(self.peek(), b'_' | b'-'))
+                {
+                    self.bump();
+                }
+                Ok(String::from_utf8_lossy(&self.chars[start..self.pos]).into_owned())
+            }
+            c => Err(Error::new(self.line, format!("expected key, found `{}`", c as char))),
+        }
+    }
+
+    fn parse_basic_string(&mut self) -> Result<String, Error> {
+        let line = self.line;
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            if self.at_end() || self.peek() == b'\n' {
+                return Err(Error::new(line, "unterminated string"));
+            }
+            match self.bump() {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    if self.at_end() {
+                        return Err(Error::new(line, "unterminated escape"));
+                    }
+                    match self.bump() {
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'\\' => s.push('\\'),
+                        b'"' => s.push('"'),
+                        b'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                if self.at_end() {
+                                    return Err(Error::new(line, "unterminated \\u escape"));
+                                }
+                                let d = (self.bump() as char)
+                                    .to_digit(16)
+                                    .ok_or_else(|| Error::new(line, "bad \\u escape digit"))?;
+                                code = code * 16 + d;
+                            }
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new(line, "bad \\u code point"))?,
+                            );
+                        }
+                        c => {
+                            return Err(Error::new(
+                                line,
+                                format!("unsupported escape `\\{}`", c as char),
+                            ))
+                        }
+                    }
+                }
+                c => {
+                    // Re-decode UTF-8 continuation bytes verbatim.
+                    let start = self.pos - 1;
+                    let width = utf8_width(c);
+                    for _ in 1..width {
+                        if !self.at_end() {
+                            self.bump();
+                        }
+                    }
+                    s.push_str(&String::from_utf8_lossy(&self.chars[start..self.pos]));
+                }
+            }
+        }
+    }
+
+    fn parse_literal_string(&mut self) -> Result<String, Error> {
+        let line = self.line;
+        self.bump(); // opening quote
+        let start = self.pos;
+        while !self.at_end() && self.peek() != b'\'' && self.peek() != b'\n' {
+            self.bump();
+        }
+        if !self.peek_is(b'\'') {
+            return Err(Error::new(line, "unterminated literal string"));
+        }
+        let s = String::from_utf8_lossy(&self.chars[start..self.pos]).into_owned();
+        self.bump();
+        Ok(s)
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        if self.at_end() {
+            return Err(Error::new(self.line, "expected value, found end of input"));
+        }
+        match self.peek() {
+            b'"' => self.parse_basic_string().map(Value::Str),
+            b'\'' => self.parse_literal_string().map(Value::Str),
+            b'[' => {
+                self.bump();
+                let mut items = Vec::new();
+                loop {
+                    self.skip_trivia();
+                    if self.peek_is(b']') {
+                        self.bump();
+                        return Ok(Value::Array(items));
+                    }
+                    items.push(self.parse_value()?);
+                    self.skip_trivia();
+                    if self.peek_is(b',') {
+                        self.bump();
+                    } else if !self.peek_is(b']') {
+                        return Err(Error::new(self.line, "expected `,` or `]` in array"));
+                    }
+                }
+            }
+            b'{' => {
+                self.bump();
+                let mut obj: Vec<(String, Value)> = Vec::new();
+                loop {
+                    self.skip_trivia();
+                    if self.peek_is(b'}') {
+                        self.bump();
+                        return Ok(Value::Object(obj));
+                    }
+                    let line = self.line;
+                    let path = self.parse_key_path()?;
+                    self.expect(b'=')?;
+                    self.skip_inline_ws();
+                    let v = self.parse_value()?;
+                    insert_dotted(&mut obj, &path, v, line)?;
+                    self.skip_trivia();
+                    if self.peek_is(b',') {
+                        self.bump();
+                    } else if !self.peek_is(b'}') {
+                        return Err(Error::new(self.line, "expected `,` or `}` in inline table"));
+                    }
+                }
+            }
+            b't' | b'f' => {
+                let start = self.pos;
+                while !self.at_end() && self.peek().is_ascii_alphabetic() {
+                    self.bump();
+                }
+                match &self.chars[start..self.pos] {
+                    b"true" => Ok(Value::Bool(true)),
+                    b"false" => Ok(Value::Bool(false)),
+                    w => Err(Error::new(
+                        self.line,
+                        format!("unknown literal `{}`", String::from_utf8_lossy(w)),
+                    )),
+                }
+            }
+            c if c == b'+' || c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            c => Err(Error::new(self.line, format!("unexpected `{}` in value", c as char))),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let line = self.line;
+        let start = self.pos;
+        if matches!(self.peek(), b'+' | b'-') {
+            self.bump();
+        }
+        let mut is_float = false;
+        while !self.at_end() {
+            match self.peek() {
+                b'0'..=b'9' | b'_' => {
+                    self.bump();
+                }
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.bump();
+                    // An exponent may carry its own sign.
+                    if matches!(self.chars.get(self.pos), Some(b'+') | Some(b'-')) {
+                        self.bump();
+                    }
+                }
+                b'-' | b':' => {
+                    return Err(Error::new(line, "dates/times are not supported"));
+                }
+                _ => break,
+            }
+        }
+        let raw: String = String::from_utf8_lossy(&self.chars[start..self.pos])
+            .chars()
+            .filter(|c| *c != '_')
+            .collect();
+        let body = raw.strip_prefix('+').unwrap_or(&raw);
+        if is_float {
+            body.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error::new(line, format!("bad float `{raw}`")))
+        } else if let Some(neg) = body.strip_prefix('-') {
+            neg.parse::<u64>()
+                .map(|n| Value::I64(-(n as i64)))
+                .map_err(|_| Error::new(line, format!("bad integer `{raw}`")))
+        } else {
+            body.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|_| Error::new(line, format!("bad integer `{raw}`")))
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(v: &Value, key: &str) -> Value {
+        v.get(key).cloned().unwrap_or(Value::Null)
+    }
+
+    #[test]
+    fn tables_and_scalars() {
+        let v = parse_str(
+            r#"
+            # top comment
+            name = "office"   # trailing comment
+            seed = 42
+            ratio = 0.5
+            offset = -3
+            flag = true
+
+            [nested.inner]
+            text = 'literal'
+            "#,
+        )
+        .unwrap();
+        assert_eq!(obj(&v, "name"), Value::Str("office".into()));
+        assert_eq!(obj(&v, "seed"), Value::U64(42));
+        assert_eq!(obj(&v, "ratio"), Value::F64(0.5));
+        assert_eq!(obj(&v, "offset"), Value::I64(-3));
+        assert_eq!(obj(&v, "flag"), Value::Bool(true));
+        let inner = v.get("nested").and_then(|n| n.get("inner")).cloned().unwrap();
+        assert_eq!(obj(&inner, "text"), Value::Str("literal".into()));
+    }
+
+    #[test]
+    fn arrays_inline_tables_and_dotted_keys() {
+        let v = parse_str(
+            r#"
+            xs = [1, 2, 3,]
+            mixed = [
+                "a",
+                0.25,
+            ]
+            point = { x = 1, y = 2 }
+            a.b.c = 7
+            "#,
+        )
+        .unwrap();
+        assert_eq!(
+            obj(&v, "xs"),
+            Value::Array(vec![Value::U64(1), Value::U64(2), Value::U64(3)])
+        );
+        assert_eq!(
+            obj(&v, "mixed"),
+            Value::Array(vec![Value::Str("a".into()), Value::F64(0.25)])
+        );
+        assert_eq!(v.get("point").and_then(|p| p.get("y")), Some(&Value::U64(2)));
+        assert_eq!(
+            v.get("a").and_then(|a| a.get("b")).and_then(|b| b.get("c")),
+            Some(&Value::U64(7))
+        );
+    }
+
+    #[test]
+    fn array_of_tables() {
+        let v = parse_str(
+            r#"
+            [[arm]]
+            name = "first"
+            [[arm]]
+            name = "second"
+            weight = 2
+            "#,
+        )
+        .unwrap();
+        let arms = v.get("arm").and_then(|a| a.as_array()).unwrap().to_vec();
+        assert_eq!(arms.len(), 2);
+        assert_eq!(arms[0].get("name"), Some(&Value::Str("first".into())));
+        assert_eq!(arms[1].get("weight"), Some(&Value::U64(2)));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_str("good = 1\nbad = ???\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_str("a = 1\na = 2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("duplicate key"));
+        let e = parse_str("when = 2024-01-01\n").unwrap_err();
+        assert!(e.to_string().contains("dates"));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = parse_str(r#"s = "a\tbA \"q\" \\" "#).unwrap();
+        assert_eq!(obj(&v, "s"), Value::Str("a\tbA \"q\" \\".into()));
+    }
+
+    #[test]
+    fn matches_json_integer_discrimination() {
+        // Non-negative → U64, negative → I64, same as the vendored
+        // serde_json parser, so TOML and JSON scenarios lower identically.
+        let t = parse_str("a = 5\nb = -5\nc = 1.0\n").unwrap();
+        let j: Value = serde::Deserialize::from_value(
+            &serde_json_like("{\"a\":5,\"b\":-5,\"c\":1.0}"),
+        )
+        .unwrap();
+        assert_eq!(t.get("a"), j.get("a"));
+        assert_eq!(t.get("b"), j.get("b"));
+        assert_eq!(t.get("c"), j.get("c"));
+    }
+
+    /// A miniature JSON parse for the cross-check above, avoiding a dev
+    /// dependency cycle on serde_json.
+    fn serde_json_like(s: &str) -> Value {
+        // Only handles the flat object used in the test.
+        let inner = s.trim().trim_start_matches('{').trim_end_matches('}');
+        let mut pairs = Vec::new();
+        for part in inner.split(',') {
+            let (k, v) = part.split_once(':').unwrap();
+            let k = k.trim().trim_matches('"').to_string();
+            let v = v.trim();
+            let val = if v.contains('.') {
+                Value::F64(v.parse().unwrap())
+            } else if let Ok(u) = v.parse::<u64>() {
+                Value::U64(u)
+            } else {
+                Value::I64(v.parse().unwrap())
+            };
+            pairs.push((k, val));
+        }
+        Value::Object(pairs)
+    }
+}
