@@ -489,6 +489,26 @@ fn campaign_cli(path: &str, out_dir: &str) -> i32 {
         "[campaign] mouth-to-ear delay p50 {:.1} ms, p99 {:.1} ms",
         rep.delay_p50_ms, rep.delay_p99_ms
     );
+    println!("[campaign] workload: {}", rep.workload);
+    if let Some(fps) = &rep.fps {
+        let mut t = TextTable::new(&["FPS fleet metric", "Value"]);
+        t.row(&["Sessions".into(), fps.sessions.to_string()]);
+        t.row(&["Poor-session rate (%)".into(), format!("{:.3}", 100.0 * fps.poor_rate)]);
+        t.row(&["QoE mean ± std".into(), format!("{:.1} ± {:.1}", fps.qoe_mean, fps.qoe_stddev)]);
+        t.row(&[
+            "QoE p10 / p50 / p90".into(),
+            format!("{:.1} / {:.1} / {:.1}", fps.qoe_p10, fps.qoe_p50, fps.qoe_p90),
+        ]);
+        t.row(&[
+            "State-tick miss p50 / p99 (%)".into(),
+            format!("{:.2} / {:.2}", fps.miss_p50_pct, fps.miss_p99_pct),
+        ]);
+        t.row(&[
+            "Worst outage p50 / p99 (ms)".into(),
+            format!("{:.1} / {:.1}", fps.outage_p50_ms, fps.outage_p99_ms),
+        ]);
+        println!("{}", t.render());
+    }
     let mut t = TextTable::new(&["Subset", "EE", "EW", "WW"]);
     for (label, row) in [
         ("All", &rep.table1.all),
@@ -505,10 +525,15 @@ fn campaign_cli(path: &str, out_dir: &str) -> i32 {
     }
     println!("{}", t.render());
     for arm in &rep.arms {
-        println!(
-            "[campaign] arm {:<16} ({:<14}) loss {:6.3}%  wasteful dup {:6.2}%  secondary air {:6.2}%",
-            arm.name, arm.mode, arm.loss_pct, arm.wasteful_dup_pct, arm.secondary_air_pct
+        let mut line = format!(
+            "[campaign] arm {:<16} ({:<14}, {}) loss {:6.3}%  wasteful dup {:6.2}%  secondary air {:6.2}%",
+            arm.name, arm.mode, arm.workload, arm.loss_pct, arm.wasteful_dup_pct,
+            arm.secondary_air_pct
         );
+        if let (Some(tm), Some(im), Some(q)) = (arm.tick_miss_pct, arm.input_miss_pct, arm.qoe) {
+            line.push_str(&format!("  tick miss {tm:.2}%  input miss {im:.2}%  QoE {q:.1}"));
+        }
+        println!("{line}");
     }
 
     let artifact = format!("campaign_{}", rep.scenario.replace([' ', '/'], "_"));
@@ -1415,13 +1440,123 @@ fn resilience(ctx: &mut Ctx) {
             "per_seed_loss_pct": rs.iter().map(|r| (r.loss_b, r.loss_d)).collect::<Vec<_>>(),
         }));
     }
-    println!("Fault impact ({n} seeds/scenario, {secs} s calls, paired realisations):");
+    println!("[voip] Fault impact ({n} seeds/scenario, {secs} s calls, paired realisations):");
     println!("{}", quality_t.render());
-    println!("Recovery behaviour (DiversiFi arm):");
+    println!("[voip] Recovery behaviour (DiversiFi arm):");
     println!("{}", recovery_t.render());
     println!(
-        "DiversiFi loss <= primary-only loss on {}/{pairs} scenario-seed pairs",
+        "[voip] DiversiFi loss <= primary-only loss on {}/{pairs} scenario-seed pairs",
         pairs - amplified
     );
-    save(ctx, "resilience", &artifact);
+
+    // ---- FPS workload pass: the same fault catalogue driven through the
+    // cloud-gaming workload. Quality is per-tick deadline compliance (state
+    // downlink + input uplink) and the deadline-based session QoE instead
+    // of MOS.
+    use diversifi_voip::{FpsConfig, WorkloadKind};
+    let mut fps_knobs = FpsConfig::office();
+    fps_knobs.duration = SimDuration::from_secs(secs);
+
+    struct FpsRec {
+        si: usize,
+        miss_b: f64,
+        miss_d: f64,
+        input_miss_d: f64,
+        blackout_d: u64,
+        outage_b: u64,
+        outage_d: u64,
+        qoe_b: f64,
+        qoe_d: f64,
+    }
+
+    let fps_rows = SweepRunner::new(ctx.threads).run(&tasks, |_, &(si, k)| {
+        let (_, mode, plan) = &scenarios[si];
+        let mut a = LinkConfig::office(Channel::CH1, 22.0);
+        a.ge = GeParams::weak_link();
+        let mut b = LinkConfig::office(Channel::CH11, 28.0);
+        b.ge = GeParams::weak_link();
+        let mut base = WorldConfig::testbed(a, b);
+        base.mode = RunMode::PrimaryOnly;
+        base.set_workload(WorkloadKind::Fps(fps_knobs));
+        base.faults = plan.clone();
+        let mut dvf = base.clone();
+        dvf.mode = *mode;
+        let s = SeedFactory::new(seed ^ 0xF5511E ^ ((si as u64) << 32) ^ k);
+        let ob = *World::new(&base, &s).run().workload.fps().expect("fps outcome");
+        let od = *World::new(&dvf, &s).run().workload.fps().expect("fps outcome");
+        FpsRec {
+            si,
+            miss_b: 100.0 * ob.state.miss_rate(),
+            miss_d: 100.0 * od.state.miss_rate(),
+            input_miss_d: 100.0 * od.input.miss_rate(),
+            blackout_d: od.input_blackout,
+            outage_b: ob.state.longest_outage_ticks,
+            outage_d: od.state.longest_outage_ticks,
+            qoe_b: ob.qoe,
+            qoe_d: od.qoe,
+        }
+    });
+
+    let mut fps_t = TextTable::new(&[
+        "Scenario",
+        "Tick miss base (%)",
+        "Tick miss DVF (%)",
+        "Input miss DVF (%)",
+        "Blackout ticks/run",
+        "Worst outage base/DVF (ticks)",
+        "QoE base",
+        "QoE DVF",
+    ]);
+    let mut fps_artifact = Vec::new();
+    let (mut fps_pairs, mut fps_amplified) = (0usize, 0usize);
+    for (si, (label, _, _)) in scenarios.iter().enumerate() {
+        let rs: Vec<&FpsRec> = fps_rows.iter().filter(|r| r.si == si).collect();
+        let fvec = |f: &dyn Fn(&FpsRec) -> f64| rs.iter().map(|r| f(r)).collect::<Vec<f64>>();
+        let mb = mean(&fvec(&|r| r.miss_b));
+        let md = mean(&fvec(&|r| r.miss_d));
+        let imd = mean(&fvec(&|r| r.input_miss_d));
+        let blackout = mean(&fvec(&|r| r.blackout_d as f64));
+        let ob = mean(&fvec(&|r| r.outage_b as f64));
+        let od = mean(&fvec(&|r| r.outage_d as f64));
+        let qb = mean(&fvec(&|r| r.qoe_b));
+        let qd = mean(&fvec(&|r| r.qoe_d));
+        fps_pairs += rs.len();
+        fps_amplified += rs.iter().filter(|r| r.miss_d > r.miss_b).count();
+        fps_t.row(&[
+            label.to_string(),
+            format!("{mb:.2}"),
+            format!("{md:.2}"),
+            format!("{imd:.2}"),
+            format!("{blackout:.1}"),
+            format!("{ob:.1} / {od:.1}"),
+            format!("{qb:.1}"),
+            format!("{qd:.1}"),
+        ]);
+        fps_artifact.push(serde_json::json!({
+            "scenario": label,
+            "tick_miss_base_pct": mb,
+            "tick_miss_diversifi_pct": md,
+            "input_miss_diversifi_pct": imd,
+            "mean_input_blackout_ticks": blackout,
+            "worst_outage_base_ticks": ob,
+            "worst_outage_diversifi_ticks": od,
+            "qoe_base": qb,
+            "qoe_diversifi": qd,
+            "per_seed_tick_miss_pct": rs.iter().map(|r| (r.miss_b, r.miss_d)).collect::<Vec<_>>(),
+        }));
+    }
+    println!(
+        "[fps] Fault impact ({n} seeds/scenario, {secs} s sessions, {} ms ticks, paired realisations):",
+        fps_knobs.tick.as_millis()
+    );
+    println!("{}", fps_t.render());
+    println!(
+        "[fps] DiversiFi tick miss <= primary-only on {}/{fps_pairs} scenario-seed pairs",
+        fps_pairs - fps_amplified
+    );
+    save(
+        ctx,
+        "resilience",
+        &serde_json::json!({ "voip": artifact, "fps": fps_artifact }),
+    );
 }

@@ -17,7 +17,7 @@ use diversifi_simcore::{
     run_campaign, CampaignConfig, CampaignProgress, ChannelId, DigestSchema, SeedFactory,
     ShardDigest,
 };
-use diversifi_voip::DEFAULT_DEADLINE;
+use diversifi_voip::{session_metrics, FpsConfig, WorkloadKind, DEFAULT_DEADLINE, FPS_QOE_POOR};
 use serde::Serialize;
 
 /// Channel names for every Table 1 cell: `subset/class/{total,poor}`.
@@ -52,6 +52,19 @@ fn class_of(c: &RatedCall) -> usize {
     n(c.hops.0) + n(c.hops.1)
 }
 
+/// The FPS workload's extra digest channels (present only when the
+/// scenario's traffic declares an FPS workload, so VoIP campaign digests
+/// — and their checkpoint fingerprints — stay byte-identical).
+struct FpsChannels {
+    cfg: FpsConfig,
+    sessions: ChannelId,
+    poor: ChannelId,
+    qoe_summary: ChannelId,
+    qoe_sketch: ChannelId,
+    miss_sketch: ChannelId,
+    outage_us: ChannelId,
+}
+
 /// The fleet campaign's digest layout: schema plus the channel handles the
 /// per-call fold indexes with (no string lookups on the hot path).
 pub struct FleetSchema {
@@ -61,10 +74,12 @@ pub struct FleetSchema {
     mos_summary: ChannelId,
     mos_sketch: ChannelId,
     delay_us: ChannelId,
+    fps: Option<FpsChannels>,
 }
 
 impl FleetSchema {
-    /// Build the fleet digest layout.
+    /// Build the fleet digest layout (the VoIP workload's layout — kept
+    /// byte-identical to the pre-workload schema).
     pub fn new() -> FleetSchema {
         let mut schema = DigestSchema::new();
         let dummy = schema.counter(CELL_NAMES[0][0][0]);
@@ -83,7 +98,27 @@ impl FleetSchema {
         let mos_summary = schema.summary("mos");
         let mos_sketch = schema.sketch("mos_sketch");
         let delay_us = schema.histogram("delay_us");
-        FleetSchema { schema, cells, mos_summary, mos_sketch, delay_us }
+        FleetSchema { schema, cells, mos_summary, mos_sketch, delay_us, fps: None }
+    }
+
+    /// Build the layout for `workload`. VoIP is exactly [`FleetSchema::new`];
+    /// FPS appends the deadline-metric channels after the VoIP ones, so
+    /// the shared prefix folds identically.
+    pub fn for_workload(workload: WorkloadKind) -> FleetSchema {
+        let mut fleet = FleetSchema::new();
+        if let WorkloadKind::Fps(cfg) = workload {
+            let s = &mut fleet.schema;
+            fleet.fps = Some(FpsChannels {
+                cfg,
+                sessions: s.counter("fps/sessions"),
+                poor: s.counter("fps/poor"),
+                qoe_summary: s.summary("fps/qoe"),
+                qoe_sketch: s.sketch("fps/qoe_sketch"),
+                miss_sketch: s.sketch("fps/miss_sketch"),
+                outage_us: s.histogram("fps/outage_us"),
+            });
+        }
+        fleet
     }
 
     /// Fold one sampled call into a shard digest.
@@ -107,6 +142,17 @@ impl FleetSchema {
         digest.observe(self.mos_summary, s.mos);
         digest.sketch_insert(self.mos_sketch, s.mos);
         digest.record(self.delay_us, (s.delay_ms * 1000.0) as u64);
+        if let Some(fps) = &self.fps {
+            let m = session_metrics(&fps.cfg, s.loss_pct, s.burst_ratio, s.network_delay_ms);
+            digest.add(fps.sessions, 1);
+            if m.qoe < FPS_QOE_POOR {
+                digest.add(fps.poor, 1);
+            }
+            digest.observe(fps.qoe_summary, m.qoe);
+            digest.sketch_insert(fps.qoe_sketch, m.qoe);
+            digest.sketch_insert(fps.miss_sketch, 100.0 * m.state_miss);
+            digest.record(fps.outage_us, (m.outage_ms * 1000.0) as u64);
+        }
     }
 
     /// Reconstruct Table 1 from the merged digest. Bit-identical to
@@ -164,12 +210,48 @@ pub struct ArmReport {
     pub name: String,
     /// Client behaviour (scenario-file tag).
     pub mode: String,
+    /// Workload the probe ran (`"voip"` or `"fps"`).
+    pub workload: String,
     /// Residual loss (%) at the default playout deadline.
     pub loss_pct: f64,
     /// Wastefully duplicated packets (% of stream).
     pub wasteful_dup_pct: f64,
     /// All secondary-air transmissions (% of stream).
     pub secondary_air_pct: f64,
+    /// FPS only: state ticks missing their deadline (%).
+    pub tick_miss_pct: Option<f64>,
+    /// FPS only: input ticks missing their deadline (%).
+    pub input_miss_pct: Option<f64>,
+    /// FPS only: deadline-based session QoE (0–100).
+    pub qoe: Option<f64>,
+}
+
+/// Fleet-scale deadline statistics for an FPS campaign, read back from the
+/// workload-keyed digest channels.
+#[derive(Clone, Debug, Serialize)]
+pub struct FpsFleetStats {
+    /// Sessions folded (equals `calls`).
+    pub sessions: u64,
+    /// Fraction of sessions with QoE below [`FPS_QOE_POOR`].
+    pub poor_rate: f64,
+    /// Mean session QoE.
+    pub qoe_mean: f64,
+    /// QoE standard deviation.
+    pub qoe_stddev: f64,
+    /// 10th-percentile QoE.
+    pub qoe_p10: f64,
+    /// Median QoE.
+    pub qoe_p50: f64,
+    /// 90th-percentile QoE.
+    pub qoe_p90: f64,
+    /// Median state-tick miss rate (%).
+    pub miss_p50_pct: f64,
+    /// 99th-percentile state-tick miss rate (%).
+    pub miss_p99_pct: f64,
+    /// Median estimated worst outage (ms).
+    pub outage_p50_ms: f64,
+    /// 99th-percentile estimated worst outage (ms).
+    pub outage_p99_ms: f64,
 }
 
 /// The campaign-level artifact written by `repro --campaign`.
@@ -181,6 +263,8 @@ pub struct FleetCampaignReport {
     pub seed: u64,
     /// Calls folded.
     pub calls: u64,
+    /// Workload the scenario's traffic declares (`"voip"` or `"fps"`).
+    pub workload: String,
     /// Digest fingerprint — bit-identical across thread counts and
     /// resume/uninterrupted runs of the same scenario.
     pub fingerprint: u64,
@@ -208,6 +292,8 @@ pub struct FleetCampaignReport {
     pub delay_p50_ms: f64,
     /// 99th-percentile mouth-to-ear delay (ms).
     pub delay_p99_ms: f64,
+    /// FPS deadline statistics (present only for FPS-workload scenarios).
+    pub fps: Option<FpsFleetStats>,
     /// Per-arm closed-loop probe runs.
     pub arms: Vec<ArmReport>,
 }
@@ -238,7 +324,7 @@ where
 {
     let (model, _) = scn.population();
     let sampler = CallSampler::new(&model, scn.seed);
-    let fleet = FleetSchema::new();
+    let fleet = FleetSchema::for_workload(scn.traffic.workload());
     let outcome = run_campaign(
         cfg,
         &fleet.schema,
@@ -259,10 +345,35 @@ where
     let mos = digest.summary(fleet.mos_summary);
     let sketch = digest.sketch(fleet.mos_sketch);
     let delays = digest.histogram(fleet.delay_us);
+    let fps = fleet.fps.as_ref().map(|ch| {
+        let sessions = digest.count(ch.sessions);
+        let qoe = digest.summary(ch.qoe_summary);
+        let qoe_sketch = digest.sketch(ch.qoe_sketch);
+        let miss = digest.sketch(ch.miss_sketch);
+        let outage = digest.histogram(ch.outage_us);
+        FpsFleetStats {
+            sessions,
+            poor_rate: if sessions == 0 {
+                0.0
+            } else {
+                digest.count(ch.poor) as f64 / sessions as f64
+            },
+            qoe_mean: qoe.mean(),
+            qoe_stddev: qoe.stddev(),
+            qoe_p10: qoe_sketch.quantile(0.10),
+            qoe_p50: qoe_sketch.quantile(0.50),
+            qoe_p90: qoe_sketch.quantile(0.90),
+            miss_p50_pct: miss.quantile(0.50),
+            miss_p99_pct: miss.quantile(0.99),
+            outage_p50_ms: outage.quantile(0.50) as f64 / 1000.0,
+            outage_p99_ms: outage.quantile(0.99) as f64 / 1000.0,
+        }
+    });
     Ok(FleetCampaignReport {
         scenario: scn.name.clone(),
         seed: scn.seed,
         calls: digest.len(),
+        workload: scn.traffic.workload_name().to_string(),
         fingerprint: outcome.fingerprint.expect("complete campaign has a fingerprint"),
         shards_total: outcome.shards_total,
         shards_run: outcome.shards_run,
@@ -276,6 +387,7 @@ where
         mos_p90: sketch.quantile(0.90),
         delay_p50_ms: delays.quantile(0.50) as f64 / 1000.0,
         delay_p99_ms: delays.quantile(0.99) as f64 / 1000.0,
+        fps,
         arms: run_arm_probes(scn),
     })
 }
@@ -291,12 +403,17 @@ fn run_arm_probe(scn: &Scenario, arm: &Arm) -> ArmReport {
     let seeds = SeedFactory::new(scn.seed);
     let r = World::new(&cfg, &seeds).run();
     let n = r.trace.len().max(1) as f64;
+    let fps = r.workload.fps();
     ArmReport {
         name: arm.name.clone(),
         mode: crate::scenario::mode_tag(arm.mode).to_string(),
+        workload: scn.traffic.workload_name().to_string(),
         loss_pct: r.trace.loss_rate(DEFAULT_DEADLINE) * 100.0,
         wasteful_dup_pct: 100.0 * r.secondary_wasteful_tx as f64 / n,
         secondary_air_pct: 100.0 * r.secondary_air_tx as f64 / n,
+        tick_miss_pct: fps.map(|o| 100.0 * o.state.miss_rate()),
+        input_miss_pct: fps.map(|o| 100.0 * o.input.miss_rate()),
+        qoe: fps.map(|o| o.qoe),
     }
 }
 
@@ -334,6 +451,30 @@ mod tests {
         assert_eq!(report.calls, 20_000);
         let exact_pcr = pcr_of_calls(&calls);
         assert_eq!(report.poor_rate.to_bits(), exact_pcr.to_bits());
+        assert_eq!(report.workload, "voip");
+        assert!(report.fps.is_none(), "voip campaigns carry no FPS stats");
+    }
+
+    #[test]
+    fn fps_campaign_reports_workload_stats_and_is_thread_invariant() {
+        let mut prints = Vec::new();
+        for threads in [1usize, 4] {
+            let mut scn = tiny_scenario(5_000);
+            scn.traffic = crate::scenario::Traffic::Fps(FpsConfig::office());
+            scn.campaign.threads = threads;
+            let r = run_fleet_campaign(&scn, |_| {}).unwrap();
+            assert_eq!(r.workload, "fps");
+            let fps = r.fps.as_ref().expect("fps scenario must report fps stats");
+            assert_eq!(fps.sessions, 5_000);
+            assert!(
+                fps.qoe_p10 <= fps.qoe_p50 && fps.qoe_p50 <= fps.qoe_p90,
+                "qoe quantiles out of order: {fps:?}"
+            );
+            assert!((0.0..=1.0).contains(&fps.poor_rate));
+            assert!(fps.miss_p50_pct <= fps.miss_p99_pct + 1e-9);
+            prints.push(r.fingerprint);
+        }
+        assert_eq!(prints[0], prints[1], "fps digest fingerprint must be thread-invariant");
     }
 
     #[test]

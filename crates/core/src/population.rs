@@ -145,6 +145,16 @@ pub struct SampledCall {
     pub mos: f64,
     /// End-to-end mouth-to-ear delay (ms).
     pub delay_ms: f64,
+    /// Network-only one-way delay (ms): [`SampledCall::delay_ms`] minus
+    /// the fixed codec + playout budget a voice pipeline adds. This is
+    /// what deadline-driven workloads (FPS) compare against their tick
+    /// deadlines — a game has no mouth-to-ear budget.
+    pub network_delay_ms: f64,
+    /// Composed end-to-end loss (%) across backhaul and WiFi hops — the
+    /// input the E-model (and the FPS session estimator) scored.
+    pub loss_pct: f64,
+    /// Burst ratio of the lossiest WiFi hop (1 = independent losses).
+    pub burst_ratio: f64,
     /// Whether both peers are PC-class (the Table 1 row 3 filter).
     pub pc_pair: bool,
 }
@@ -208,10 +218,14 @@ impl CallSampler {
         let sa = self.subnets[a.subnet];
         let sb = self.subnets[b.subnet];
 
-        // Compose loss multiplicatively and delay additively.
+        // Compose loss multiplicatively and delay additively. The wifi
+        // extras accumulate separately so `network_delay_ms` can be
+        // reported without perturbing `delay_ms`'s float operation order
+        // (campaign digests fingerprint its exact bits).
         let mut loss_pct = sa.backhaul_loss_pct + sb.backhaul_loss_pct;
         let mut burst = 1.0f64;
         let mut delay_ms = sa.backhaul_delay_ms + sb.backhaul_delay_ms + 60.0;
+        let mut wifi_delay_ms = 0.0f64;
         for (hop, sn) in [(a.last_hop, sa), (b.last_hop, sb)] {
             if hop == LastHop::Wifi {
                 let (l, br) = wifi_hop(&mut rng);
@@ -224,7 +238,9 @@ impl CallSampler {
                 };
                 loss_pct += l * density;
                 burst = burst.max(br);
-                delay_ms += rng.range_f64(2.0, 15.0);
+                let d = rng.range_f64(2.0, 15.0);
+                delay_ms += d;
+                wifi_delay_ms += d;
             }
         }
         let q = mos_from_stats(&CodecModel::g711_plc(), loss_pct, burst, delay_ms);
@@ -250,6 +266,9 @@ impl CallSampler {
             },
             mos,
             delay_ms,
+            network_delay_ms: sa.backhaul_delay_ms + sb.backhaul_delay_ms + wifi_delay_ms,
+            loss_pct,
+            burst_ratio: burst,
             pc_pair: a.device == DeviceClass::Pc && b.device == DeviceClass::Pc,
         }
     }

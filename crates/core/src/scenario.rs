@@ -26,7 +26,7 @@ use crate::population::PopulationModel;
 use crate::twonic::TwoNicScenario;
 use crate::world::{RunMode, WorldConfig};
 use diversifi_simcore::{CampaignConfig, FaultPlan, SimDuration};
-use diversifi_voip::StreamSpec;
+use diversifi_voip::{FpsConfig, StreamSpec, WorkloadKind};
 use diversifi_wifi::{Band, Channel, GeParams, LinkConfig};
 use serde::{Deserialize, Serialize, Value};
 use std::path::PathBuf;
@@ -192,6 +192,11 @@ pub enum Traffic {
         /// Stream duration in milliseconds.
         duration_ms: u64,
     },
+    /// Cloud-gaming FPS tick traffic, declared via `[traffic.workload]`
+    /// with `kind = "fps"`. The FPS config defines the downlink state
+    /// stream itself, so `mix` is rejected for this variant; the client
+    /// additionally fires an uplink input tick per frame.
+    Fps(FpsConfig),
 }
 
 impl Traffic {
@@ -205,7 +210,23 @@ impl Traffic {
                 interval: SimDuration::from_micros(interval_us),
                 duration: SimDuration::from_millis(duration_ms),
             },
+            Traffic::Fps(cfg) => cfg.downlink_spec(),
         }
+    }
+
+    /// The workload this traffic drives. All the VoIP-vocabulary mixes
+    /// (`voip`, `high-rate`, `custom`) score via the E-model; only the
+    /// FPS variant brings its own deadline-based accounting.
+    pub fn workload(&self) -> WorkloadKind {
+        match *self {
+            Traffic::Fps(cfg) => WorkloadKind::Fps(cfg),
+            _ => WorkloadKind::Voip,
+        }
+    }
+
+    /// The workload name arms may reference via `arms[i].workload`.
+    pub fn workload_name(&self) -> &'static str {
+        self.workload().label()
     }
 }
 
@@ -222,12 +243,23 @@ pub struct Arm {
     pub with_tcp: bool,
     /// Per-attempt uplink control-message loss probability.
     pub uplink_loss: f64,
+    /// Workload this arm expects to drive, by name (`"voip"`, `"fps"`).
+    /// Validated at parse time against what `scenario.traffic` defines;
+    /// `None` accepts whatever the traffic section declares.
+    pub workload: Option<String>,
 }
 
 impl Arm {
     /// An arm named after its mode, with the testbed defaults.
     pub fn new(name: &str, mode: RunMode) -> Arm {
-        Arm { name: name.to_string(), mode, wake_batch: 1, with_tcp: false, uplink_loss: 0.05 }
+        Arm {
+            name: name.to_string(),
+            mode,
+            wake_batch: 1,
+            with_tcp: false,
+            uplink_loss: 0.05,
+            workload: None,
+        }
     }
 }
 
@@ -405,6 +437,7 @@ impl Scenario {
     pub fn world_config(&self, arm: &Arm) -> WorldConfig {
         let mut cfg = WorldConfig::testbed(self.primary.lower(self.venue), self.secondary.lower(self.venue));
         cfg.spec = self.traffic.lower();
+        cfg.set_workload(self.traffic.workload());
         cfg.mode = arm.mode;
         cfg.wake_batch = arm.wake_batch;
         cfg.with_tcp = arm.with_tcp;
@@ -528,6 +561,21 @@ impl Scenario {
             Some((v, p)) => parse_campaign(v, &p)?,
             None => CampaignSpec::default(),
         };
+        // An arm naming a workload the traffic section doesn't define is a
+        // deployment bug — reject it here, with the full field path, so
+        // `repro --validate-scenario` fails loudly instead of silently
+        // lowering the arm onto a different workload.
+        for (i, arm) in arms.iter().enumerate() {
+            if let Some(w) = &arm.workload {
+                if w != traffic.workload_name() {
+                    return Err(format!(
+                        "{path}.arms[{i}].workload: names workload {w:?} but scenario.traffic \
+                         defines only {:?}",
+                        traffic.workload_name()
+                    ));
+                }
+            }
+        }
         Ok(Scenario { name, seed, venue, primary, secondary, traffic, fleet, faults, arms, campaign })
     }
 
@@ -554,18 +602,39 @@ impl Scenario {
                 ("interval_us".into(), Value::U64(interval_us)),
                 ("duration_ms".into(), Value::U64(duration_ms)),
             ]),
+            // The workload object replaces `mix` entirely; VoIP-scored
+            // mixes above never write a `workload` key, which keeps the
+            // canonical form — and hence every existing scenario
+            // fingerprint and campaign checkpoint — byte-identical.
+            Traffic::Fps(f) => Value::Object(vec![(
+                "workload".into(),
+                Value::Object(vec![
+                    ("kind".into(), Value::Str("fps".into())),
+                    ("tick_ms".into(), Value::U64(f.tick.as_millis())),
+                    ("state_bytes".into(), Value::U64(u64::from(f.state_bytes))),
+                    ("input_bytes".into(), Value::U64(u64::from(f.input_bytes))),
+                    ("duration_ms".into(), Value::U64(f.duration.as_millis())),
+                    ("deadline_ms".into(), Value::U64(f.deadline.as_millis())),
+                    ("input_deadline_ms".into(), Value::U64(f.input_deadline.as_millis())),
+                    ("window_ms".into(), Value::U64(f.window.as_millis())),
+                ]),
+            )]),
         };
         let arms = self
             .arms
             .iter()
             .map(|a| {
-                Value::Object(vec![
+                let mut fields = vec![
                     ("name".into(), Value::Str(a.name.clone())),
                     ("mode".into(), Value::Str(mode_tag(a.mode).into())),
                     ("wake_batch".into(), Value::U64(a.wake_batch as u64)),
                     ("with_tcp".into(), Value::Bool(a.with_tcp)),
                     ("uplink_loss".into(), Value::F64(a.uplink_loss)),
-                ])
+                ];
+                if let Some(w) = &a.workload {
+                    fields.push(("workload".into(), Value::Str(w.clone())));
+                }
+                Value::Object(fields)
             })
             .collect();
         let mut campaign = vec![
@@ -634,7 +703,28 @@ fn parse_ap(v: &Value, path: &str) -> Result<ApSpec, String> {
 }
 
 fn parse_traffic(v: &Value, path: &str) -> Result<Traffic, String> {
-    let obj = Obj::new(v, path, &["mix", "packet_bytes", "interval_us", "duration_ms"])?;
+    let obj = Obj::new(
+        v,
+        path,
+        &["mix", "packet_bytes", "interval_us", "duration_ms", "workload"],
+    )?;
+    let workload = match obj.get("workload") {
+        Some((wv, wp)) => Some(parse_workload(wv, &wp)?),
+        None => None,
+    };
+    if let Some(WorkloadKind::Fps(cfg)) = workload {
+        // The FPS workload defines its own downlink stream; a mix (or any
+        // custom-stream knob) alongside it is a contradiction.
+        for key in ["mix", "packet_bytes", "interval_us", "duration_ms"] {
+            if obj.get(key).is_some() {
+                return Err(format!(
+                    "{path}.{key}: not allowed when workload kind is \"fps\" \
+                     (the FPS workload defines its own downlink stream)"
+                ));
+            }
+        }
+        return Ok(Traffic::Fps(cfg));
+    }
     let mix = obj.req_str("mix")?;
     match mix {
         "voip" => Ok(Traffic::Voip),
@@ -656,6 +746,81 @@ fn parse_traffic(v: &Value, path: &str) -> Result<Traffic, String> {
         }
         other => Err(format!(
             "{path}.mix: unknown traffic mix {other:?} (expected \"voip\", \"high-rate\" or \"custom\")"
+        )),
+    }
+}
+
+/// Parse `[traffic.workload]`: `kind = "voip"` (no knobs) or
+/// `kind = "fps"` with per-tick knobs defaulting to the office preset.
+fn parse_workload(v: &Value, path: &str) -> Result<WorkloadKind, String> {
+    const FPS_KEYS: [&str; 7] = [
+        "tick_ms",
+        "state_bytes",
+        "input_bytes",
+        "duration_ms",
+        "deadline_ms",
+        "input_deadline_ms",
+        "window_ms",
+    ];
+    let obj = Obj::new(
+        v,
+        path,
+        &["kind", "tick_ms", "state_bytes", "input_bytes", "duration_ms", "deadline_ms", "input_deadline_ms", "window_ms"],
+    )?;
+    match obj.req_str("kind")? {
+        "voip" => {
+            for key in FPS_KEYS {
+                if let Some((_, p)) = obj.get(key) {
+                    return Err(format!("{p}: only allowed when kind is \"fps\""));
+                }
+            }
+            Ok(WorkloadKind::Voip)
+        }
+        "fps" => {
+            let d = FpsConfig::office();
+            let tick_ms = obj.opt_u64("tick_ms")?.unwrap_or(d.tick.as_millis());
+            if !(1..=1000).contains(&tick_ms) {
+                return Err(format!("{path}.tick_ms: must be 1..=1000, got {tick_ms}"));
+            }
+            let state_bytes = obj.opt_u64("state_bytes")?.unwrap_or(u64::from(d.state_bytes));
+            if state_bytes == 0 || state_bytes > 65_000 {
+                return Err(format!("{path}.state_bytes: must be 1..=65000, got {state_bytes}"));
+            }
+            let input_bytes = obj.opt_u64("input_bytes")?.unwrap_or(u64::from(d.input_bytes));
+            if input_bytes == 0 || input_bytes > 65_000 {
+                return Err(format!("{path}.input_bytes: must be 1..=65000, got {input_bytes}"));
+            }
+            let duration_ms = obj.opt_u64("duration_ms")?.unwrap_or(d.duration.as_millis());
+            if duration_ms == 0 {
+                return Err(format!("{path}.duration_ms: must be > 0"));
+            }
+            let deadline_ms = obj.opt_u64("deadline_ms")?.unwrap_or(d.deadline.as_millis());
+            if deadline_ms == 0 {
+                return Err(format!("{path}.deadline_ms: must be > 0"));
+            }
+            let input_deadline_ms =
+                obj.opt_u64("input_deadline_ms")?.unwrap_or(d.input_deadline.as_millis());
+            if input_deadline_ms == 0 {
+                return Err(format!("{path}.input_deadline_ms: must be > 0"));
+            }
+            let window_ms = obj.opt_u64("window_ms")?.unwrap_or(d.window.as_millis());
+            if window_ms < tick_ms {
+                return Err(format!(
+                    "{path}.window_ms: must be >= tick_ms ({tick_ms}), got {window_ms}"
+                ));
+            }
+            Ok(WorkloadKind::Fps(FpsConfig {
+                tick: SimDuration::from_millis(tick_ms),
+                state_bytes: state_bytes as u32,
+                input_bytes: input_bytes as u32,
+                duration: SimDuration::from_millis(duration_ms),
+                deadline: SimDuration::from_millis(deadline_ms),
+                input_deadline: SimDuration::from_millis(input_deadline_ms),
+                window: SimDuration::from_millis(window_ms),
+            }))
+        }
+        other => Err(format!(
+            "{path}.kind: unknown workload kind {other:?} (expected \"voip\" or \"fps\")"
         )),
     }
 }
@@ -699,7 +864,7 @@ fn parse_fleet(v: &Value, path: &str) -> Result<Fleet, String> {
 }
 
 fn parse_arm(v: &Value, path: &str) -> Result<Arm, String> {
-    let obj = Obj::new(v, path, &["name", "mode", "wake_batch", "with_tcp", "uplink_loss"])?;
+    let obj = Obj::new(v, path, &["name", "mode", "wake_batch", "with_tcp", "uplink_loss", "workload"])?;
     let (mv, mp) = obj.req("mode")?;
     let mode = mode_from_tag(want_str(mv, &mp)?, &mp)?;
     let name = match obj.get("name") {
@@ -718,7 +883,11 @@ fn parse_arm(v: &Value, path: &str) -> Result<Arm, String> {
     if !(0.0..1.0).contains(&uplink_loss) {
         return Err(format!("{path}.uplink_loss: must be within [0, 1), got {uplink_loss}"));
     }
-    Ok(Arm { name, mode, wake_batch: wake_batch as usize, with_tcp, uplink_loss })
+    let workload = match obj.get("workload") {
+        Some((v, p)) => Some(want_str(v, &p)?.to_string()),
+        None => None,
+    };
+    Ok(Arm { name, mode, wake_batch: wake_batch as usize, with_tcp, uplink_loss, workload })
 }
 
 fn parse_campaign(v: &Value, path: &str) -> Result<CampaignSpec, String> {
@@ -988,6 +1157,118 @@ mod tests {
             "secondary": {"channel": "2.4/11", "distance_m": 9.0}}}"#;
         let err = Scenario::from_json(bad_channel).unwrap_err();
         assert!(err.starts_with("scenario.deployment.primary.channel:"), "{err}");
+    }
+
+    const FPS_TOML: &str = r#"
+        name = "fps-office"
+        seed = 11
+
+        [traffic.workload]
+        kind = "fps"
+        tick_ms = 15
+        duration_ms = 30000
+
+        [[arms]]
+        name = "baseline"
+        mode = "primary-only"
+        workload = "fps"
+
+        [[arms]]
+        name = "diversifi"
+        mode = "custom-ap"
+    "#;
+
+    #[test]
+    fn fps_workload_round_trips_and_lowers() {
+        let s = Scenario::from_toml(FPS_TOML).unwrap();
+        let office = FpsConfig::office();
+        let want = FpsConfig { duration: SimDuration::from_secs(30), ..office };
+        assert_eq!(s.traffic, Traffic::Fps(want));
+        assert_eq!(s.traffic.workload_name(), "fps");
+        assert_eq!(s.arms[0].workload.as_deref(), Some("fps"));
+        assert_eq!(s.arms[1].workload, None);
+
+        // Round trip through the canonical JSON form.
+        let s2 = Scenario::from_json(&s.to_json_pretty()).unwrap();
+        assert_eq!(s, s2);
+        assert_eq!(s.fingerprint(), s2.fingerprint());
+
+        // Lowering drives the world's workload and downlink stream.
+        let cfg = s.world_config(&s.arms[1]);
+        assert_eq!(cfg.workload, WorkloadKind::Fps(want));
+        assert_eq!(cfg.spec, want.downlink_spec());
+    }
+
+    #[test]
+    fn voip_scenarios_serialize_without_a_workload_key() {
+        // The voip-default canonical form must not grow a workload key:
+        // existing fingerprints pin campaign checkpoints.
+        let json = Scenario::testbed("t", 7).to_json_pretty();
+        assert!(!json.contains("workload"), "{json}");
+    }
+
+    #[test]
+    fn workload_field_paths_are_reported() {
+        // mix alongside an FPS workload is a contradiction.
+        let err = Scenario::from_json(
+            r#"{"name": "x", "traffic": {"mix": "voip", "workload": {"kind": "fps"}}}"#,
+        )
+        .unwrap_err();
+        assert!(err.starts_with("scenario.traffic.mix:"), "{err}");
+
+        // Unknown workload kind.
+        let err = Scenario::from_json(
+            r#"{"name": "x", "traffic": {"workload": {"kind": "mmo"}}}"#,
+        )
+        .unwrap_err();
+        assert!(err.starts_with("scenario.traffic.workload.kind:"), "{err}");
+
+        // FPS knobs under kind = "voip".
+        let err = Scenario::from_json(
+            r#"{"name": "x", "traffic": {"mix": "voip", "workload": {"kind": "voip", "tick_ms": 15}}}"#,
+        )
+        .unwrap_err();
+        assert!(err.starts_with("scenario.traffic.workload.tick_ms:"), "{err}");
+
+        // Domain violations inside the workload object.
+        let err = Scenario::from_json(
+            r#"{"name": "x", "traffic": {"workload": {"kind": "fps", "tick_ms": 0}}}"#,
+        )
+        .unwrap_err();
+        assert!(err.starts_with("scenario.traffic.workload.tick_ms:"), "{err}");
+        let err = Scenario::from_json(
+            r#"{"name": "x", "traffic": {"workload": {"kind": "fps", "tick_ms": 20, "window_ms": 10}}}"#,
+        )
+        .unwrap_err();
+        assert!(err.starts_with("scenario.traffic.workload.window_ms:"), "{err}");
+    }
+
+    #[test]
+    fn arm_naming_undefined_workload_is_rejected_with_path() {
+        // VoIP traffic + an arm expecting FPS: full path, both names.
+        let err = Scenario::from_json(
+            r#"{"name": "x", "arms": [{"mode": "primary-only"},
+                {"mode": "custom-ap", "workload": "fps"}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.starts_with("scenario.arms[1].workload:"), "{err}");
+        assert!(err.contains("\"fps\"") && err.contains("\"voip\""), "{err}");
+
+        // And the mirror image: FPS traffic + an arm expecting VoIP.
+        let err = Scenario::from_json(
+            r#"{"name": "x", "traffic": {"workload": {"kind": "fps"}},
+                "arms": [{"mode": "primary-only", "workload": "voip"}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.starts_with("scenario.arms[0].workload:"), "{err}");
+
+        // Matching names pass.
+        let ok = Scenario::from_json(
+            r#"{"name": "x", "traffic": {"workload": {"kind": "fps"}},
+                "arms": [{"mode": "custom-ap", "workload": "fps"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(ok.arms[0].workload.as_deref(), Some("fps"));
     }
 
     #[test]

@@ -28,7 +28,9 @@ use diversifi_simcore::{
     FaultPlan, FaultWindow, QueueBackend, RngStream, SeedFactory, SimDuration, SimTime,
     TraceDetail, TraceKind, WorkerArena, DAY_NANOS, WHEEL_DAYS,
 };
-use diversifi_voip::{StreamSpec, StreamTrace};
+use diversifi_voip::{
+    InputFate, StreamSpec, StreamTrace, WorkloadKind, WorkloadOutcome, WorkloadState,
+};
 use diversifi_wifi::{
     mac, AccessPoint, AdapterId, ApConfig, ApId, ChannelRealization, ClientId, Enqueued, FlowId,
     Frame, FrameKind, LinkConfig, LinkModel, MacMetrics, QueueDiscipline, RealizationCache,
@@ -67,6 +69,12 @@ impl RunMode {
 pub struct WorldConfig {
     /// The real-time stream workload.
     pub spec: StreamSpec,
+    /// Which workload the stream carries (VoIP or FPS tick traffic). The
+    /// downlink shape always comes from `spec`; the workload adds the
+    /// delivery accounting, the optional uplink tick stream, and the
+    /// QoE reduction. Set through [`WorldConfig::set_workload`] so `spec`
+    /// stays consistent.
+    pub workload: WorkloadKind,
     /// Radio link to the primary AP.
     pub primary: LinkConfig,
     /// Radio link to the secondary AP.
@@ -123,6 +131,7 @@ impl WorldConfig {
     pub fn testbed(primary: LinkConfig, secondary: LinkConfig) -> WorldConfig {
         WorldConfig {
             spec: StreamSpec::voip(),
+            workload: WorkloadKind::Voip,
             primary,
             secondary,
             mode: RunMode::DiversifiCustomAp,
@@ -135,6 +144,24 @@ impl WorldConfig {
             uplink_delay: SimDuration::from_micros(250),
             wake_batch: 1,
             faults: FaultPlan::none(),
+        }
+    }
+
+    /// Select the workload, deriving the downlink `spec` from it (an FPS
+    /// session's downlink is its state-tick stream). Tests may shorten
+    /// `spec.duration` afterwards — the workload state follows `spec`.
+    pub fn set_workload(&mut self, kind: WorkloadKind) {
+        self.workload = kind;
+        if let WorkloadKind::Fps(fps) = kind {
+            self.spec = fps.downlink_spec();
+            // Algorithm 1's IPS clock must match the stream's real cadence:
+            // the expected-arrival base calibrates off `now - IPS * seq`,
+            // which underflows (and mis-schedules every visit) if IPS stays
+            // at the VoIP 20 ms while state ticks arrive every `fps.tick`.
+            // MTD scales with it so the requested AP queue still covers the
+            // same wall-clock depth of recoverable packets.
+            self.alg.inter_packet_spacing = fps.tick;
+            self.alg.max_tolerable_delay = fps.deadline;
         }
     }
 }
@@ -182,12 +209,17 @@ pub struct RunReport {
     /// One entry per injected fault window: when it struck, when it cleared,
     /// and when the stream was first heard again (MTTR).
     pub fault_outcomes: Vec<FaultOutcome>,
+    /// Workload-native quality summary (`Voip` carries nothing extra; FPS
+    /// carries per-tick deadline metrics and the deadline-based QoE).
+    pub workload: WorkloadOutcome,
 }
 
 const DEF: AdapterId = AdapterId(0);
 const PRIMARY: AdapterId = AdapterId(1);
 const SECONDARY: AdapterId = AdapterId(2);
-const VOIP_FLOW: FlowId = FlowId(1);
+// The real-time stream's flow id — VoIP or FPS state ticks, depending on
+// the configured workload (historically `VOIP_FLOW`; the id is unchanged).
+const STREAM_FLOW: FlowId = FlowId(1);
 const TCP_FLOW: FlowId = FlowId(2);
 const CLIENT: ClientId = ClientId(0);
 
@@ -219,6 +251,10 @@ enum Ev {
     TcpAck(u64),
     /// Periodic TCP RTO check.
     TcpTimer,
+    /// The client fires uplink input tick `tick` (FPS workloads only;
+    /// never scheduled when the workload has no input stream, so VoIP
+    /// runs see zero extra events and zero extra RNG draws).
+    InputTick(u64),
     /// Fault injection: an AP powers down (`up == false`) or comes back.
     /// `outage` is how long this window keeps the AP down; `window` indexes
     /// the world's expanded fault-window table, so overlapping plans never
@@ -245,7 +281,7 @@ pub struct World<'a> {
     client_side: Option<LinkSide>, // None while retuning
     alg: Algorithm1,
     mbox: Middlebox,
-    trace: StreamTrace,
+    workload: WorkloadState,
     tcp_tx: TcpSender,
     tcp_rx: TcpReceiver,
     rng: RngStream,
@@ -261,11 +297,15 @@ pub struct World<'a> {
     pending_switch_started: Option<SimTime>,
     client_timer_armed: Option<SimTime>,
     done: bool,
-    /// Packet-conservation audit over every VoIP copy that enters the
+    /// Packet-conservation audit over every stream copy that enters the
     /// network (TCP is excluded: retransmission breaks one-copy-one-fate).
     /// Counter updates are unconditional and behaviour-neutral; the
     /// assertions they feed are gated on `simcore::check`.
     ledger: diversifi_simcore::check::PacketLedger,
+    /// Conservation audit over uplink input ticks (FPS workloads; stays
+    /// all-zero for workloads without an input stream). Same gating rules
+    /// as `ledger`.
+    tick_ledger: diversifi_simcore::check::TickLedger,
     // Fault engine. `fault_windows` is the plan expanded once at build
     // time; the rest is the live impairment state those windows drive.
     fault_windows: Vec<FaultWindow>,
@@ -420,14 +460,14 @@ impl<'a> World<'a> {
         alg.set_stream_end(cfg.spec.packet_count());
 
         let mut mbox = Middlebox::new(cfg.middlebox);
-        mbox.register(VOIP_FLOW, Some(cfg.alg.ap_queue_len()));
+        mbox.register(STREAM_FLOW, Some(cfg.alg.ap_queue_len()));
+        let workload = WorkloadState::new(cfg.workload, cfg.spec, SimTime::ZERO);
 
         let client_side = match cfg.mode {
             RunMode::SecondaryOnly => Some(LinkSide::Secondary),
             _ => Some(LinkSide::Primary),
         };
 
-        let trace = StreamTrace::new(cfg.spec, SimTime::ZERO);
         let tcp_tx = TcpSender::new(TcpConfig::default());
 
         World {
@@ -438,7 +478,7 @@ impl<'a> World<'a> {
             client_side,
             alg,
             mbox,
-            trace,
+            workload,
             tcp_tx,
             tcp_rx: TcpReceiver::new(),
             rng: seeds.stream("world", 0),
@@ -451,6 +491,7 @@ impl<'a> World<'a> {
             client_timer_armed: None,
             done: false,
             ledger: diversifi_simcore::check::PacketLedger::new(),
+            tick_ledger: diversifi_simcore::check::TickLedger::new(),
             fault_recovered: vec![None; fault_windows.len()],
             fault_windows,
             pending_recovery: Vec::new(),
@@ -486,6 +527,11 @@ impl<'a> World<'a> {
         }
 
         self.q.schedule(SimTime::ZERO, Ev::SourceEmit(0));
+        // Uplink input ticks ride alongside the downlink stream for
+        // workloads that have them (FPS); VoIP schedules nothing here.
+        if self.workload.input_spec().is_some() {
+            self.q.schedule(SimTime::ZERO, Ev::InputTick(0));
+        }
         if self.cfg.with_tcp {
             self.q.schedule(SimTime::ZERO, Ev::TcpKick);
             self.q.schedule(SimTime::from_millis(50), Ev::TcpTimer);
@@ -541,7 +587,8 @@ impl<'a> World<'a> {
             + self.aps[0].hw_len(PRIMARY)
             + self.aps[1].queue_len(SECONDARY)
             + self.aps[1].hw_len(SECONDARY);
-        self.ledger.finalize(queued_truth, self.mbox.buffered(VOIP_FLOW), 2);
+        self.ledger.finalize(queued_truth, self.mbox.buffered(STREAM_FLOW), 2);
+        self.tick_ledger.finalize();
 
         // Snapshot every component's instruments into the active telemetry
         // session's registry. The closure never runs when telemetry is off,
@@ -566,21 +613,51 @@ impl<'a> World<'a> {
             }
             reg.histogram(ComponentId::world(), "hop_latency_us", &hop);
             // Delivered-packet one-way delay distribution, µs, plus the
-            // playout/E-model view of the finished call.
+            // workload-native view of the finished session: the playout/
+            // E-model MOS for VoIP, per-tick deadline metrics for FPS.
             let mut delay = diversifi_simcore::LogHistogram::new();
-            diversifi_voip::delay_histogram_into(&self.trace, &mut delay);
+            diversifi_voip::delay_histogram_into(self.workload.trace(), &mut delay);
             reg.histogram(ComponentId::playout(), "delay_us", &delay);
-            let pcfg = diversifi_voip::PlayoutConfig::default();
-            let conceal = diversifi_voip::conceal(&self.trace, &pcfg);
-            let q = diversifi_voip::evaluate(
-                &self.trace,
-                &conceal,
-                &diversifi_voip::CodecModel::g711_plc(),
-                pcfg.playout_delay,
-                SimDuration::ZERO,
-            );
-            reg.gauge(ComponentId::playout(), "emodel_r", q.r_factor);
-            reg.gauge(ComponentId::playout(), "mos", q.mos);
+            match &self.workload {
+                WorkloadState::Voip(_) => {
+                    let pcfg = diversifi_voip::PlayoutConfig::default();
+                    let conceal = diversifi_voip::conceal(self.workload.trace(), &pcfg);
+                    let q = diversifi_voip::evaluate(
+                        self.workload.trace(),
+                        &conceal,
+                        &diversifi_voip::CodecModel::g711_plc(),
+                        pcfg.playout_delay,
+                        SimDuration::ZERO,
+                    );
+                    reg.gauge(ComponentId::playout(), "emodel_r", q.r_factor);
+                    reg.gauge(ComponentId::playout(), "mos", q.mos);
+                }
+                WorkloadState::Fps(_) => {
+                    if let WorkloadOutcome::Fps(o) = self.workload.outcome() {
+                        reg.counter(ComponentId::playout(), "ticks_on_time", o.state.on_time);
+                        reg.counter(ComponentId::playout(), "ticks_late", o.state.late);
+                        reg.counter(ComponentId::playout(), "ticks_lost", o.state.lost);
+                        reg.counter(ComponentId::playout(), "input_ticks_on_time", o.input.on_time);
+                        reg.counter(
+                            ComponentId::playout(),
+                            "input_ticks_missed",
+                            o.input.late + o.input.lost,
+                        );
+                        reg.counter(ComponentId::playout(), "input_ticks_blackout", o.input_blackout);
+                        reg.gauge(
+                            ComponentId::playout(),
+                            "tick_worst_window_pct",
+                            o.state.worst_window_pct,
+                        );
+                        reg.gauge(
+                            ComponentId::playout(),
+                            "tick_longest_outage",
+                            o.state.longest_outage_ticks as f64,
+                        );
+                        reg.gauge(ComponentId::playout(), "fps_qoe", o.qoe);
+                    }
+                }
+            }
             reg.counter(ComponentId::world(), "primary_deliveries", self.primary_deliveries);
             reg.counter(ComponentId::world(), "secondary_air_tx", self.secondary_air_tx);
             reg.counter(
@@ -625,8 +702,9 @@ impl<'a> World<'a> {
 
         let duration = self.cfg.spec.duration.as_secs_f64();
         let tcp_throughput_bps = self.tcp_tx.acked_bytes() as f64 * 8.0 / duration;
+        let (trace, workload_outcome) = self.workload.finish();
         let report = RunReport {
-            trace: self.trace,
+            trace,
             primary_deliveries: self.primary_deliveries,
             alg_stats: self.alg.stats,
             secondary_air_tx: self.secondary_air_tx,
@@ -640,6 +718,7 @@ impl<'a> World<'a> {
             ),
             switch_delays: self.switch_delays,
             fault_outcomes,
+            workload: workload_outcome,
         };
         if let Some(arena) = arena {
             arena.put(self.q);
@@ -743,7 +822,7 @@ impl<'a> World<'a> {
                         ComponentId::middlebox(),
                         TraceDetail::Queue {
                             seq,
-                            depth: self.mbox.buffered(VOIP_FLOW) as u16,
+                            depth: self.mbox.buffered(STREAM_FLOW) as u16,
                             cap: self.cfg.alg.ap_queue_len() as u16,
                         },
                     );
@@ -764,6 +843,7 @@ impl<'a> World<'a> {
                 self.q.schedule(now, Ev::TcpKick);
                 self.q.schedule(now + SimDuration::from_millis(50), Ev::TcpTimer);
             }
+            Ev::InputTick(tick) => self.on_input_tick(now, tick),
             Ev::ApReboot { ap, up, outage, window } => {
                 self.on_ap_reboot(now, ap, up, outage, window)
             }
@@ -902,7 +982,7 @@ impl<'a> World<'a> {
         );
         if !up {
             let lost = self.aps[ap].power_cycle();
-            let voip_lost = lost.iter().filter(|f| f.flow == VOIP_FLOW).count();
+            let voip_lost = lost.iter().filter(|f| f.flow == STREAM_FLOW).count();
             self.ledger.flushed(voip_lost);
             // The outage rides on the event itself (it used to be read back
             // from the global config knob, which breaks the moment a plan
@@ -932,7 +1012,7 @@ impl<'a> World<'a> {
 
         // Primary copy (except in the secondary-only baseline).
         if self.cfg.mode != RunMode::SecondaryOnly {
-            let frame = Frame::data(VOIP_FLOW, seq, bytes, now, CLIENT, PRIMARY);
+            let frame = Frame::data(STREAM_FLOW, seq, bytes, now, CLIENT, PRIMARY);
             self.ledger.emit();
             self.q.schedule(now + lan, Ev::ApArrival { ap: 0, frame });
         }
@@ -941,17 +1021,17 @@ impl<'a> World<'a> {
         match self.cfg.mode {
             RunMode::PrimaryOnly => {}
             RunMode::SecondaryOnly => {
-                let frame = Frame::data(VOIP_FLOW, seq, bytes, now, CLIENT, SECONDARY);
+                let frame = Frame::data(STREAM_FLOW, seq, bytes, now, CLIENT, SECONDARY);
                 self.ledger.emit();
                 self.q.schedule(now + lan, Ev::ApArrival { ap: 1, frame });
             }
             RunMode::DiversifiCustomAp | RunMode::EndToEndPsm => {
-                let frame = Frame::data(VOIP_FLOW, seq, bytes, now, CLIENT, SECONDARY);
+                let frame = Frame::data(STREAM_FLOW, seq, bytes, now, CLIENT, SECONDARY);
                 self.ledger.emit();
                 self.q.schedule(now + lan, Ev::ApArrival { ap: 1, frame });
             }
             RunMode::DiversifiMiddlebox => {
-                let pkt = StreamPacket::new(VOIP_FLOW, seq, bytes, now);
+                let pkt = StreamPacket::new(STREAM_FLOW, seq, bytes, now);
                 self.ledger.emit();
                 self.q.schedule(
                     now + lan + self.cfg.middlebox_net_delay,
@@ -964,7 +1044,7 @@ impl<'a> World<'a> {
     fn on_ap_arrival(&mut self, now: SimTime, ap: usize, frame: Frame) {
         let adapter = frame.dst_adapter;
         let seq = frame.seq;
-        let is_voip = frame.flow == VOIP_FLOW;
+        let is_voip = frame.flow == STREAM_FLOW;
         // Queue drops (head- or tail-) are final for this copy; recovery,
         // if any, happens through the other path.
         let outcome = self.aps[ap].enqueue(adapter, frame);
@@ -1008,7 +1088,7 @@ impl<'a> World<'a> {
             return;
         }
         let Some((adapter, frame)) = self.aps[ap].next_tx() else { return };
-        if frame.flow == VOIP_FLOW {
+        if frame.flow == STREAM_FLOW {
             self.ledger.tx_start();
         }
         self.busy[ap] = true;
@@ -1079,7 +1159,7 @@ impl<'a> World<'a> {
                 },
             );
         }
-        if frame.flow == VOIP_FLOW {
+        if frame.flow == STREAM_FLOW {
             if heard {
                 self.ledger.tx_heard();
             } else if outcome.delivered {
@@ -1097,13 +1177,13 @@ impl<'a> World<'a> {
         }
 
         match frame.flow {
-            VOIP_FLOW => {
+            STREAM_FLOW => {
                 let seq = frame.seq;
-                let already = self.trace.fates[seq as usize].arrival.is_some();
+                let already = self.workload.delivered(seq);
                 if ap == 1 && already {
                     self.secondary_wasteful_tx += 1;
                 }
-                self.trace.record_arrival(seq, now);
+                self.workload.record_arrival(seq, now);
                 // The client hears the stream again: every fault window that
                 // has cleared is now confirmed recovered.
                 if !self.pending_recovery.is_empty() {
@@ -1181,6 +1261,61 @@ impl<'a> World<'a> {
                 self.q.schedule(wake, Ev::ClientTimer);
             }
         }
+    }
+
+    /// The client fires one uplink input tick (FPS workloads only): a
+    /// control-sized message taking the same uplink path as PS-Null frames
+    /// and TCP ACKs — bounded retries against `control_loss()`, each retry
+    /// costing one more uplink hop of latency. Never scheduled for
+    /// workloads without an input stream, so VoIP runs are untouched.
+    fn on_input_tick(&mut self, now: SimTime, tick: u64) {
+        let Some(spec) = self.workload.input_spec() else { return };
+        if tick + 1 < spec.packet_count() {
+            self.q.schedule(spec.send_time(SimTime::ZERO, tick + 1), Ev::InputTick(tick + 1));
+        }
+        self.tick_ledger.emit();
+        // No usable radio — mid-retune, or the tuned AP power-cycled our
+        // association away: the tick dies in the driver, consuming no air
+        // time and no RNG draw.
+        let radio_up = match self.client_side {
+            None => false,
+            Some(LinkSide::Primary) => self.aps[0].is_associated(PRIMARY),
+            Some(LinkSide::Secondary) => self.aps[1].is_associated(SECONDARY),
+        };
+        if !radio_up {
+            self.tick_ledger.blackout();
+            self.workload.record_input(tick, InputFate::Blackout);
+            return;
+        }
+        // 3 attempts, like the middlebox re-install requests (the input
+        // path cannot afford the PS fix's 5: the next tick is 15 ms away).
+        let mut delay = self.cfg.uplink_delay;
+        let mut fate = InputFate::Lost;
+        for _ in 0..3 {
+            let loss = self.control_loss();
+            if !self.rng.chance(loss) {
+                let at = now + delay + self.cfg.lan_delay + self.brownout_extra_delay();
+                fate = InputFate::Delivered(at);
+                break;
+            }
+            delay += self.cfg.uplink_delay;
+        }
+        match fate {
+            InputFate::Delivered(at) => {
+                self.tick_ledger.delivered();
+                trace_event!(
+                    now,
+                    TraceKind::Transport,
+                    ComponentId::client(),
+                    TraceDetail::Transport {
+                        seq: tick,
+                        flight: at.saturating_since(now).as_micros().min(u16::MAX as u64) as u16,
+                    },
+                );
+            }
+            _ => self.tick_ledger.lost(),
+        }
+        self.workload.record_input(tick, fate);
     }
 
     /// Deliver an uplink Null(PM) frame to an AP, modelling the paper's
@@ -1328,8 +1463,8 @@ impl<'a> World<'a> {
         }
         match start {
             Some(from_seq) => {
-                let buffered_before = self.mbox.buffered(VOIP_FLOW);
-                let (service, burst) = self.mbox.start(VOIP_FLOW, from_seq);
+                let buffered_before = self.mbox.buffered(STREAM_FLOW);
+                let (service, burst) = self.mbox.start(STREAM_FLOW, from_seq);
                 // The drain empties the ring: copies newer than the request
                 // head for the secondary AP, older ones are useless.
                 self.ledger.mbox_drain(burst.len(), buffered_before - burst.len());
@@ -1341,7 +1476,7 @@ impl<'a> World<'a> {
                     self.q.schedule(now + d, Ev::ApArrival { ap: 1, frame });
                 }
             }
-            None => self.mbox.stop(VOIP_FLOW),
+            None => self.mbox.stop(STREAM_FLOW),
         }
     }
 

@@ -363,6 +363,73 @@ impl PacketLedger {
     }
 }
 
+/// Conservation ledger for uplink input ticks (the FPS workload's
+/// client→server packet class). Much simpler than [`PacketLedger`] —
+/// a tick's fate is decided at emission time (delivered after bounded
+/// retries, lost on the air, or blacked out because the client had no
+/// usable radio) — but the same contract holds: counter updates are
+/// unconditional and behaviour-neutral; the closure assertion is gated
+/// on [`enabled`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TickLedger {
+    /// Ticks the client fired.
+    pub emitted: i64,
+    /// Ticks that reached the server.
+    pub delivered: i64,
+    /// Ticks whose every transmission attempt died on the air.
+    pub lost: i64,
+    /// Ticks fired while the client was mid-retune with no association —
+    /// never transmitted at all.
+    pub blackout: i64,
+}
+
+impl TickLedger {
+    /// A fresh ledger.
+    pub fn new() -> TickLedger {
+        TickLedger::default()
+    }
+
+    /// The client fired a tick.
+    #[inline]
+    pub fn emit(&mut self) {
+        self.emitted += 1;
+    }
+
+    /// The tick reached the server.
+    #[inline]
+    pub fn delivered(&mut self) {
+        self.delivered += 1;
+    }
+
+    /// Every attempt died on the air.
+    #[inline]
+    pub fn lost(&mut self) {
+        self.lost += 1;
+    }
+
+    /// No radio to transmit on.
+    #[inline]
+    pub fn blackout(&mut self) {
+        self.blackout += 1;
+    }
+
+    /// Every emitted tick must have reached exactly one fate.
+    pub fn finalize(&self) {
+        if !enabled() {
+            return;
+        }
+        sim_assert_eq!(
+            self.emitted,
+            self.delivered + self.lost + self.blackout,
+            "tick conservation violated: emitted {} != delivered {} + lost {} + blackout {}",
+            self.emitted,
+            self.delivered,
+            self.lost,
+            self.blackout
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -513,5 +580,32 @@ mod tests {
         l.flushed(4);
         assert_eq!(l.queue_dropped, 4);
         l.finalize(0, 0, 1);
+    }
+
+    #[test]
+    fn tick_ledger_closes_over_all_fates() {
+        let mut l = TickLedger::new();
+        for _ in 0..5 {
+            l.emit();
+        }
+        l.delivered();
+        l.delivered();
+        l.lost();
+        l.blackout();
+        l.delivered();
+        l.finalize();
+    }
+
+    #[test]
+    fn tick_ledger_catches_unaccounted_tick() {
+        if !AUDIT_COMPILED {
+            return; // nothing to catch in an audit-free build
+        }
+        let mut l = TickLedger::new();
+        l.emit();
+        l.emit();
+        l.delivered();
+        let r = std::panic::catch_unwind(move || l.finalize());
+        assert!(r.is_err(), "an emitted tick with no fate must be caught");
     }
 }

@@ -12,6 +12,10 @@
 //!   impairment, MOS mapping, and the Poor-Call-Rate classifier.
 //! - [`metrics`] — figure-level helpers: loss correlation, burst
 //!   histograms, worst-window ECDFs.
+//! - [`workload`] — the pluggable workload layer: what the world
+//!   simulates *for* (source shape, delivery accounting, QoE reduction).
+//! - [`fps`] — the cloud-gaming FPS workload: tick traffic with hard
+//!   per-tick deadlines and a deadline-based QoE score.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,19 +25,28 @@
 
 pub mod codecfec;
 pub mod emodel;
+pub mod fps;
 pub mod metrics;
 pub mod playout;
 pub mod stream;
 pub mod trace;
+pub mod workload;
 
 pub use codecfec::{conceal_with_lbrr, LbrrConfig, LbrrStats};
 pub use emodel::{burst_ratio, evaluate, CallQuality, CodecModel, PcrModel};
+pub use fps::{
+    fps_qoe, session_metrics, session_qoe, tick_stats, FpsConfig, FpsOutcome, FpsSessionMetrics,
+    TickStats, FPS_QOE_POOR,
+};
 pub use playout::{
     conceal, conceal_adaptive, delay_histogram_into, AdaptivePlayout, ConcealmentStats,
     PlayoutConfig,
 };
 pub use stream::StreamSpec;
 pub use trace::{PacketFate, StreamTrace, DEFAULT_DEADLINE};
+pub use workload::{
+    FpsWorkload, InputFate, VoipWorkload, Workload, WorkloadKind, WorkloadOutcome, WorkloadState,
+};
 
 #[cfg(test)]
 mod proptests {

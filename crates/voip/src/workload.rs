@@ -1,0 +1,320 @@
+//! The pluggable workload layer.
+//!
+//! A [`Workload`] is what the world simulates *for*: it owns the source
+//! model's shape (a downlink [`StreamSpec`], optionally an uplink tick
+//! stream), the per-packet delivery accounting, and the reduction to
+//! workload-native quality metrics. The world stays workload-agnostic —
+//! it moves frames over channels and reports deliveries through this
+//! trait; everything G.711- or FPS-specific lives behind it.
+//!
+//! Contract (DESIGN.md §14):
+//! - construction and every `record_*` call must be deterministic pure
+//!   state updates — a workload never draws randomness and never observes
+//!   wall-clock, so runs stay a pure function of `(WorldConfig, seed)`;
+//! - `record_arrival`/`delivered` must preserve the earliest-arrival
+//!   semantics of [`StreamTrace`] (duplicates keep the first arrival);
+//! - workloads with no uplink stream return `None` from `input_spec` and
+//!   must never see `record_input` — the VoIP world schedules no input
+//!   ticks, which is what keeps the refactor byte-identical to the
+//!   pre-trait engine (no extra events, no extra RNG draws);
+//! - every emitted input tick must reach exactly one [`InputFate`] so the
+//!   tick ledger closes (`emitted == delivered + lost + blackout`).
+
+use crate::fps::{fps_qoe, tick_stats, FpsConfig, FpsOutcome};
+use crate::stream::StreamSpec;
+use crate::trace::StreamTrace;
+use diversifi_simcore::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Which workload a world runs. The configuration-level counterpart of
+/// [`WorkloadState`] (which holds the live accounting).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// G.711 VoIP: the paper's workload, quality via E-model MOS.
+    Voip,
+    /// Cloud-gaming FPS tick traffic, quality via deadline metrics.
+    Fps(FpsConfig),
+}
+
+impl WorkloadKind {
+    /// Short stable label (scenario files, campaign tables, telemetry).
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkloadKind::Voip => "voip",
+            WorkloadKind::Fps(_) => "fps",
+        }
+    }
+}
+
+/// Terminal fate of one uplink input tick.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum InputFate {
+    /// Reached the server at this time.
+    Delivered(SimTime),
+    /// Every transmission attempt died on the air.
+    Lost,
+    /// The client had no usable radio when the tick fired (mid-retune with
+    /// no association) — it was never transmitted at all.
+    Blackout,
+}
+
+/// Workload-native quality summary, attached to every run report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum WorkloadOutcome {
+    /// VoIP carries nothing extra: MOS and loss figures are computed from
+    /// the trace downstream, exactly as before the workload layer existed.
+    Voip,
+    /// FPS deadline metrics and QoE.
+    Fps(FpsOutcome),
+}
+
+impl WorkloadOutcome {
+    /// The FPS outcome, if this run was an FPS session.
+    pub fn fps(&self) -> Option<&FpsOutcome> {
+        match self {
+            WorkloadOutcome::Voip => None,
+            WorkloadOutcome::Fps(o) => Some(o),
+        }
+    }
+}
+
+/// What the world needs from a workload. See the module docs for the
+/// determinism and ledger obligations implementations must uphold.
+pub trait Workload {
+    /// The uplink tick stream, if the workload has one.
+    fn input_spec(&self) -> Option<StreamSpec>;
+    /// A downlink packet reached the client's application.
+    fn record_arrival(&mut self, seq: u64, at: SimTime);
+    /// Has downlink packet `seq` arrived (at any time)?
+    fn delivered(&self, seq: u64) -> bool;
+    /// An uplink input tick reached its terminal fate.
+    fn record_input(&mut self, tick: u64, fate: InputFate);
+    /// The downlink delivery trace (shared vocabulary for every workload).
+    fn trace(&self) -> &StreamTrace;
+    /// Reduce to the workload-native quality summary without consuming.
+    fn outcome(&self) -> WorkloadOutcome;
+}
+
+/// The VoIP workload: a transparent wrapper around the [`StreamTrace`]
+/// the world used to own directly. Byte-identical behaviour by
+/// construction — every method is the code the world inlined before.
+#[derive(Clone, Debug)]
+pub struct VoipWorkload {
+    /// The downlink delivery trace.
+    pub trace: StreamTrace,
+}
+
+impl VoipWorkload {
+    /// Fresh all-lost trace for `spec` starting at `start`.
+    pub fn new(spec: StreamSpec, start: SimTime) -> VoipWorkload {
+        VoipWorkload { trace: StreamTrace::new(spec, start) }
+    }
+}
+
+impl Workload for VoipWorkload {
+    fn input_spec(&self) -> Option<StreamSpec> {
+        None
+    }
+    fn record_arrival(&mut self, seq: u64, at: SimTime) {
+        self.trace.record_arrival(seq, at);
+    }
+    fn delivered(&self, seq: u64) -> bool {
+        self.trace.fates[seq as usize].arrival.is_some()
+    }
+    fn record_input(&mut self, _tick: u64, _fate: InputFate) {
+        unreachable!("VoIP has no input ticks (input_spec() is None)");
+    }
+    fn trace(&self) -> &StreamTrace {
+        &self.trace
+    }
+    fn outcome(&self) -> WorkloadOutcome {
+        WorkloadOutcome::Voip
+    }
+}
+
+/// The FPS workload: state ticks down (the `trace`), input ticks up.
+#[derive(Clone, Debug)]
+pub struct FpsWorkload {
+    /// Session parameters.
+    pub cfg: FpsConfig,
+    /// Downlink state-tick delivery trace.
+    pub trace: StreamTrace,
+    /// Uplink input-tick delivery trace (arrival = at the server).
+    pub input: StreamTrace,
+    /// Input ticks that fired while the client had no usable radio.
+    pub input_blackout: u64,
+}
+
+impl FpsWorkload {
+    /// Fresh session. `spec` is the world's downlink spec, which must be
+    /// the one `cfg.downlink_spec()` produces (the world may shorten the
+    /// duration for tests; the tick cadence and sizes must match).
+    pub fn new(cfg: FpsConfig, spec: StreamSpec, start: SimTime) -> FpsWorkload {
+        let mut input_spec = cfg.input_spec();
+        input_spec.duration = spec.duration;
+        FpsWorkload {
+            cfg,
+            trace: StreamTrace::new(spec, start),
+            input: StreamTrace::new(input_spec, start),
+            input_blackout: 0,
+        }
+    }
+}
+
+impl Workload for FpsWorkload {
+    fn input_spec(&self) -> Option<StreamSpec> {
+        Some(self.input.spec)
+    }
+    fn record_arrival(&mut self, seq: u64, at: SimTime) {
+        self.trace.record_arrival(seq, at);
+    }
+    fn delivered(&self, seq: u64) -> bool {
+        self.trace.fates[seq as usize].arrival.is_some()
+    }
+    fn record_input(&mut self, tick: u64, fate: InputFate) {
+        match fate {
+            InputFate::Delivered(at) => self.input.record_arrival(tick, at),
+            InputFate::Lost => {}
+            InputFate::Blackout => self.input_blackout += 1,
+        }
+    }
+    fn trace(&self) -> &StreamTrace {
+        &self.trace
+    }
+    fn outcome(&self) -> WorkloadOutcome {
+        let state = tick_stats(&self.trace, self.cfg.deadline, self.cfg.window);
+        let input = tick_stats(&self.input, self.cfg.input_deadline, self.cfg.window);
+        WorkloadOutcome::Fps(FpsOutcome {
+            state,
+            input,
+            input_blackout: self.input_blackout,
+            qoe: fps_qoe(&self.cfg, &state, &input),
+        })
+    }
+}
+
+/// Enum dispatch over the workload implementations, so the world stays a
+/// non-generic type (monomorphising `World` per workload would double the
+/// hot path's code size for no benefit — there are two variants and the
+/// dispatch is far off the per-frame path).
+#[derive(Clone, Debug)]
+pub enum WorkloadState {
+    /// See [`VoipWorkload`].
+    Voip(VoipWorkload),
+    /// See [`FpsWorkload`].
+    Fps(FpsWorkload),
+}
+
+impl WorkloadState {
+    /// Build the live state for `kind` over the world's downlink `spec`.
+    pub fn new(kind: WorkloadKind, spec: StreamSpec, start: SimTime) -> WorkloadState {
+        match kind {
+            WorkloadKind::Voip => WorkloadState::Voip(VoipWorkload::new(spec, start)),
+            WorkloadKind::Fps(cfg) => WorkloadState::Fps(FpsWorkload::new(cfg, spec, start)),
+        }
+    }
+
+    fn as_dyn(&self) -> &dyn Workload {
+        match self {
+            WorkloadState::Voip(w) => w,
+            WorkloadState::Fps(w) => w,
+        }
+    }
+
+    fn as_dyn_mut(&mut self) -> &mut dyn Workload {
+        match self {
+            WorkloadState::Voip(w) => w,
+            WorkloadState::Fps(w) => w,
+        }
+    }
+
+    /// See [`Workload::input_spec`].
+    pub fn input_spec(&self) -> Option<StreamSpec> {
+        self.as_dyn().input_spec()
+    }
+    /// See [`Workload::record_arrival`].
+    pub fn record_arrival(&mut self, seq: u64, at: SimTime) {
+        self.as_dyn_mut().record_arrival(seq, at);
+    }
+    /// See [`Workload::delivered`].
+    pub fn delivered(&self, seq: u64) -> bool {
+        self.as_dyn().delivered(seq)
+    }
+    /// See [`Workload::record_input`].
+    pub fn record_input(&mut self, tick: u64, fate: InputFate) {
+        self.as_dyn_mut().record_input(tick, fate);
+    }
+    /// See [`Workload::trace`].
+    pub fn trace(&self) -> &StreamTrace {
+        self.as_dyn().trace()
+    }
+    /// See [`Workload::outcome`].
+    pub fn outcome(&self) -> WorkloadOutcome {
+        self.as_dyn().outcome()
+    }
+
+    /// Consume into the final trace + quality summary for the run report.
+    pub fn finish(self) -> (StreamTrace, WorkloadOutcome) {
+        let outcome = self.outcome();
+        let trace = match self {
+            WorkloadState::Voip(w) => w.trace,
+            WorkloadState::Fps(w) => w.trace,
+        };
+        (trace, outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversifi_simcore::SimDuration;
+
+    #[test]
+    fn voip_workload_is_a_transparent_trace_wrapper() {
+        let spec = StreamSpec::voip();
+        let mut w = WorkloadState::new(WorkloadKind::Voip, spec, SimTime::ZERO);
+        assert!(w.input_spec().is_none());
+        assert!(!w.delivered(0));
+        let at = SimTime::ZERO + SimDuration::from_millis(30);
+        w.record_arrival(0, at);
+        assert!(w.delivered(0));
+        // Earliest-arrival semantics survive duplicates.
+        w.record_arrival(0, at + SimDuration::from_millis(50));
+        let (trace, outcome) = w.finish();
+        assert_eq!(trace.fates[0].arrival, Some(at));
+        assert!(matches!(outcome, WorkloadOutcome::Voip));
+    }
+
+    #[test]
+    fn fps_workload_reduces_both_directions() {
+        let cfg = FpsConfig {
+            duration: SimDuration::from_millis(150), // 10 ticks
+            ..FpsConfig::office()
+        };
+        let mut w = WorkloadState::new(WorkloadKind::Fps(cfg), cfg.downlink_spec(), SimTime::ZERO);
+        assert_eq!(w.input_spec().unwrap().packet_bytes, cfg.input_bytes);
+        for seq in 0..8u64 {
+            let sent = w.trace().fates[seq as usize].sent;
+            w.record_arrival(seq, sent + SimDuration::from_millis(10));
+        }
+        for tick in 0..10u64 {
+            let fate = match tick {
+                0..=6 => {
+                    InputFate::Delivered(SimTime::ZERO + cfg.tick * tick + SimDuration::from_millis(9))
+                }
+                7 => InputFate::Lost,
+                _ => InputFate::Blackout,
+            };
+            w.record_input(tick, fate);
+        }
+        let (_, outcome) = w.finish();
+        let o = outcome.fps().expect("fps outcome");
+        assert_eq!((o.state.ticks, o.state.on_time, o.state.lost), (10, 8, 2));
+        assert_eq!((o.input.ticks, o.input.on_time, o.input.lost), (10, 7, 3));
+        assert_eq!(o.input_blackout, 2);
+        // 20% state-tick loss is far past the 600×miss-rate cliff: clamps
+        // to the floor, as an FPS session with one in five frames missing
+        // should.
+        assert_eq!(o.qoe.to_bits(), 0f64.to_bits());
+    }
+}

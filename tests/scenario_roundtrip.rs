@@ -12,6 +12,8 @@
 
 use diversifi::scenario::{mode_tag, parse_channel, ApSpec, Arm, LinkQuality, Scenario, Traffic, Venue};
 use diversifi::world::RunMode;
+use diversifi_simcore::SimDuration;
+use diversifi_voip::FpsConfig;
 use proptest::prelude::*;
 
 /// Tiny deterministic generator state (splitmix64) so scenario shapes
@@ -70,14 +72,28 @@ fn random_scenario(seed: u64) -> Scenario {
     s.venue = venues[g.below(3) as usize];
     s.primary = ap(&mut g);
     s.secondary = ap(&mut g);
-    s.traffic = match g.below(3) {
+    s.traffic = match g.below(4) {
         0 => Traffic::Voip,
         1 => Traffic::HighRate,
-        _ => Traffic::Custom {
+        2 => Traffic::Custom {
             packet_bytes: 100 + g.below(1200) as u32,
             interval_us: 1000 + g.below(40_000),
             duration_ms: 1000 + g.below(60_000),
         },
+        _ => {
+            // Knobs quantized to whole milliseconds — the schema's unit —
+            // so serialization round-trips exactly.
+            let tick_ms = 5 + g.below(45);
+            Traffic::Fps(FpsConfig {
+                tick: SimDuration::from_millis(tick_ms),
+                state_bytes: 64 + g.below(1200) as u32,
+                input_bytes: 16 + g.below(200) as u32,
+                duration: SimDuration::from_millis(1000 + g.below(120_000)),
+                deadline: SimDuration::from_millis(20 + g.below(200)),
+                input_deadline: SimDuration::from_millis(20 + g.below(100)),
+                window: SimDuration::from_millis(tick_ms + g.below(3000)),
+            })
+        }
     };
     s.fleet.calls = g.below(1_000_000);
     s.fleet.subnets = 10 + g.below(1000) as usize;
@@ -89,6 +105,11 @@ fn random_scenario(seed: u64) -> Scenario {
             arm.wake_batch = 1 + g.below(8) as usize;
             arm.with_tcp = g.below(2) == 1;
             arm.uplink_loss = g.f64(0.0, 0.9);
+            // Arms may pin the workload they expect; only the name the
+            // traffic section defines is valid, so that's what we write.
+            if g.below(3) == 0 {
+                arm.workload = Some(s.traffic.workload_name().to_string());
+            }
             arm
         })
         .collect();
@@ -189,6 +210,36 @@ fn malformed_scenarios_report_field_paths() {
         (
             r#"{"name": "x", "fleet": {"pc_fraction": 1.5}}"#.into(),
             "scenario.fleet.pc_fraction",
+        ),
+        // `mix` contradicts an FPS workload declaration.
+        (
+            r#"{"name": "x", "traffic": {"mix": "voip", "workload": {"kind": "fps"}}}"#.into(),
+            "scenario.traffic.mix",
+        ),
+        // Unknown workload kind.
+        (
+            r#"{"name": "x", "traffic": {"workload": {"kind": "rts"}}}"#.into(),
+            "scenario.traffic.workload.kind",
+        ),
+        // FPS-only knob under a voip workload.
+        (
+            r#"{"name": "x", "traffic": {"mix": "voip", "workload": {"kind": "voip", "deadline_ms": 80}}}"#.into(),
+            "scenario.traffic.workload.deadline_ms",
+        ),
+        // Unknown key inside the workload object.
+        (
+            r#"{"name": "x", "traffic": {"workload": {"kind": "fps", "tickrate": 64}}}"#.into(),
+            "scenario.traffic.workload.tickrate",
+        ),
+        // Domain violation inside the workload object.
+        (
+            r#"{"name": "x", "traffic": {"workload": {"kind": "fps", "state_bytes": 0}}}"#.into(),
+            "scenario.traffic.workload.state_bytes",
+        ),
+        // An arm naming a workload the traffic section doesn't define.
+        (
+            r#"{"name": "x", "arms": [{"mode": "custom-ap", "workload": "fps"}]}"#.into(),
+            "scenario.arms[0].workload",
         ),
     ];
     let cases: Vec<(&str, &str)> = cases.iter().map(|(i, p)| (i.as_str(), *p)).collect();
