@@ -43,7 +43,9 @@ fn bench_fold(c: &mut Criterion) {
             let out = run_campaign(
                 &cfg(0),
                 &fleet.schema,
-                |i, _scratch, digest| fleet.fold(&sampler.call(i), digest),
+                |i, _scratch, digest| {
+                    fleet.fold(&sampler.call(i), digest);
+                },
                 |_| {},
             )
             .expect("in-memory campaign cannot fail");
@@ -76,7 +78,9 @@ fn bench_fold(c: &mut Criterion) {
             let out = run_campaign(
                 &cfg(1),
                 &fleet.schema,
-                |i, _scratch, digest| fleet.fold(&sampler.call(i), digest),
+                |i, _scratch, digest| {
+                    fleet.fold(&sampler.call(i), digest);
+                },
                 |_| {},
             )
             .expect("in-memory campaign cannot fail");

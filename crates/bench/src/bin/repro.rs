@@ -76,6 +76,8 @@ fn main() {
     let mut metrics_out: Option<String> = None;
     let mut campaign_path: Option<String> = None;
     let mut validate_paths: Vec<String> = Vec::new();
+    let mut forensics_out: Option<String> = None;
+    let mut flight_topk: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -100,6 +102,17 @@ fn main() {
             "--campaign" => {
                 campaign_path = Some(args.next().expect("--campaign SCENARIO.{json,toml}"));
             }
+            "--forensics-out" => {
+                forensics_out = Some(args.next().expect("--forensics-out DIR"));
+            }
+            "--flight-topk" => {
+                flight_topk = Some(
+                    args.next()
+                        .expect("--flight-topk N")
+                        .parse()
+                        .expect("flight top-K must be a small integer"),
+                );
+            }
             "--validate-scenario" => {
                 validate_paths.push(args.next().expect("--validate-scenario SCENARIO.{json,toml}"));
             }
@@ -107,6 +120,10 @@ fn main() {
                 println!(
                     "telemetry: compiled {}",
                     if diversifi_simcore::telemetry::TRACE_COMPILED { "in" } else { "out" }
+                );
+                println!(
+                    "flight recorder: compiled {}",
+                    if diversifi_simcore::FLIGHT_COMPILED { "in" } else { "out" }
                 );
                 return;
             }
@@ -116,13 +133,19 @@ fn main() {
                      [--metrics-out PATH] [--telemetry-status] [--phase-profile] \
                      [--bench-compare FRESH.json [BASELINE.json...]] \
                      [--campaign SCENARIO.{{json,toml}}] \
+                     [--forensics-out DIR] [--flight-topk N] \
                      [--validate-scenario SCENARIO.{{json,toml}}] \
                      [--resilience] [EXPERIMENT...]\n\
                      experiments: table1 table2 table3 fig1 fig2a fig2b fig2c fig2d \
                      fig2e fig3 fig4 fig5 fig6 fig8 fig9 fig10 overhead mbox-scale all \
                      ablations fec crosstech uplink multiclient resilience\n\
                      --campaign runs a declarative scenario file's fleet campaign \
-                     (sharded, checkpointable) and writes a JSON report under --out;\n\
+                     (sharded, checkpointable) and writes a JSON report plus a \
+                     campaign-health JSONL time series under --out;\n\
+                     --flight-topk N arms the flight recorder for the K worst calls \
+                     (overrides the scenario's [observe] section);\n\
+                     --forensics-out DIR re-simulates the worst calls and writes \
+                     their Perfetto + JSONL timelines there;\n\
                      --validate-scenario parses + lowers a scenario file and prints \
                      the lowered configuration or a field-path error."
                 );
@@ -140,7 +163,7 @@ fn main() {
         }
         if let Some(p) = &campaign_path {
             if code == 0 {
-                code = campaign_cli(p, &out_dir);
+                code = campaign_cli(p, &out_dir, forensics_out.as_deref(), flight_topk);
             }
         }
         std::process::exit(code);
@@ -410,11 +433,31 @@ fn validate_scenario_cli(path: &str) -> i32 {
     0
 }
 
+/// A human calls/sec figure that degrades gracefully: campaigns that
+/// finish inside one throttle interval (or resume everything from
+/// checkpoints) print "—" instead of a nonsense billions-of-calls/s rate
+/// from dividing by a near-zero elapsed time.
+fn rate_str(calls: u64, secs: f64) -> String {
+    if secs < 1e-3 || calls == 0 {
+        "—".to_string()
+    } else {
+        format!("{:.0}", calls as f64 / secs)
+    }
+}
+
 /// `repro --campaign FILE`: run the scenario's sharded fleet campaign
-/// with live progress (including calls/sec), print the campaign report,
-/// and write the JSON artifact under `--out`. Exit 0 on success, 2 on
-/// parse/run failure.
-fn campaign_cli(path: &str, out_dir: &str) -> i32 {
+/// with live progress (including calls/sec) and health heartbeats, print
+/// the campaign report, and write the JSON artifact plus the
+/// campaign-health JSONL under `--out`. With `--flight-topk` /
+/// `--forensics-out` (or a scenario `[observe]` section) the flight
+/// recorder retains the K worst calls and re-simulates their full event
+/// timelines. Exit 0 on success, 2 on parse/run failure.
+fn campaign_cli(
+    path: &str,
+    out_dir: &str,
+    forensics_out: Option<&str>,
+    flight_topk: Option<usize>,
+) -> i32 {
     let scn = match load_scenario(path) {
         Ok(s) => s,
         Err(e) => {
@@ -422,6 +465,15 @@ fn campaign_cli(path: &str, out_dir: &str) -> i32 {
             return 2;
         }
     };
+    let mut cfg = scn.campaign_config();
+    if let Some(k) = flight_topk {
+        cfg.flight_k = k;
+    }
+    if forensics_out.is_some() && cfg.flight_k == 0 {
+        // Forensics with nothing retained would be an empty dossier;
+        // default to a useful handful.
+        cfg.flight_k = 4;
+    }
     println!(
         "[campaign] {:?}: {} calls, shard size {}, fingerprint {:016x}",
         scn.name,
@@ -431,6 +483,9 @@ fn campaign_cli(path: &str, out_dir: &str) -> i32 {
     );
     if let Some(dir) = &scn.campaign.checkpoint_dir {
         println!("[campaign] checkpoints: {dir}");
+    }
+    if cfg.flight_k > 0 {
+        println!("[campaign] flight recorder: top-{} worst calls", cfg.flight_k);
     }
 
     let start = std::time::Instant::now();
@@ -447,33 +502,68 @@ fn campaign_cli(path: &str, out_dir: &str) -> i32 {
             }
             *last = Some(std::time::Instant::now());
         }
-        let rate = p.calls_done as f64 / start.elapsed().as_secs_f64().max(1e-9);
+        let rate = rate_str(p.calls_done, start.elapsed().as_secs_f64());
         let pct = if p.calls_planned == 0 {
             100.0
         } else {
             100.0 * p.calls_done as f64 / p.calls_planned as f64
         };
         println!(
-            "[campaign] {:>12}/{} calls ({pct:5.1}%)  shards {}/{} ({} resumed)  {rate:.0} calls/s",
+            "[campaign] {:>12}/{} calls ({pct:5.1}%)  shards {}/{} ({} resumed)  {rate} calls/s",
             p.calls_done, p.calls_planned, p.shards_done, p.shards_total, p.shards_resumed,
         );
     };
-    let rep = match diversifi::run_fleet_campaign(&scn, progress) {
+    // The heartbeat stream: every freshly executed shard appends one JSONL
+    // record (written under --out after the run) and refreshes a throttled
+    // live health line.
+    let health_lines = std::sync::Mutex::new(Vec::<String>::new());
+    let last_health = std::sync::Mutex::new(None::<std::time::Instant>);
+    let heartbeat = |hb: &diversifi_simcore::HeartbeatSample| {
+        let line = format!(
+            "{{\"shard\":{},\"calls\":{},\"shard_wall_us\":{},\"checkpoint_write_us\":{},\
+             \"shards_done\":{},\"shards_total\":{},\"calls_done\":{},\"elapsed_ms\":{}}}",
+            hb.shard,
+            hb.calls,
+            hb.shard_wall_ns / 1_000,
+            hb.checkpoint_write_ns / 1_000,
+            hb.shards_done,
+            hb.shards_total,
+            hb.calls_done,
+            hb.elapsed_ns / 1_000_000,
+        );
+        health_lines.lock().unwrap().push(line);
+        {
+            let mut last = last_health.lock().unwrap();
+            if last.is_some_and(|t| t.elapsed() < std::time::Duration::from_millis(500)) {
+                return;
+            }
+            *last = Some(std::time::Instant::now());
+        }
+        println!(
+            "[health] shard {:>5} folded {} calls in {:.1} ms (ckpt {:.2} ms)  {} calls/s overall",
+            hb.shard,
+            hb.calls,
+            hb.shard_wall_ns as f64 / 1e6,
+            hb.checkpoint_write_ns as f64 / 1e6,
+            rate_str(hb.calls_done, hb.elapsed_ns as f64 / 1e9),
+        );
+    };
+    let run = match diversifi::run_fleet_campaign_observed(&scn, &cfg, progress, heartbeat) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("campaign: {e}");
             return 2;
         }
     };
-    let elapsed = start.elapsed();
+    let rep = &run.report;
+    let elapsed = start.elapsed().as_secs_f64();
 
     println!(
-        "[campaign] done in {:.2} s — {} calls, {} shards run, {} resumed, {:.0} calls/s",
-        elapsed.as_secs_f64(),
+        "[campaign] done in {elapsed:.2} s — {} calls, {} shards run, {} resumed, {} calls/s",
         rep.calls,
         rep.shards_run,
         rep.shards_resumed,
-        rep.calls as f64 / elapsed.as_secs_f64().max(1e-9),
+        rate_str(rep.calls, elapsed),
     );
     println!("[campaign] digest fingerprint: {:016x}", rep.fingerprint);
     println!(
@@ -535,13 +625,79 @@ fn campaign_cli(path: &str, out_dir: &str) -> i32 {
         }
         println!("{line}");
     }
+    let h = &rep.health;
+    println!(
+        "[campaign] health: shard wall p50/p99 {}/{} µs, checkpoint p50 {} µs, merge {:.1} ms, \
+         {} shards timed",
+        h.shard_wall_p50_us,
+        h.shard_wall_p99_us,
+        h.checkpoint_write_p50_us,
+        h.merge_ms,
+        h.shards_timed,
+    );
+    if let Some(flight) = &rep.flight {
+        for f in flight {
+            println!(
+                "[flight] worst call index {:>8}  score {:.3}  (seed {:#x})",
+                f.index, f.score, f.seed
+            );
+        }
+        if flight.is_empty() {
+            println!("[flight] no calls fell below the poor trigger");
+        }
+    }
 
-    let artifact = format!("campaign_{}", rep.scenario.replace([' ', '/'], "_"));
-    match report::write_json(out_dir, &artifact, &rep) {
+    let safe_name = rep.scenario.replace([' ', '/'], "_");
+    let artifact = format!("campaign_{safe_name}");
+    match report::write_json(out_dir, &artifact, rep) {
         Ok(p) => println!("[artifact] {p}"),
         Err(e) => {
             eprintln!("campaign: failed to write artifact: {e}");
             return 2;
+        }
+    }
+    let lines = health_lines.into_inner().unwrap();
+    if !lines.is_empty() {
+        let path = format!("{out_dir}/campaign-health_{safe_name}.jsonl");
+        let body = lines.join("\n") + "\n";
+        if let Err(e) =
+            std::fs::create_dir_all(out_dir).and_then(|()| std::fs::write(&path, body))
+        {
+            eprintln!("campaign: failed to write health series: {e}");
+            return 2;
+        }
+        println!("[artifact] {path}");
+    }
+
+    if let Some(dir) = forensics_out {
+        let worst = run.flight.as_ref().expect("flight_k > 0 when forensics requested");
+        if worst.is_empty() {
+            println!("[forensics] nothing to capture: no calls fell below the poor trigger");
+        } else {
+            if !diversifi_simcore::FLIGHT_COMPILED {
+                eprintln!(
+                    "[forensics] warning: release build without the `trace` feature — \
+                     captures will carry scores but empty event timelines; \
+                     rebuild with `--features trace`"
+                );
+            }
+            let captures = diversifi::capture_worst_calls(&scn, worst, scn.observe.ring);
+            let chrome = diversifi_simcore::export::flight_chrome_trace(&captures);
+            let jsonl = diversifi_simcore::export::flight_jsonl(&captures);
+            let base = format!("{dir}/flight_{safe_name}");
+            let written = std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(format!("{base}.json"), chrome))
+                .and_then(|()| std::fs::write(format!("{base}.jsonl"), jsonl));
+            if let Err(e) = written {
+                eprintln!("campaign: failed to write forensics: {e}");
+                return 2;
+            }
+            println!(
+                "[forensics] {} captures ({} calls × {} arms) → {base}.json (Perfetto), {base}.jsonl",
+                captures.len(),
+                worst.len(),
+                scn.arms.len().max(1),
+            );
         }
     }
     0

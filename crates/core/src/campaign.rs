@@ -14,8 +14,8 @@ use crate::population::relative_delta;
 use crate::scenario::{Arm, Scenario};
 use crate::world::World;
 use diversifi_simcore::{
-    run_campaign, CampaignConfig, CampaignProgress, ChannelId, DigestSchema, SeedFactory,
-    ShardDigest,
+    run_campaign_observed, CampaignConfig, CampaignHealth, CampaignProgress, ChannelId,
+    DigestSchema, FlightKey, HeartbeatSample, SeedFactory, ShardDigest, WorstK,
 };
 use diversifi_voip::{session_metrics, FpsConfig, WorkloadKind, DEFAULT_DEADLINE, FPS_QOE_POOR};
 use serde::Serialize;
@@ -121,8 +121,10 @@ impl FleetSchema {
         fleet
     }
 
-    /// Fold one sampled call into a shard digest.
-    pub fn fold(&self, s: &SampledCall, digest: &mut ShardDigest) {
+    /// Fold one sampled call into a shard digest, returning the call's
+    /// workload-native quality score (E-model MOS for VoIP, session QoE
+    /// for FPS) — what the flight recorder's trigger compares against.
+    pub fn fold(&self, s: &SampledCall, digest: &mut ShardDigest) -> f64 {
         let class = class_of(&s.call);
         let subsets = [
             true,
@@ -152,6 +154,9 @@ impl FleetSchema {
             digest.sketch_insert(fps.qoe_sketch, m.qoe);
             digest.sketch_insert(fps.miss_sketch, 100.0 * m.state_miss);
             digest.record(fps.outage_us, (m.outage_ms * 1000.0) as u64);
+            m.qoe
+        } else {
+            s.mos
         }
     }
 
@@ -254,6 +259,58 @@ pub struct FpsFleetStats {
     pub outage_p99_ms: f64,
 }
 
+/// One retained worst call in the campaign artifact: enough to reproduce
+/// the call (`seed` + `index` are the sampler inputs) and to order it
+/// (lower score = worse).
+#[derive(Clone, Debug, Serialize)]
+pub struct FlightEntryReport {
+    /// Workload-native score (MOS or QoE) the trigger compared.
+    pub score: f64,
+    /// Call index within the campaign.
+    pub index: u64,
+    /// Master seed the call was sampled under.
+    pub seed: u64,
+}
+
+/// The committed `campaign-health` section: engine wall-clock telemetry
+/// aggregated over the run. Observational only — never part of
+/// fingerprints.
+#[derive(Clone, Debug, Serialize)]
+pub struct CampaignHealthReport {
+    /// End-to-end campaign wall time (seconds).
+    pub elapsed_s: f64,
+    /// Freshly folded calls per second over the whole run.
+    pub calls_per_s: f64,
+    /// Freshly executed shards with timing samples.
+    pub shards_timed: u64,
+    /// Median per-shard fold wall time (µs).
+    pub shard_wall_p50_us: u64,
+    /// 99th-percentile per-shard fold wall time (µs).
+    pub shard_wall_p99_us: u64,
+    /// Median per-shard checkpoint write time (µs, 0 without checkpoints).
+    pub checkpoint_write_p50_us: u64,
+    /// 99th-percentile checkpoint write time (µs).
+    pub checkpoint_write_p99_us: u64,
+    /// Total digest-merge wall time (ms).
+    pub merge_ms: f64,
+}
+
+impl CampaignHealthReport {
+    /// Reduce the engine's health counters to the committed section.
+    pub fn from_health(h: &CampaignHealth) -> CampaignHealthReport {
+        CampaignHealthReport {
+            elapsed_s: h.elapsed_ns as f64 / 1e9,
+            calls_per_s: h.calls_per_sec(),
+            shards_timed: h.shard_wall_us.count(),
+            shard_wall_p50_us: h.shard_wall_us.quantile(0.50),
+            shard_wall_p99_us: h.shard_wall_us.quantile(0.99),
+            checkpoint_write_p50_us: h.checkpoint_write_us.quantile(0.50),
+            checkpoint_write_p99_us: h.checkpoint_write_us.quantile(0.99),
+            merge_ms: h.merge_ns as f64 / 1e6,
+        }
+    }
+}
+
 /// The campaign-level artifact written by `repro --campaign`.
 #[derive(Clone, Debug, Serialize)]
 pub struct FleetCampaignReport {
@@ -294,8 +351,23 @@ pub struct FleetCampaignReport {
     pub delay_p99_ms: f64,
     /// FPS deadline statistics (present only for FPS-workload scenarios).
     pub fps: Option<FpsFleetStats>,
+    /// The K worst calls the flight recorder retained, worst first
+    /// (present only when the scenario arms the recorder).
+    pub flight: Option<Vec<FlightEntryReport>>,
+    /// Engine health telemetry for this run.
+    pub health: CampaignHealthReport,
     /// Per-arm closed-loop probe runs.
     pub arms: Vec<ArmReport>,
+}
+
+/// What [`run_fleet_campaign_observed`] hands back: the artifact plus the
+/// raw selector (exact score bits, ready for forensic capture).
+#[derive(Clone, Debug)]
+pub struct FleetCampaignRun {
+    /// The campaign artifact.
+    pub report: FleetCampaignReport,
+    /// The merged worst-call selector (`Some` iff the recorder was armed).
+    pub flight: Option<WorstK>,
 }
 
 /// Run the scenario's fleet campaign with the scenario's own execution
@@ -322,14 +394,43 @@ pub fn run_fleet_campaign_with<P>(
 where
     P: Fn(&CampaignProgress) + Sync,
 {
+    run_fleet_campaign_observed(scn, cfg, progress, |_| {}).map(|run| run.report)
+}
+
+/// [`run_fleet_campaign_with`] with the flight recorder and heartbeat
+/// attached. When `cfg.flight_k > 0` every call whose workload score
+/// falls below the trigger (`scenario.observe.trigger`, defaulting to the
+/// workload-native poor threshold) offers itself to the worst-K selector;
+/// the merged selection comes back on [`FleetCampaignRun::flight`] for
+/// forensic capture. `heartbeat` receives per-shard engine health samples
+/// as shards complete (from worker threads, in scheduling order).
+pub fn run_fleet_campaign_observed<P, H>(
+    scn: &Scenario,
+    cfg: &CampaignConfig,
+    progress: P,
+    heartbeat: H,
+) -> std::io::Result<FleetCampaignRun>
+where
+    P: Fn(&CampaignProgress) + Sync,
+    H: Fn(&HeartbeatSample) + Sync,
+{
     let (model, _) = scn.population();
     let sampler = CallSampler::new(&model, scn.seed);
     let fleet = FleetSchema::for_workload(scn.traffic.workload());
-    let outcome = run_campaign(
+    let trigger =
+        scn.observe.trigger.unwrap_or_else(|| scn.traffic.workload().poor_trigger());
+    let seed = scn.seed;
+    let outcome = run_campaign_observed(
         cfg,
         &fleet.schema,
-        |i, _scratch, digest| fleet.fold(&sampler.call(i), digest),
+        |i, _scratch, digest, worst| {
+            let score = fleet.fold(&sampler.call(i), digest);
+            if score < trigger {
+                worst.offer(FlightKey { score, seed, index: i });
+            }
+        },
         progress,
+        heartbeat,
     )?;
     let digest = outcome.digest.ok_or_else(|| {
         std::io::Error::other(format!(
@@ -369,7 +470,13 @@ where
             outage_p99_ms: outage.quantile(0.99) as f64 / 1000.0,
         }
     });
-    Ok(FleetCampaignReport {
+    let flight_entries = outcome.flight.as_ref().map(|w| {
+        w.entries()
+            .iter()
+            .map(|e| FlightEntryReport { score: e.score, index: e.index, seed: e.seed })
+            .collect()
+    });
+    let report = FleetCampaignReport {
         scenario: scn.name.clone(),
         seed: scn.seed,
         calls: digest.len(),
@@ -388,8 +495,11 @@ where
         delay_p50_ms: delays.quantile(0.50) as f64 / 1000.0,
         delay_p99_ms: delays.quantile(0.99) as f64 / 1000.0,
         fps,
+        flight: flight_entries,
+        health: CampaignHealthReport::from_health(&outcome.health),
         arms: run_arm_probes(scn),
-    })
+    };
+    Ok(FleetCampaignRun { report, flight: outcome.flight })
 }
 
 /// One closed-loop world run per experiment arm at the scenario's

@@ -58,6 +58,7 @@ pub mod campaign;
 pub mod corpus;
 pub mod crosstech;
 pub mod evaluation;
+pub mod flight;
 pub mod multiworld;
 pub mod nettest;
 pub mod population;
@@ -69,7 +70,11 @@ pub mod uplink;
 pub mod world;
 
 pub use analysis::{AnalysisOptions, CallRecord, QualityParams, Strategy};
-pub use campaign::{run_fleet_campaign, run_fleet_campaign_with, FleetCampaignReport, FleetSchema};
+pub use campaign::{
+    run_fleet_campaign, run_fleet_campaign_observed, run_fleet_campaign_with,
+    CampaignHealthReport, FleetCampaignReport, FleetCampaignRun, FleetSchema, FlightEntryReport,
+};
+pub use flight::capture_worst_calls;
 pub use corpus::{CallEnvironment, CorpusMix};
 pub use evaluation::{EvalOptions, EvalRun, OverheadSummary};
 pub use scenario::{ApSpec, Arm, LinkQuality, Scenario, Traffic, Venue};

@@ -357,6 +357,29 @@ impl Default for CampaignSpec {
     }
 }
 
+/// Observability knobs: the campaign flight recorder and its capture
+/// trigger. The defaults (`flight_topk = 0`) keep the recorder off, and a
+/// default `ObserveSpec` serializes to nothing at all — so scenarios that
+/// never mention `[observe]` keep their exact pre-recorder fingerprints
+/// and checkpoints.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObserveSpec {
+    /// Keep the K worst calls for forensic capture (0 = recorder off).
+    pub flight_topk: usize,
+    /// Poor-call score trigger override; `None` uses the workload-native
+    /// threshold (E-model poor-MOS for VoIP, the FPS QoE floor).
+    pub trigger: Option<f64>,
+    /// Telemetry ring capacity (events) used when re-simulating the worst
+    /// calls for capture.
+    pub ring: usize,
+}
+
+impl Default for ObserveSpec {
+    fn default() -> ObserveSpec {
+        ObserveSpec { flight_topk: 0, trigger: None, ring: 4096 }
+    }
+}
+
 /// A complete declarative experiment scenario.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Scenario {
@@ -380,6 +403,8 @@ pub struct Scenario {
     pub arms: Vec<Arm>,
     /// Campaign execution knobs.
     pub campaign: CampaignSpec,
+    /// Observability knobs (flight recorder).
+    pub observe: ObserveSpec,
 }
 
 impl Scenario {
@@ -396,6 +421,7 @@ impl Scenario {
             faults: FaultPlan::none(),
             arms: Vec::new(),
             campaign: CampaignSpec::default(),
+            observe: ObserveSpec::default(),
         }
     }
 
@@ -471,6 +497,7 @@ impl Scenario {
         cfg.threads = self.campaign.threads;
         cfg.checkpoint_dir = self.campaign.checkpoint_dir.as_ref().map(PathBuf::from);
         cfg.config_fingerprint = self.fingerprint();
+        cfg.flight_k = self.observe.flight_topk;
         cfg
     }
 
@@ -516,7 +543,10 @@ impl Scenario {
         let obj = Obj::new(
             v,
             path,
-            &["name", "seed", "venue", "deployment", "traffic", "fleet", "faults", "arms", "campaign"],
+            &[
+                "name", "seed", "venue", "deployment", "traffic", "fleet", "faults", "arms",
+                "campaign", "observe",
+            ],
         )?;
         let name = obj.req_str("name")?.to_string();
         let seed = obj.opt_u64("seed")?.unwrap_or(0);
@@ -561,6 +591,10 @@ impl Scenario {
             Some((v, p)) => parse_campaign(v, &p)?,
             None => CampaignSpec::default(),
         };
+        let observe = match obj.get("observe") {
+            Some((v, p)) => parse_observe(v, &p)?,
+            None => ObserveSpec::default(),
+        };
         // An arm naming a workload the traffic section doesn't define is a
         // deployment bug — reject it here, with the full field path, so
         // `repro --validate-scenario` fails loudly instead of silently
@@ -576,7 +610,19 @@ impl Scenario {
                 }
             }
         }
-        Ok(Scenario { name, seed, venue, primary, secondary, traffic, fleet, faults, arms, campaign })
+        Ok(Scenario {
+            name,
+            seed,
+            venue,
+            primary,
+            secondary,
+            traffic,
+            fleet,
+            faults,
+            arms,
+            campaign,
+            observe,
+        })
     }
 
     // ------------------------------------------------------ serialization
@@ -644,7 +690,7 @@ impl Scenario {
         if let Some(dir) = &self.campaign.checkpoint_dir {
             campaign.push(("checkpoint_dir".into(), Value::Str(dir.clone())));
         }
-        Value::Object(vec![
+        let mut root = Value::Object(vec![
             ("name".into(), Value::Str(self.name.clone())),
             ("seed".into(), Value::U64(self.seed)),
             ("venue".into(), Value::Str(self.venue.tag().into())),
@@ -671,7 +717,21 @@ impl Scenario {
             ("faults".into(), self.faults.to_value()),
             ("arms".into(), Value::Array(arms)),
             ("campaign".into(), Value::Object(campaign)),
-        ])
+        ]);
+        // A default observe section serializes to nothing: scenarios that
+        // never mention the recorder keep their exact pre-recorder
+        // canonical form, fingerprint, and checkpoints.
+        if self.observe != ObserveSpec::default() {
+            let mut observe = vec![("flight_topk".into(), Value::U64(self.observe.flight_topk as u64))];
+            if let Some(t) = self.observe.trigger {
+                observe.push(("trigger".into(), Value::F64(t)));
+            }
+            observe.push(("ring".into(), Value::U64(self.observe.ring as u64)));
+            if let Value::Object(fields) = &mut root {
+                fields.push(("observe".into(), Value::Object(observe)));
+            }
+        }
+        root
     }
 
     /// Canonical pretty-JSON text of the scenario.
@@ -908,6 +968,29 @@ fn parse_campaign(v: &Value, path: &str) -> Result<CampaignSpec, String> {
     Ok(CampaignSpec { shard_size, threads: threads as usize, checkpoint_dir })
 }
 
+fn parse_observe(v: &Value, path: &str) -> Result<ObserveSpec, String> {
+    let obj = Obj::new(v, path, &["flight_topk", "trigger", "ring"])?;
+    let d = ObserveSpec::default();
+    let flight_topk = obj.opt_u64("flight_topk")?.unwrap_or(d.flight_topk as u64);
+    if flight_topk > 4096 {
+        return Err(format!("{path}.flight_topk: must be 0 (= off) ..= 4096, got {flight_topk}"));
+    }
+    let trigger = match obj.opt_f64("trigger")? {
+        Some(t) => {
+            if !t.is_finite() {
+                return Err(format!("{path}.trigger: must be finite, got {t}"));
+            }
+            Some(t)
+        }
+        None => None,
+    };
+    let ring = obj.opt_u64("ring")?.unwrap_or(d.ring as u64);
+    if !(16..=1_048_576).contains(&ring) {
+        return Err(format!("{path}.ring: must be 16 ..= 1048576 events, got {ring}"));
+    }
+    Ok(ObserveSpec { flight_topk: flight_topk as usize, trigger, ring: ring as usize })
+}
+
 /// Render a channel as the scenario-file string form (`"2.4/1"`, `"5/36"`).
 pub fn channel_tag(ch: Channel) -> String {
     match ch.band {
@@ -1093,6 +1176,46 @@ mod tests {
         let from_json = Scenario::from_json(&json).unwrap();
         assert_eq!(from_toml, from_json);
         assert_eq!(from_toml.fingerprint(), from_json.fingerprint());
+    }
+
+    #[test]
+    fn observe_section_round_trips_and_defaults_serialize_to_nothing() {
+        // No [observe] section: the recorder defaults off and the
+        // canonical form never mentions it — pre-recorder fingerprints
+        // are untouched.
+        let plain = Scenario::from_toml(TOML_SCENARIO).unwrap();
+        assert_eq!(plain.observe, ObserveSpec::default());
+        assert!(!plain.to_json_pretty().contains("observe"));
+        assert_eq!(plain.campaign_config().flight_k, 0);
+
+        let with_observe = format!(
+            "{TOML_SCENARIO}\n[observe]\nflight_topk = 8\ntrigger = 3.5\nring = 2048\n"
+        );
+        let s = Scenario::from_toml(&with_observe).unwrap();
+        assert_eq!(
+            s.observe,
+            ObserveSpec { flight_topk: 8, trigger: Some(3.5), ring: 2048 }
+        );
+        assert_eq!(s.campaign_config().flight_k, 8);
+        assert_ne!(s.fingerprint(), plain.fingerprint());
+        let back = Scenario::from_value_at(&s.to_value(), "scenario").unwrap();
+        assert_eq!(s, back);
+        assert_eq!(s.fingerprint(), back.fingerprint());
+    }
+
+    #[test]
+    fn observe_section_errors_carry_field_paths() {
+        let bad_key = format!("{TOML_SCENARIO}\n[observe]\nflight_top = 8\n");
+        let err = Scenario::from_toml(&bad_key).unwrap_err();
+        assert!(err.contains("scenario.observe.flight_top"), "{err}");
+
+        let bad_k = format!("{TOML_SCENARIO}\n[observe]\nflight_topk = 5000\n");
+        let err = Scenario::from_toml(&bad_k).unwrap_err();
+        assert!(err.contains("scenario.observe.flight_topk"), "{err}");
+
+        let bad_ring = format!("{TOML_SCENARIO}\n[observe]\nring = 4\n");
+        let err = Scenario::from_toml(&bad_ring).unwrap_err();
+        assert!(err.contains("scenario.observe.ring"), "{err}");
     }
 
     #[test]

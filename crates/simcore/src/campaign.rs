@@ -22,16 +22,32 @@
 //! parse (e.g. a file truncated by a kill), is discarded and its shard
 //! re-run; resume never degrades to a silently different result.
 //!
+//! # Flight recorder and heartbeat
+//!
+//! [`run_campaign_observed`] extends the fold with a per-shard
+//! [`WorstK`] flight selector (merged in shard index order, serialised
+//! into shard checkpoints bit-exactly — see [`crate::flight`]) and a
+//! per-shard [`HeartbeatSample`] callback carrying wall-clock health
+//! counters. The selector reads only the scores the fold already
+//! computes and the heartbeat only reads the clock, so digests — and
+//! their fingerprints — are bit-identical with the recorder on or off.
+//! `flight_k` participates in the campaign id: checkpoints written with
+//! a different retention can never silently resume into this run.
+//!
 //! The engine itself never prints; callers observe progress through the
 //! [`progress`](CampaignConfig::run) callback (the `repro --campaign`
-//! front-end turns it into a calls/sec ticker).
+//! front-end turns it into a calls/sec ticker) and health through the
+//! heartbeat callback.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
-use serde::Value;
+use serde::{Deserialize, Serialize, Value};
 
 use crate::digest::{DigestSchema, ShardDigest};
+use crate::flight::WorstK;
+use crate::metrics::LogHistogram;
 use crate::scratch::MetricsScratch;
 use crate::par::SweepRunner;
 
@@ -63,11 +79,16 @@ pub struct CampaignConfig {
     /// to completion. This is how tests — and budget-limited runs —
     /// simulate a mid-campaign kill deterministically.
     pub max_new_shards: Option<usize>,
+    /// Flight-recorder retention: keep the K worst calls' keys for
+    /// post-campaign forensic capture. `0` disables the recorder (the
+    /// selector is never touched). Part of the campaign id, so
+    /// recorder-on and recorder-off checkpoints never mix.
+    pub flight_k: usize,
 }
 
 impl CampaignConfig {
     /// A campaign over `n_calls` with the default shard size (8192 calls),
-    /// auto threads, no checkpointing.
+    /// auto threads, no checkpointing, recorder off.
     pub fn new(n_calls: u64) -> CampaignConfig {
         CampaignConfig {
             n_calls,
@@ -76,6 +97,7 @@ impl CampaignConfig {
             checkpoint_dir: None,
             config_fingerprint: 0,
             max_new_shards: None,
+            flight_k: 0,
         }
     }
 
@@ -93,14 +115,18 @@ impl CampaignConfig {
     }
 
     /// The id stamped into (and demanded of) every checkpoint: the
-    /// caller's config fingerprint folded with the schema layout and the
-    /// shard plan, so a checkpoint from any other campaign shape can never
-    /// be resumed into this one.
+    /// caller's config fingerprint folded with the schema layout, the
+    /// shard plan, and the flight retention, so a checkpoint from any
+    /// other campaign shape can never be resumed into this one.
     pub fn campaign_id(&self, schema: &DigestSchema) -> u64 {
         let mut id = 0xcbf29ce484222325u64;
-        for v in
-            [self.config_fingerprint, schema.fingerprint(), self.n_calls, self.shard_size]
-        {
+        for v in [
+            self.config_fingerprint,
+            schema.fingerprint(),
+            self.n_calls,
+            self.shard_size,
+            self.flight_k as u64,
+        ] {
             for b in v.to_le_bytes() {
                 id ^= b as u64;
                 id = id.wrapping_mul(0x100000001b3);
@@ -140,6 +166,62 @@ pub struct CampaignProgress {
     pub shards_resumed: usize,
 }
 
+/// One heartbeat: per-shard health counters published the moment a
+/// freshly executed shard finishes. Everything here is wall-clock
+/// *observation* — nondeterministic by nature, never folded back into
+/// results. Publication order across workers is scheduling-dependent;
+/// consumers that need determinism should read [`CampaignHealth`]
+/// (folded in shard index order) instead.
+#[derive(Clone, Copy, Debug)]
+pub struct HeartbeatSample {
+    /// Index of the shard that just finished.
+    pub shard: usize,
+    /// Calls the shard folded.
+    pub calls: u64,
+    /// Wall-clock nanoseconds the shard's fold took.
+    pub shard_wall_ns: u64,
+    /// Wall-clock nanoseconds its checkpoint write took (0 when
+    /// checkpointing is off).
+    pub checkpoint_write_ns: u64,
+    /// Shards finished so far (run or resumed).
+    pub shards_done: usize,
+    /// Total shards in the plan.
+    pub shards_total: usize,
+    /// Calls folded so far across all workers.
+    pub calls_done: u64,
+    /// Wall-clock nanoseconds since the campaign started.
+    pub elapsed_ns: u64,
+}
+
+/// Aggregated campaign health: the heartbeat stream folded into
+/// histograms plus end-to-end totals. Wall-clock observations about the
+/// engine — they never feed back into digests or selection.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignHealth {
+    /// Per-shard fold wall time (µs), freshly executed shards only.
+    pub shard_wall_us: LogHistogram,
+    /// Per-shard checkpoint write wall time (µs), when checkpointing.
+    pub checkpoint_write_us: LogHistogram,
+    /// Total wall time spent merging shard digests (ns).
+    pub merge_ns: u64,
+    /// End-to-end campaign wall time (ns).
+    pub elapsed_ns: u64,
+    /// Calls freshly folded by this run (resumed shards excluded).
+    pub calls_folded: u64,
+}
+
+impl CampaignHealth {
+    /// Fresh calls per second over the whole run (0 when nothing ran or
+    /// the clock read 0).
+    pub fn calls_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            0.0
+        } else {
+            self.calls_folded as f64 * 1e9 / self.elapsed_ns as f64
+        }
+    }
+}
+
 /// What a campaign run produced.
 #[derive(Clone, Debug)]
 pub struct CampaignOutcome {
@@ -150,6 +232,11 @@ pub struct CampaignOutcome {
     /// Fingerprint of the merged digest (see
     /// [`ShardDigest::fingerprint`]); `None` when incomplete.
     pub fingerprint: Option<u64>,
+    /// The merged flight selector — `Some` exactly when the campaign
+    /// completed with `flight_k > 0`.
+    pub flight: Option<WorstK>,
+    /// Aggregated health counters for this run.
+    pub health: CampaignHealth,
     /// Shards in the plan.
     pub shards_total: usize,
     /// Shards executed by this run.
@@ -165,14 +252,17 @@ fn shard_path(dir: &Path, s: usize) -> PathBuf {
 }
 
 /// Load one shard checkpoint, returning `None` (shard will re-run) on any
-/// mismatch or corruption.
+/// mismatch or corruption. When the campaign records flight data the
+/// checkpoint must carry a valid selector of the same `k` — a digest
+/// without its selector would silently drop worst calls on resume.
 fn load_shard(
     dir: &Path,
     s: usize,
     id: u64,
     schema: &DigestSchema,
     want: (u64, u64),
-) -> Option<ShardDigest> {
+    flight_k: usize,
+) -> Option<(ShardDigest, WorstK)> {
     let text = std::fs::read_to_string(shard_path(dir, s)).ok()?;
     let v: Value = serde_json::from_str(&text).ok()?;
     let file_id = v.get("campaign_id").and_then(Value::as_u64)?;
@@ -183,7 +273,16 @@ fn load_shard(
     if (d.first(), d.len()) != want {
         return None;
     }
-    Some(d)
+    let worst = if flight_k == 0 {
+        WorstK::new(0)
+    } else {
+        let w = WorstK::from_value(v.get("flight")?).ok()?;
+        if w.k() != flight_k {
+            return None;
+        }
+        w
+    };
+    Some((d, worst))
 }
 
 /// Write one shard checkpoint atomically (temp file in the same directory,
@@ -195,13 +294,17 @@ fn store_shard(
     id: u64,
     schema: &DigestSchema,
     digest: &ShardDigest,
+    worst: Option<&WorstK>,
 ) -> std::io::Result<()> {
-    let body = Value::Object(vec![
+    let mut fields = vec![
         ("campaign_id".to_string(), Value::U64(id)),
         ("shard".to_string(), Value::U64(s as u64)),
         ("digest".to_string(), digest.to_value(schema)),
-    ]);
-    let text = serde_json::to_string(&body)
+    ];
+    if let Some(w) = worst {
+        fields.push(("flight".to_string(), w.to_value()));
+    }
+    let text = serde_json::to_string(&Value::Object(fields))
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     let tmp = dir.join(format!("shard-{s:06}.json.tmp"));
     std::fs::write(&tmp, text)?;
@@ -224,6 +327,9 @@ fn store_shard(
 /// same RSS. The merge consumes shards strictly in index order, which is
 /// what keeps fingerprints bit-identical across thread counts and
 /// resume/uninterrupted runs.
+///
+/// This entry point ignores `flight_k` (the fold never sees a selector);
+/// use [`run_campaign_observed`] for the flight recorder and heartbeat.
 pub fn run_campaign<F, P>(
     cfg: &CampaignConfig,
     schema: &DigestSchema,
@@ -234,6 +340,35 @@ where
     F: Fn(u64, &mut MetricsScratch, &mut ShardDigest) + Sync,
     P: Fn(&CampaignProgress) + Sync,
 {
+    let mut cfg = cfg.clone();
+    cfg.flight_k = 0;
+    run_campaign_observed(
+        &cfg,
+        schema,
+        |i, scratch, digest, _worst| per_call(i, scratch, digest),
+        progress,
+        |_| {},
+    )
+}
+
+/// [`run_campaign`] with the flight recorder and heartbeat attached:
+/// the fold additionally receives the shard's [`WorstK`] selector
+/// (inert when `cfg.flight_k == 0`), and `heartbeat` is invoked from
+/// worker threads as each freshly executed shard completes. The merged
+/// selector and aggregated [`CampaignHealth`] land on the outcome.
+pub fn run_campaign_observed<F, P, H>(
+    cfg: &CampaignConfig,
+    schema: &DigestSchema,
+    per_call: F,
+    progress: P,
+    heartbeat: H,
+) -> std::io::Result<CampaignOutcome>
+where
+    F: Fn(u64, &mut MetricsScratch, &mut ShardDigest, &mut WorstK) + Sync,
+    P: Fn(&CampaignProgress) + Sync,
+    H: Fn(&HeartbeatSample) + Sync,
+{
+    let started = Instant::now();
     let shards_total = cfg.shards();
     let id = cfg.campaign_id(schema);
     if shards_total == 0 {
@@ -242,6 +377,8 @@ where
         return Ok(CampaignOutcome {
             digest: Some(empty),
             fingerprint: Some(fp),
+            flight: (cfg.flight_k > 0).then(|| WorstK::new(cfg.flight_k)),
+            health: CampaignHealth::default(),
             shards_total: 0,
             shards_run: 0,
             shards_resumed: 0,
@@ -258,7 +395,7 @@ where
     if let Some(dir) = &cfg.checkpoint_dir {
         std::fs::create_dir_all(dir)?;
         for (s, v) in valid.iter_mut().enumerate() {
-            *v = load_shard(dir, s, id, schema, cfg.shard_range(s)).is_some();
+            *v = load_shard(dir, s, id, schema, cfg.shard_range(s), cfg.flight_k).is_some();
         }
     }
     let shards_resumed = valid.iter().filter(|v| **v).count();
@@ -302,20 +439,26 @@ where
     // O(shards).
     let batch = (runner.threads() * 4).max(8);
 
+    // A freshly produced shard carries its wall timings for the health
+    // fold; resumed shards carry none.
+    type Produced = (ShardDigest, WorstK, Option<(u64, u64)>);
+
     // Phase 2: produce + merge, one index-ordered batch at a time. Every
-    // shard in a batch resolves to Some(digest) (resumed from disk or run
-    // fresh) or None (missing but over the max_new_shards cap). Because
-    // the executable set is the first missing shards in index order, a
-    // None can never precede an unexecuted shard — so merging stops at
-    // the first None with no checkpoint left unwritten.
+    // shard in a batch resolves to Some (resumed from disk or run fresh)
+    // or None (missing but over the max_new_shards cap). Because the
+    // executable set is the first missing shards in index order, a None
+    // can never precede an unexecuted shard — so merging stops at the
+    // first None with no checkpoint left unwritten.
     let mut merged: Option<ShardDigest> = None;
+    let mut merged_flight = WorstK::new(cfg.flight_k);
+    let mut health = CampaignHealth::default();
     let mut shards_run = 0usize;
     let mut complete = true;
     let mut next = 0usize;
     'batches: while next < shards_total {
         let n = batch.min(shards_total - next);
         let first_shard = next;
-        let results: Vec<Option<ShardDigest>> =
+        let results: Vec<Option<Produced>> =
             runner.run_indexed_with(n, MetricsScratch::new, |j, scratch| {
                 let s = first_shard + j;
                 let (first, len) = cfg.shard_range(s);
@@ -324,15 +467,18 @@ where
                     // changed underneath us — surfaced as an incomplete
                     // campaign rather than silently re-running.
                     let dir = cfg.checkpoint_dir.as_ref().expect("valid implies dir");
-                    return load_shard(dir, s, id, schema, (first, len));
+                    return load_shard(dir, s, id, schema, (first, len), cfg.flight_k)
+                        .map(|(d, w)| (d, w, None));
                 }
                 if !may_run[s] {
                     return None;
                 }
+                let shard_start = Instant::now();
                 let mut digest = ShardDigest::new(schema, first, len);
+                let mut worst = WorstK::new(cfg.flight_k);
                 let mut since_publish = 0u64;
                 for i in first..first + len {
-                    per_call(i, scratch, &mut digest);
+                    per_call(i, scratch, &mut digest, &mut worst);
                     since_publish += 1;
                     if since_publish == PROGRESS_CHUNK {
                         let done = calls_done.fetch_add(since_publish, Ordering::Relaxed)
@@ -341,27 +487,51 @@ where
                         publish(done);
                     }
                 }
+                let shard_wall_ns = elapsed_ns(shard_start);
                 let done =
                     calls_done.fetch_add(since_publish, Ordering::Relaxed) + since_publish;
+                let mut checkpoint_write_ns = 0;
                 if let Some(dir) = &cfg.checkpoint_dir {
                     // A checkpoint failure is worth surfacing, but not
                     // worth killing a running campaign over: the shard
                     // result is still correct, a later run simply
                     // re-executes it.
-                    let _ = store_shard(dir, s, id, schema, &digest);
+                    let write_start = Instant::now();
+                    let flight = (cfg.flight_k > 0).then_some(&worst);
+                    let _ = store_shard(dir, s, id, schema, &digest, flight);
+                    checkpoint_write_ns = elapsed_ns(write_start);
                 }
-                shards_done.fetch_add(1, Ordering::Relaxed);
+                let finished = shards_done.fetch_add(1, Ordering::Relaxed) + 1;
                 publish(done);
-                Some(digest)
+                heartbeat(&HeartbeatSample {
+                    shard: s,
+                    calls: len,
+                    shard_wall_ns,
+                    checkpoint_write_ns,
+                    shards_done: finished,
+                    shards_total,
+                    calls_done: done,
+                    elapsed_ns: elapsed_ns(started),
+                });
+                Some((digest, worst, Some((shard_wall_ns, checkpoint_write_ns))))
             });
         next += n;
+        let merge_start = Instant::now();
         for (j, r) in results.into_iter().enumerate() {
             let s = first_shard + j;
             match r {
-                Some(d) => {
+                Some((d, w, timing)) => {
                     if !valid[s] {
                         shards_run += 1;
                     }
+                    if let Some((wall, ckpt)) = timing {
+                        health.shard_wall_us.record(wall / 1_000);
+                        if cfg.checkpoint_dir.is_some() {
+                            health.checkpoint_write_us.record(ckpt / 1_000);
+                        }
+                        health.calls_folded += d.len();
+                    }
+                    merged_flight.merge_from(&w);
                     match &mut merged {
                         None => merged = Some(d),
                         Some(acc) => acc.merge_from(&d),
@@ -373,24 +543,28 @@ where
                 }
             }
         }
+        health.merge_ns += elapsed_ns(merge_start);
     }
     // Shards past the cap never entered a batch when the skip fired in an
     // earlier one; they are missing by construction.
     if skipped > 0 {
         complete = false;
     }
+    health.elapsed_ns = elapsed_ns(started);
 
-    let (digest, fingerprint) = if complete {
+    let (digest, fingerprint, flight) = if complete {
         let merged = merged.expect("complete campaign has at least one shard");
         let fp = merged.fingerprint(schema);
-        (Some(merged), Some(fp))
+        (Some(merged), Some(fp), (cfg.flight_k > 0).then_some(merged_flight))
     } else {
-        (None, None)
+        (None, None, None)
     };
 
     Ok(CampaignOutcome {
         digest,
         fingerprint,
+        flight,
+        health,
         shards_total,
         shards_run,
         shards_resumed,
@@ -398,10 +572,16 @@ where
     })
 }
 
+/// Saturating wall-clock nanoseconds since `start`.
+fn elapsed_ns(start: Instant) -> u64 {
+    start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::digest::ChannelId;
+    use crate::flight::FlightKey;
     use crate::rng::SeedFactory;
 
     fn schema() -> (DigestSchema, [ChannelId; 3]) {
@@ -420,6 +600,25 @@ mod tests {
             let x = rng.normal(5.0, 2.0);
             d.observe(ids[1], x);
             d.sketch_insert(ids[2], x);
+        }
+    }
+
+    /// The observed fold: same digest work as [`fold`], plus every call
+    /// below the trigger offers its score to the flight selector.
+    fn observed_fold(
+        ids: [ChannelId; 3],
+        trigger: f64,
+    ) -> impl Fn(u64, &mut MetricsScratch, &mut ShardDigest, &mut WorstK) + Sync {
+        let seeds = SeedFactory::new(0xCA3A16);
+        move |i, _scratch, d, worst| {
+            let mut rng = seeds.stream("call", i);
+            d.add(ids[0], 1);
+            let x = rng.normal(5.0, 2.0);
+            d.observe(ids[1], x);
+            d.sketch_insert(ids[2], x);
+            if x < trigger {
+                worst.offer(FlightKey { score: x, seed: 0xCA3A16, index: i });
+            }
         }
     }
 
@@ -547,6 +746,111 @@ mod tests {
         let out = cfg.run(&schema, fold(ids), |_| {}).unwrap();
         assert_eq!(out.shards_resumed, 0);
         assert_eq!(out.shards_run, cfg.shards());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The core observability contract at engine level: same digest
+    /// fingerprint with the recorder on or off, and the same top-K set at
+    /// every thread count.
+    #[test]
+    fn flight_selection_never_perturbs_digests_and_is_thread_invariant() {
+        let (schema, ids) = schema();
+        let mut selections: Vec<Vec<(u64, u64)>> = Vec::new();
+        let mut fps = Vec::new();
+        for threads in [1usize, 2, 4, 8] {
+            let mut cfg = CampaignConfig::new(10_000);
+            cfg.shard_size = 768;
+            cfg.threads = threads;
+            cfg.flight_k = 6;
+            let out = run_campaign_observed(
+                &cfg,
+                &schema,
+                observed_fold(ids, 2.0),
+                |_| {},
+                |_| {},
+            )
+            .unwrap();
+            assert!(out.complete);
+            fps.push(out.fingerprint.unwrap());
+            let flight = out.flight.expect("flight_k > 0 yields a selector");
+            assert!(flight.len() <= 6);
+            assert!(!flight.is_empty(), "normal(5,2) dips under 2.0 in 10k draws");
+            selections.push(
+                flight.entries().iter().map(|e| (e.index, e.score.to_bits())).collect(),
+            );
+        }
+        assert!(selections.windows(2).all(|w| w[0] == w[1]), "top-K differs: {selections:?}");
+
+        // Recorder off: identical digest fingerprint.
+        let mut cfg = CampaignConfig::new(10_000);
+        cfg.shard_size = 768;
+        let off = cfg.run(&schema, fold(ids), |_| {}).unwrap();
+        assert!(fps.iter().all(|fp| *fp == off.fingerprint.unwrap()));
+    }
+
+    /// Kill/resume with the recorder on: the selector survives shard
+    /// checkpoints exactly, and recorder-on checkpoints never resume into
+    /// a recorder-off campaign (or one with a different k).
+    #[test]
+    fn flight_selection_survives_kill_resume_bit_exactly() {
+        let (schema, ids) = schema();
+        let dir = std::env::temp_dir().join(format!(
+            "diversifi-flight-test-{}-{}",
+            std::process::id(),
+            0xF11E57u32
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut cfg = CampaignConfig::new(6000);
+        cfg.shard_size = 500;
+        cfg.threads = 4;
+        cfg.flight_k = 5;
+
+        let reference =
+            run_campaign_observed(&cfg, &schema, observed_fold(ids, 3.0), |_| {}, |_| {})
+                .unwrap();
+
+        cfg.checkpoint_dir = Some(dir.clone());
+        cfg.max_new_shards = Some(5);
+        let partial =
+            run_campaign_observed(&cfg, &schema, observed_fold(ids, 3.0), |_| {}, |_| {})
+                .unwrap();
+        assert!(!partial.complete);
+        assert!(partial.flight.is_none(), "incomplete campaigns offer no selection");
+
+        cfg.max_new_shards = None;
+        let hb_shards = AtomicUsize::new(0);
+        let resumed = run_campaign_observed(
+            &cfg,
+            &schema,
+            observed_fold(ids, 3.0),
+            |_| {},
+            |hb| {
+                assert!(hb.calls > 0 && hb.shards_done <= hb.shards_total);
+                hb_shards.fetch_add(1, Ordering::Relaxed);
+            },
+        )
+        .unwrap();
+        assert!(resumed.complete);
+        assert_eq!(resumed.fingerprint, reference.fingerprint);
+        // Heartbeats fire once per freshly executed shard.
+        assert_eq!(hb_shards.load(Ordering::Relaxed), resumed.shards_run);
+        assert!(resumed.health.shard_wall_us.count() == resumed.shards_run as u64);
+        let (a, b) = (reference.flight.unwrap(), resumed.flight.unwrap());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.entries().iter().zip(b.entries()) {
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+            assert_eq!((x.seed, x.index), (y.seed, y.index));
+        }
+
+        // A recorder-off run over the same directory must reject every
+        // recorder-on checkpoint (different campaign id), not merge them.
+        let mut off = cfg.clone();
+        off.flight_k = 0;
+        let out = off.run(&schema, fold(ids), |_| {}).unwrap();
+        assert_eq!(out.shards_resumed, 0);
+        assert_eq!(out.fingerprint, reference.fingerprint);
 
         let _ = std::fs::remove_dir_all(&dir);
     }

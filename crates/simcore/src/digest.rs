@@ -998,3 +998,70 @@ mod tests {
         assert_ne!(a.fingerprint(), c.fingerprint());
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::stats::quantile_unsorted;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Shard-boundary contract: splitting a stream into shards,
+        /// sketching each shard independently, and merging in shard index
+        /// order answers every quantile bit-identically to the exact
+        /// routine on the whole stream — as long as the merged total stays
+        /// within the never-compacted regime (`count ≤ 2k`). This is the
+        /// exactness guarantee campaign digests rely on at typical shard
+        /// sizes.
+        #[test]
+        fn sharded_merge_is_exact_below_compaction(
+            xs in proptest::collection::vec(-1.0e9f64..1.0e9, 1..120),
+            shard in 1usize..40,
+            q in 0.0f64..=1.0,
+        ) {
+            let k = 64; // 2k = 128 > max stream length above
+            let mut merged = QuantileSketch::new(k);
+            for chunk in xs.chunks(shard) {
+                let mut s = QuantileSketch::new(k);
+                for &x in chunk {
+                    s.insert(x);
+                }
+                merged.merge(&s);
+            }
+            prop_assert_eq!(merged.count(), xs.len() as u64);
+            let mut buf = xs.clone();
+            let exact = quantile_unsorted(&mut buf, q);
+            prop_assert_eq!(
+                merged.quantile(q).to_bits(),
+                exact.to_bits(),
+                "q={} sharded={} exact={}", q, merged.quantile(q), exact
+            );
+        }
+
+        /// Past the compaction threshold exactness is no longer promised,
+        /// but the sketch must stay sane: the count is conserved and any
+        /// quantile answer is a value that was actually inserted.
+        #[test]
+        fn sharded_merge_past_compaction_stays_within_the_sample(
+            xs in proptest::collection::vec(-1.0e6f64..1.0e6, 30..400),
+            shard in 1usize..64,
+            q in 0.0f64..=1.0,
+        ) {
+            let k = 8; // force compaction for most streams
+            let mut merged = QuantileSketch::new(k);
+            for chunk in xs.chunks(shard) {
+                let mut s = QuantileSketch::new(k);
+                for &x in chunk {
+                    s.insert(x);
+                }
+                merged.merge(&s);
+            }
+            prop_assert_eq!(merged.count(), xs.len() as u64);
+            let got = merged.quantile(q);
+            prop_assert!(
+                xs.iter().any(|&x| x.to_bits() == got.to_bits()),
+                "quantile {} not drawn from the inserted sample", got
+            );
+        }
+    }
+}

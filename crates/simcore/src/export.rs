@@ -19,9 +19,10 @@
 
 use std::fmt::Write as _;
 
+use crate::flight::FlightCapture;
 use crate::metrics::{MetricValue, MetricsRegistry};
 use crate::telemetry::{MergedTelemetry, PhaseProfile, SweepEvent};
-use crate::trace::{ComponentId, TraceDetail, TraceKind};
+use crate::trace::{ComponentId, TraceDetail, TraceEvent, TraceKind};
 
 /// Escape a string for inclusion in a JSON string literal.
 fn json_escape(s: &str, out: &mut String) {
@@ -76,27 +77,41 @@ fn detail_fields(d: &TraceDetail, out: &mut String) {
     }
 }
 
+/// One JSONL event line (shared by the sweep and flight dumps).
+fn push_jsonl_event(out: &mut String, run: u32, ord: u64, event: &TraceEvent) {
+    let _ = write!(
+        out,
+        "{{\"at_ns\":{},\"run\":{run},\"ord\":{ord},\"kind\":\"{}\",\"who\":\"{}\"",
+        event.at.as_nanos(),
+        event.kind.name(),
+        event.who,
+    );
+    let mut fields = String::new();
+    detail_fields(&event.detail, &mut fields);
+    if !fields.is_empty() {
+        out.push(',');
+        out.push_str(&fields);
+    }
+    out.push_str("}\n");
+}
+
 /// Render the merged trace as JSON Lines: one self-contained object per
 /// event, in merge order — the grep/jq-friendly dump. `ord` is the
 /// within-run emission counter (the merge tiebreaker); `seq`, when
-/// present, is the packet sequence number from the event detail.
+/// present, is the packet sequence number from the event detail. A ring
+/// overflow (events evicted before export) announces itself in a leading
+/// warning object instead of truncating silently.
 pub fn jsonl(merged: &MergedTelemetry) -> String {
     let mut out = String::with_capacity(merged.events.len() * 96);
-    for SweepEvent { run, seq, event } in &merged.events {
-        let _ = write!(
+    if merged.dropped > 0 {
+        let _ = writeln!(
             out,
-            "{{\"at_ns\":{},\"run\":{run},\"ord\":{seq},\"kind\":\"{}\",\"who\":\"{}\"",
-            event.at.as_nanos(),
-            event.kind.name(),
-            event.who,
+            "{{\"warning\":\"ring_overflow\",\"dropped\":{}}}",
+            merged.dropped
         );
-        let mut fields = String::new();
-        detail_fields(&event.detail, &mut fields);
-        if !fields.is_empty() {
-            out.push(',');
-            out.push_str(&fields);
-        }
-        out.push_str("}\n");
+    }
+    for SweepEvent { run, seq, event } in &merged.events {
+        push_jsonl_event(&mut out, *run, *seq, event);
     }
     out
 }
@@ -113,18 +128,78 @@ fn push_common(out: &mut String, name: &str, ph: char, ts_us: f64, run: u32, tid
     let _ = write!(out, "\",\"ph\":\"{ph}\",\"ts\":{ts_us:.3},\"pid\":{run},\"tid\":{tid_}");
 }
 
+fn chrome_sep(out: &mut String, first: &mut bool) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+}
+
+/// Render one trace event in Chrome trace-event form (shared by the
+/// sweep and flight exporters). `run` is the pid, `emit_seq` the
+/// within-run emission counter.
+fn push_chrome_event(out: &mut String, first: &mut bool, run: u32, emit_seq: u64, event: &TraceEvent) {
+    let ts_us = event.at.as_nanos() as f64 / 1e3;
+    let t = tid(event.who);
+    chrome_sep(out, first);
+    match event.detail {
+        // Air exchanges render as duration slices.
+        TraceDetail::Air { seq: pkt, attempts, dur_us } if event.kind == TraceKind::TxStart => {
+            push_common(out, &format!("tx seq={pkt}"), 'X', ts_us, run, t);
+            let _ = write!(
+                out,
+                ",\"dur\":{dur_us},\"args\":{{\"seq\":{pkt},\"attempts\":{attempts}}}}}"
+            );
+        }
+        // Queue admissions double as counter samples of queue depth.
+        TraceDetail::Queue { seq: pkt, depth, cap } => {
+            push_common(out, &format!("{} depth", event.who), 'C', ts_us, run, t);
+            let _ = write!(out, ",\"args\":{{\"depth\":{depth}}}}}");
+            chrome_sep(out, first);
+            push_common(out, event.kind.name(), 'i', ts_us, run, t);
+            let _ = write!(
+                out,
+                ",\"s\":\"t\",\"args\":{{\"seq\":{pkt},\"depth\":{depth},\"cap\":{cap}}}}}"
+            );
+        }
+        _ => {
+            push_common(out, event.kind.name(), 'i', ts_us, run, t);
+            out.push_str(",\"s\":\"t\",\"args\":{");
+            let mut fields = String::new();
+            detail_fields(&event.detail, &mut fields);
+            out.push_str(&fields);
+            let _ = write!(out, ",\"detail\":\"{}\",\"emit_seq\":{emit_seq}}}}}", event.detail);
+        }
+    }
+}
+
+/// A process-global overflow marker: a warning instant pinned at t=0 in
+/// process `run`, so an evicted-events window is visible in the timeline
+/// rather than silently absent.
+fn push_overflow_warning(out: &mut String, first: &mut bool, run: u32, dropped: u64) {
+    chrome_sep(out, first);
+    push_common(
+        out,
+        &format!("ring overflow: {dropped} events evicted"),
+        'i',
+        0.0,
+        run,
+        0,
+    );
+    let _ = write!(out, ",\"s\":\"p\",\"args\":{{\"dropped\":{dropped}}}}}");
+}
+
 /// Render the merged trace in Chrome trace-event JSON, loadable in
-/// `chrome://tracing` and <https://ui.perfetto.dev>.
+/// `chrome://tracing` and <https://ui.perfetto.dev>. Ring overflow
+/// surfaces as a process-scoped warning instant at t=0.
 pub fn chrome_trace(merged: &MergedTelemetry) -> String {
     let mut out = String::with_capacity(merged.events.len() * 160 + 256);
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
     let mut first = true;
-    let mut sep = |out: &mut String| {
-        if !first {
-            out.push_str(",\n");
-        }
-        first = false;
-    };
+
+    if merged.dropped > 0 {
+        push_overflow_warning(&mut out, &mut first, 0, merged.dropped);
+    }
 
     // thread_name metadata: one entry per (run, component) pair seen.
     let mut named: Vec<(u32, u32)> = Vec::new();
@@ -132,44 +207,83 @@ pub fn chrome_trace(merged: &MergedTelemetry) -> String {
         let t = tid(event.who);
         if !named.contains(&(*run, t)) {
             named.push((*run, t));
-            sep(&mut out);
+            chrome_sep(&mut out, &mut first);
             push_common(&mut out, "thread_name", 'M', 0.0, *run, t);
             let _ = write!(out, ",\"args\":{{\"name\":\"{}\"}}}}", event.who);
         }
     }
 
     for SweepEvent { run, seq, event } in &merged.events {
-        let ts_us = event.at.as_nanos() as f64 / 1e3;
-        let t = tid(event.who);
-        sep(&mut out);
-        match event.detail {
-            // Air exchanges render as duration slices.
-            TraceDetail::Air { seq: pkt, attempts, dur_us } if event.kind == TraceKind::TxStart => {
-                push_common(&mut out, &format!("tx seq={pkt}"), 'X', ts_us, *run, t);
-                let _ = write!(
-                    out,
-                    ",\"dur\":{dur_us},\"args\":{{\"seq\":{pkt},\"attempts\":{attempts}}}}}"
-                );
+        push_chrome_event(&mut out, &mut first, *run, *seq, event);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Render a set of forensic captures as JSON Lines: one header object per
+/// capture (label, score, call identity, event/drop counts), then its
+/// events in emission order, with `run` = capture ordinal — so a single
+/// file holds the full worst-call dossier and is still grep/jq-friendly.
+pub fn flight_jsonl(captures: &[FlightCapture]) -> String {
+    let mut out = String::new();
+    for (ci, cap) in captures.iter().enumerate() {
+        let _ = write!(out, "{{\"capture\":{ci},\"label\":\"");
+        json_escape(&cap.label, &mut out);
+        let _ = writeln!(
+            out,
+            "\",\"score\":{},\"seed\":{},\"index\":{},\"events\":{},\"dropped\":{}}}",
+            cap.score,
+            cap.seed,
+            cap.index,
+            cap.events.len(),
+            cap.dropped
+        );
+        if cap.dropped > 0 {
+            let _ = writeln!(
+                out,
+                "{{\"warning\":\"ring_overflow\",\"capture\":{ci},\"dropped\":{}}}",
+                cap.dropped
+            );
+        }
+        for (i, event) in cap.events.iter().enumerate() {
+            push_jsonl_event(&mut out, ci as u32, cap.first_seq + i as u64, event);
+        }
+    }
+    out
+}
+
+/// Render forensic captures in Chrome trace-event JSON: each capture is a
+/// process (pid = capture ordinal, `process_name` = its label + score),
+/// components are named threads within it, and ring overflow surfaces as
+/// a warning instant — open in <https://ui.perfetto.dev> to walk a worst
+/// call's full timeline.
+pub fn flight_chrome_trace(captures: &[FlightCapture]) -> String {
+    let n: usize = captures.iter().map(|c| c.events.len()).sum();
+    let mut out = String::with_capacity(n * 160 + 256);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    for (ci, cap) in captures.iter().enumerate() {
+        let pid = ci as u32;
+        chrome_sep(&mut out, &mut first);
+        push_common(&mut out, "process_name", 'M', 0.0, pid, 0);
+        out.push_str(",\"args\":{\"name\":\"");
+        json_escape(&cap.label, &mut out);
+        let _ = write!(out, " (score {:.2})\"}}}}", cap.score);
+        if cap.dropped > 0 {
+            push_overflow_warning(&mut out, &mut first, pid, cap.dropped);
+        }
+        let mut named: Vec<u32> = Vec::new();
+        for event in &cap.events {
+            let t = tid(event.who);
+            if !named.contains(&t) {
+                named.push(t);
+                chrome_sep(&mut out, &mut first);
+                push_common(&mut out, "thread_name", 'M', 0.0, pid, t);
+                let _ = write!(out, ",\"args\":{{\"name\":\"{}\"}}}}", event.who);
             }
-            // Queue admissions double as counter samples of queue depth.
-            TraceDetail::Queue { seq: pkt, depth, cap } => {
-                push_common(&mut out, &format!("{} depth", event.who), 'C', ts_us, *run, t);
-                let _ = write!(out, ",\"args\":{{\"depth\":{depth}}}}}");
-                sep(&mut out);
-                push_common(&mut out, event.kind.name(), 'i', ts_us, *run, t);
-                let _ = write!(
-                    out,
-                    ",\"s\":\"t\",\"args\":{{\"seq\":{pkt},\"depth\":{depth},\"cap\":{cap}}}}}"
-                );
-            }
-            _ => {
-                push_common(&mut out, event.kind.name(), 'i', ts_us, *run, t);
-                out.push_str(",\"s\":\"t\",\"args\":{");
-                let mut fields = String::new();
-                detail_fields(&event.detail, &mut fields);
-                out.push_str(&fields);
-                let _ = write!(out, ",\"detail\":\"{}\",\"emit_seq\":{seq}}}}}", event.detail);
-            }
+        }
+        for (i, event) in cap.events.iter().enumerate() {
+            push_chrome_event(&mut out, &mut first, pid, cap.first_seq + i as u64, event);
         }
     }
     out.push_str("\n]}\n");
@@ -226,6 +340,13 @@ pub fn sweep_report(merged: &MergedTelemetry) -> String {
     let mut out = metrics_table(&merged.metrics);
     out.push('\n');
     let _ = writeln!(out, "events: {} recorded, {} evicted", merged.events.len(), merged.dropped);
+    if merged.dropped > 0 {
+        let _ = writeln!(
+            out,
+            "warning: ring overflow — {} events evicted before export (raise the ring capacity)",
+            merged.dropped
+        );
+    }
     let _ = writeln!(out, "profile: {}", profile_line(&merged.profile));
     out
 }
@@ -348,5 +469,87 @@ mod tests {
         let mut s = String::new();
         json_escape("a\"b\\c\nd", &mut s);
         assert_eq!(s, "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn ring_overflow_is_surfaced_not_silent() {
+        let mut m = merged_fixture();
+        m.dropped = 17;
+
+        let out = jsonl(&m);
+        let first = out.lines().next().unwrap();
+        assert_eq!(first, "{\"warning\":\"ring_overflow\",\"dropped\":17}");
+        assert_eq!(out.lines().count(), 6, "warning line plus the 5 events");
+
+        let chrome = chrome_trace(&m);
+        assert!(chrome.contains("ring overflow: 17 events evicted"));
+        assert_eq!(chrome.matches('{').count(), chrome.matches('}').count());
+
+        let report = sweep_report(&m);
+        assert!(report.contains("events: 5 recorded, 17 evicted"));
+        assert!(report.contains("warning: ring overflow"));
+
+        // And with nothing dropped, none of the three mention overflow.
+        let clean = merged_fixture();
+        assert!(!jsonl(&clean).contains("ring_overflow"));
+        assert!(!chrome_trace(&clean).contains("ring overflow"));
+        assert!(!sweep_report(&clean).contains("warning"));
+    }
+
+    fn captures_fixture() -> Vec<FlightCapture> {
+        let events = merged_fixture().events.into_iter().map(|e| e.event).collect::<Vec<_>>();
+        vec![
+            FlightCapture {
+                label: "diversifi/call-000042".into(),
+                score: 2.25,
+                seed: 7,
+                index: 42,
+                first_seq: 0,
+                dropped: 0,
+                events: events.clone(),
+            },
+            FlightCapture {
+                label: "primary-only/call-000007".into(),
+                score: 2.5,
+                seed: 7,
+                index: 7,
+                first_seq: 3,
+                dropped: 9,
+                events,
+            },
+        ]
+    }
+
+    #[test]
+    fn flight_jsonl_headers_then_events() {
+        let out = flight_jsonl(&captures_fixture());
+        let lines: Vec<&str> = out.lines().collect();
+        // capture 0: header + 5 events; capture 1: header + warning + 5.
+        assert_eq!(lines.len(), 13);
+        assert!(lines[0].contains("\"label\":\"diversifi/call-000042\""));
+        assert!(lines[0].contains("\"score\":2.25"));
+        assert!(lines[0].contains("\"dropped\":0"));
+        assert!(lines[1].contains("\"run\":0"));
+        assert!(lines[6].contains("\"label\":\"primary-only/call-000007\""));
+        assert!(lines[7].contains("\"warning\":\"ring_overflow\""));
+        // Second capture's ord continues from its first_seq.
+        assert!(lines[8].contains("\"run\":1") && lines[8].contains("\"ord\":3"));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn flight_chrome_trace_is_one_process_per_capture() {
+        let out = flight_chrome_trace(&captures_fixture());
+        assert!(out.contains("\"process_name\""));
+        assert!(out.contains("diversifi/call-000042 (score 2.25)"));
+        assert!(out.contains("primary-only/call-000007 (score 2.50)"));
+        assert!(out.contains("ring overflow: 9 events evicted"));
+        // Events of capture 1 carry pid 1.
+        assert!(out.contains("\"pid\":1"));
+        assert!(out.contains("\"ph\":\"X\""));
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
+        assert_eq!(out.matches('[').count(), out.matches(']').count());
     }
 }

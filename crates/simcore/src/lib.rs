@@ -19,6 +19,10 @@
 //!   [`export`]ers (JSONL, Chrome trace-event / Perfetto, text tables).
 //!   Compiled in for debug builds and `--features trace` release builds;
 //!   otherwise the emission sites const-fold to no-ops.
+//! - [`flight`] — the campaign flight recorder: a deterministic,
+//!   thread-count-invariant top-K worst-call selector ([`WorstK`]) that
+//!   rides the campaign fold, plus frozen forensic captures
+//!   ([`FlightCapture`]) of the worst calls' full event timelines.
 //! - [`check`] — the invariant-audit layer: [`sim_assert!`]/[`sim_assert_eq!`]
 //!   plus the packet-conservation [`check::PacketLedger`], active in debug
 //!   builds and `--features audit` release builds.
@@ -43,6 +47,7 @@ pub mod check;
 pub mod digest;
 pub mod export;
 pub mod fault;
+pub mod flight;
 pub mod merge;
 pub mod metrics;
 pub mod par;
@@ -55,9 +60,13 @@ mod time;
 mod trace;
 
 pub use arena::WorkerArena;
-pub use campaign::{run_campaign, CampaignConfig, CampaignOutcome, CampaignProgress};
+pub use campaign::{
+    run_campaign, run_campaign_observed, CampaignConfig, CampaignHealth, CampaignOutcome,
+    CampaignProgress, HeartbeatSample,
+};
 pub use digest::{ChannelId, ChannelKind, DigestSchema, QuantileSketch, ShardDigest, Welford};
 pub use fault::{FaultEffect, FaultKind, FaultOutcome, FaultPlan, FaultSpec, FaultWindow};
+pub use flight::{FlightCapture, FlightKey, WorstK, FLIGHT_COMPILED};
 pub use metrics::{LogHistogram, MetricsRegistry};
 pub use par::SweepRunner;
 pub use queue::{EventId, EventQueue, QueueBackend, DAY_NANOS, WHEEL_DAYS};

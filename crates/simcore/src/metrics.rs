@@ -566,5 +566,52 @@ mod proptests {
             prop_assert!(got <= true_median);
             prop_assert!(bin_upper(bin_index(got)) > true_median / 2);
         }
+
+        /// Merge is commutative and associative, bit for bit — the
+        /// property the campaign's shard-order-invariant health fold (and
+        /// every digest histogram channel) rests on.
+        #[test]
+        fn merge_is_commutative_and_associative(
+            a in proptest::collection::vec(any::<u64>(), 0..60),
+            b in proptest::collection::vec(any::<u64>(), 0..60),
+            c in proptest::collection::vec(any::<u64>(), 0..60),
+        ) {
+            let of = |vs: &[u64]| {
+                let mut h = LogHistogram::new();
+                for &v in vs {
+                    h.record(v);
+                }
+                h
+            };
+            let same = |x: &LogHistogram, y: &LogHistogram| {
+                x.bins == y.bins
+                    && x.count == y.count
+                    && x.sum == y.sum
+                    && x.min == y.min
+                    && x.max == y.max
+            };
+
+            // Commutativity: a ⊕ b == b ⊕ a.
+            let mut ab = of(&a);
+            ab.merge(&of(&b));
+            let mut ba = of(&b);
+            ba.merge(&of(&a));
+            prop_assert!(same(&ab, &ba));
+
+            // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+            let mut left = ab.clone();
+            left.merge(&of(&c));
+            let mut bc = of(&b);
+            bc.merge(&of(&c));
+            let mut right = of(&a);
+            right.merge(&bc);
+            prop_assert!(same(&left, &right));
+
+            // And merging equals recording the concatenated stream.
+            let mut all = a.clone();
+            all.extend_from_slice(&b);
+            all.extend_from_slice(&c);
+            prop_assert!(same(&left, &of(&all)));
+        }
     }
 }

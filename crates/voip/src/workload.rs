@@ -44,6 +44,19 @@ impl WorkloadKind {
             WorkloadKind::Fps(_) => "fps",
         }
     }
+
+    /// The workload-native "this call finished poor" threshold, in the
+    /// workload's own score units: E-model MOS for VoIP (the paper's
+    /// poor-call cut, [`crate::emodel::PcrModel::poor_mos`]) and the FPS
+    /// QoE floor ([`crate::fps::FPS_QOE_POOR`]). The campaign flight
+    /// recorder arms its capture trigger with this unless the scenario
+    /// overrides it.
+    pub fn poor_trigger(&self) -> f64 {
+        match self {
+            WorkloadKind::Voip => crate::emodel::PcrModel::default().poor_mos,
+            WorkloadKind::Fps(_) => crate::fps::FPS_QOE_POOR,
+        }
+    }
 }
 
 /// Terminal fate of one uplink input tick.
