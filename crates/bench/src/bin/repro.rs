@@ -78,6 +78,10 @@ fn main() {
     let mut validate_paths: Vec<String> = Vec::new();
     let mut forensics_out: Option<String> = None;
     let mut flight_topk: Option<usize> = None;
+    let mut chaos_path: Option<String> = None;
+    let mut chaos_plans: Option<u64> = None;
+    let mut chaos_corpus: Option<String> = None;
+    let mut chaos_canary = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -105,6 +109,21 @@ fn main() {
             "--forensics-out" => {
                 forensics_out = Some(args.next().expect("--forensics-out DIR"));
             }
+            "--chaos" => {
+                chaos_path = Some(args.next().expect("--chaos SCENARIO.{json,toml}"));
+            }
+            "--chaos-plans" => {
+                chaos_plans = Some(
+                    args.next()
+                        .expect("--chaos-plans N")
+                        .parse()
+                        .expect("chaos plan count must be u64"),
+                );
+            }
+            "--chaos-corpus" => {
+                chaos_corpus = Some(args.next().expect("--chaos-corpus DIR"));
+            }
+            "--chaos-canary" => chaos_canary = true,
             "--flight-topk" => {
                 flight_topk = Some(
                     args.next()
@@ -135,6 +154,8 @@ fn main() {
                      [--campaign SCENARIO.{{json,toml}}] \
                      [--forensics-out DIR] [--flight-topk N] \
                      [--validate-scenario SCENARIO.{{json,toml}}] \
+                     [--chaos SCENARIO.{{json,toml}}] [--chaos-plans N] \
+                     [--chaos-corpus DIR] [--chaos-canary] \
                      [--resilience] [EXPERIMENT...]\n\
                      experiments: table1 table2 table3 fig1 fig2a fig2b fig2c fig2d \
                      fig2e fig3 fig4 fig5 fig6 fig8 fig9 fig10 overhead mbox-scale all \
@@ -147,7 +168,18 @@ fn main() {
                      --forensics-out DIR re-simulates the worst calls and writes \
                      their Perfetto + JSONL timelines there;\n\
                      --validate-scenario parses + lowers a scenario file and prints \
-                     the lowered configuration or a field-path error."
+                     the lowered configuration or a field-path error;\n\
+                     --chaos fuzzes seeded adversarial fault plans against the \
+                     paired no-amplification / MTTR / engine-panic oracles \
+                     ([chaos] scenario section sets the budget), shrinks every \
+                     violation to a minimal reproducer, and exits non-zero on \
+                     violations;\n\
+                     --chaos-plans N overrides the plan count (0 = replay the \
+                     corpus only);\n\
+                     --chaos-corpus DIR replays every committed reproducer in \
+                     DIR first, then writes newly shrunk reproducers there;\n\
+                     --chaos-canary plants a synthetic violation to prove the \
+                     fuzzer finds and shrinks it (exits non-zero if it does NOT)."
                 );
                 return;
             }
@@ -155,8 +187,9 @@ fn main() {
         }
     }
     // Scenario-file modes run on their own and exit: validation first
-    // (all requested files, worst exit code wins), then the campaign.
-    if !validate_paths.is_empty() || campaign_path.is_some() {
+    // (all requested files, worst exit code wins), then the campaign,
+    // then the chaos scan.
+    if !validate_paths.is_empty() || campaign_path.is_some() || chaos_path.is_some() {
         let mut code = 0;
         for p in &validate_paths {
             code = code.max(validate_scenario_cli(p));
@@ -164,6 +197,18 @@ fn main() {
         if let Some(p) = &campaign_path {
             if code == 0 {
                 code = campaign_cli(p, &out_dir, forensics_out.as_deref(), flight_topk);
+            }
+        }
+        if let Some(p) = &chaos_path {
+            if code == 0 {
+                code = chaos_cli(
+                    p,
+                    &out_dir,
+                    chaos_plans,
+                    chaos_corpus.as_deref(),
+                    chaos_canary,
+                    forensics_out.as_deref(),
+                );
             }
         }
         std::process::exit(code);
@@ -203,6 +248,9 @@ fn main() {
         telemetry_capture(&ctx, trace_out.as_deref(), metrics_out.as_deref());
     }
 
+    // Experiments with a pass/fail verdict (resilience's no-amplification
+    // rows) raise the exit code; the worst verdict wins.
+    let mut exit_code = 0;
     for exp in wanted {
         println!("\n================ {exp} ================");
         match exp.as_str() {
@@ -229,9 +277,12 @@ fn main() {
             "crosstech" => crosstech(&mut ctx),
             "uplink" => uplink(&mut ctx),
             "multiclient" => multiclient(&mut ctx),
-            "resilience" => resilience(&mut ctx),
+            "resilience" => exit_code = exit_code.max(resilience(&mut ctx)),
             other => eprintln!("unknown experiment: {other}"),
         }
+    }
+    if exit_code != 0 {
+        std::process::exit(exit_code);
     }
 }
 
@@ -701,6 +752,229 @@ fn campaign_cli(
         }
     }
     0
+}
+
+/// `repro --chaos SCENARIO`: the adversarial fault-plan fuzzing campaign.
+///
+/// Runs in two stages, either of which can be disabled:
+///
+/// 1. **Corpus replay** (`--chaos-corpus DIR`): every committed
+///    `*.json` reproducer in DIR is replayed under the real oracles.
+///    A replay violation means a fixed bug is back — hard failure.
+/// 2. **Scan**: `plans` seeded plans (scenario `[chaos]` section,
+///    `--chaos-plans` override; 0 skips the scan) are generated under
+///    the budget and evaluated; retained violations are shrunk to
+///    minimal reproducers, written to the corpus directory (when given)
+///    and to the JSON artifact.
+///
+/// Exit code: 0 when clean, 1 on any violation / replay failure /
+/// quarantined shard. Under `--chaos-canary` the verdict inverts for the
+/// scan: the planted violation MUST be found (and shrink to its minimal
+/// two-spec form) or the fuzzer itself is broken.
+fn chaos_cli(
+    path: &str,
+    out_dir: &str,
+    plans_override: Option<u64>,
+    corpus_dir: Option<&str>,
+    canary: bool,
+    forensics_out: Option<&str>,
+) -> i32 {
+    use diversifi::chaos::{capture_reproducer, replay_reproducer, run_chaos, ChaosConfig};
+    use diversifi_simcore::chaos::ChaosReproducer;
+    use diversifi_simcore::export::write_text_atomic;
+
+    let scn = match load_scenario(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            return 2;
+        }
+    };
+    let mut cfg = ChaosConfig::from_scenario(&scn);
+    cfg.canary = canary;
+    if let Some(n) = plans_override {
+        cfg.plans = n;
+    }
+
+    let mut code = 0;
+
+    // Stage 1: replay the committed corpus (proptest-regressions style).
+    if let Some(dir) = corpus_dir {
+        let mut entries: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
+            Ok(rd) => rd
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "json"))
+                .collect(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => {
+                eprintln!("chaos: corpus dir {dir}: {e}");
+                return 2;
+            }
+        };
+        entries.sort();
+        for p in &entries {
+            let rep: ChaosReproducer = match std::fs::read_to_string(p)
+                .map_err(|e| e.to_string())
+                .and_then(|t| serde_json::from_str(&t).map_err(|e| e.to_string()))
+            {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("chaos: corpus entry {}: {e}", p.display());
+                    code = code.max(2);
+                    continue;
+                }
+            };
+            match replay_reproducer(&cfg, &rep) {
+                None => println!(
+                    "[chaos] corpus {} ({}, {} specs): clean",
+                    p.file_name().unwrap_or_default().to_string_lossy(),
+                    rep.oracle,
+                    rep.plan.specs.len(),
+                ),
+                Some(v) => {
+                    eprintln!(
+                        "[chaos] corpus {} REGRESSED: {} — {}",
+                        p.display(),
+                        v.oracle,
+                        v.detail
+                    );
+                    code = code.max(1);
+                }
+            }
+        }
+        println!("[chaos] corpus: {} reproducer(s) replayed", entries.len());
+    }
+
+    // Stage 2: the fuzzing scan.
+    if cfg.plans == 0 {
+        return code;
+    }
+    println!(
+        "[chaos] {:?}: {} plans, horizon {:.1}s, max {} specs, seed {:#x}{}",
+        scn.name,
+        cfg.plans,
+        cfg.budget.horizon.as_nanos() as f64 / 1e9,
+        cfg.budget.max_specs,
+        cfg.seed,
+        if canary { " (planted canary)" } else { "" },
+    );
+    let report = match run_chaos(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            return 2;
+        }
+    };
+    println!(
+        "[chaos] scanned {} plans ({} empty): {} violation(s) — \
+         {} amplification, {} engine-panic, {} unbounded-MTTR",
+        report.plans,
+        report.empty_plans,
+        report.violations,
+        report.amplification,
+        report.engine_panics,
+        report.unbounded_mttr,
+    );
+    if let Some(fp) = report.fingerprint {
+        println!("[chaos] scan fingerprint: {fp:016x}");
+    }
+    for q in &report.quarantined {
+        eprintln!("[chaos] shard {q} quarantined (panic escaped per-plan capture)");
+        code = code.max(1);
+    }
+    for f in &report.findings {
+        println!(
+            "[chaos] finding: plan {:06} {} — shrunk {} → {} spec(s) \
+             ({} evals, {} accepted): {}",
+            f.index,
+            f.oracle,
+            f.original_specs,
+            f.minimal_specs,
+            f.shrink_tried,
+            f.shrink_accepted,
+            f.detail,
+        );
+    }
+
+    let safe_name = scn.name.replace([' ', '/'], "_");
+    match report::write_json(out_dir, &format!("chaos_{safe_name}"), &report) {
+        Ok(p) => println!("[artifact] {p}"),
+        Err(e) => {
+            eprintln!("chaos: failed to write artifact: {e}");
+            return 2;
+        }
+    }
+
+    // Newly shrunk reproducers join the corpus (committed by the
+    // developer once triaged, like proptest-regressions files).
+    if let Some(dir) = corpus_dir {
+        for f in &report.findings {
+            let name = format!("chaos-{:016x}-{:06}.json", f.reproducer.seed, f.reproducer.index);
+            let text = serde_json::to_string_pretty(&f.reproducer)
+                .expect("reproducer serialization cannot fail");
+            let p = std::path::Path::new(dir).join(&name);
+            if let Err(e) = write_text_atomic(&p, &(text + "\n")) {
+                eprintln!("chaos: failed to write reproducer {}: {e}", p.display());
+                return 2;
+            }
+            println!("[chaos] reproducer → {}", p.display());
+        }
+    }
+
+    // Forensics: freeze both arms of the worst finding's minimal plan.
+    if let Some(dir) = forensics_out {
+        if let Some(f) = report.findings.first() {
+            let captures = capture_reproducer(&cfg, &f.reproducer, scn.observe.ring);
+            let chrome = diversifi_simcore::export::flight_chrome_trace(&captures);
+            let jsonl = diversifi_simcore::export::flight_jsonl(&captures);
+            let base = format!("{dir}/chaos_{safe_name}");
+            let written = std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(format!("{base}.json"), chrome))
+                .and_then(|()| std::fs::write(format!("{base}.jsonl"), jsonl));
+            if let Err(e) = written {
+                eprintln!("chaos: failed to write forensics: {e}");
+                return 2;
+            }
+            println!("[forensics] worst finding (plan {:06}) → {base}.json, {base}.jsonl", f.index);
+        } else {
+            println!("[forensics] nothing to capture: no findings");
+        }
+    }
+
+    if canary {
+        // Canary semantics invert: finding (and fully shrinking) the
+        // planted violation is the PASS condition.
+        let minimal_ok = report
+            .findings
+            .iter()
+            .all(|f| f.minimal_specs <= 2 && f.oracle == "no-amplification");
+        if report.violations > 0 && !report.findings.is_empty() && minimal_ok && report.complete {
+            println!(
+                "[chaos] canary PASS: planted violation found and shrunk to \
+                 {} spec(s)",
+                report.findings[0].minimal_specs
+            );
+            code.max(0)
+        } else {
+            eprintln!(
+                "[chaos] canary FAIL: violations={} findings={} complete={}",
+                report.violations,
+                report.findings.len(),
+                report.complete
+            );
+            1
+        }
+    } else {
+        if report.violations > 0 {
+            eprintln!("[chaos] FAIL: {} violating plan(s)", report.violations);
+            code = code.max(1);
+        }
+        if !report.complete {
+            eprintln!("[chaos] FAIL: scan incomplete");
+            code = code.max(1);
+        }
+        code
+    }
 }
 
 /// Where does a paired three-arm run's time actually go? Runs the
@@ -1375,7 +1649,14 @@ fn multiclient(ctx: &mut Ctx) {
 /// sides of the degradation contract: what the faults cost (loss,
 /// worst-window loss, MOS) and how recovery behaved (MTTR from the fault
 /// engine, degraded-mode time, probes, duplicate overhead).
-fn resilience(ctx: &mut Ctx) {
+/// Per-seed no-amplification gate for `--resilience`, in loss / tick-miss
+/// percentage points: DiversiFi beyond `baseline + 2pp` on any paired
+/// realisation is a hard failure (non-zero exit). Small sub-gate jitter
+/// between the arms is expected on weak paired links; a 2pp excursion is
+/// not.
+const AMPLIFICATION_GATE_PP: f64 = 2.0;
+
+fn resilience(ctx: &mut Ctx) -> i32 {
     use diversifi::world::{World, WorldConfig};
     use diversifi_simcore::{FaultKind, FaultPlan, SimTime};
     use diversifi_voip::emodel::mos_from_stats;
@@ -1541,6 +1822,7 @@ fn resilience(ctx: &mut Ctx) {
     ]);
     let mut artifact = Vec::new();
     let (mut pairs, mut amplified) = (0usize, 0usize);
+    let mut gate_failures: Vec<String> = Vec::new();
     for (si, (label, _, _)) in scenarios.iter().enumerate() {
         let rs: Vec<&Rec> = rows.iter().filter(|r| r.si == si).collect();
         let fvec = |f: &dyn Fn(&Rec) -> f64| rs.iter().map(|r| f(r)).collect::<Vec<f64>>();
@@ -1561,6 +1843,12 @@ fn resilience(ctx: &mut Ctx) {
         let dups = mean(&fvec(&|r| r.dups as f64));
         pairs += rs.len();
         amplified += rs.iter().filter(|r| r.loss_d > r.loss_b).count();
+        for r in rs.iter().filter(|r| r.loss_d > r.loss_b + AMPLIFICATION_GATE_PP) {
+            gate_failures.push(format!(
+                "[voip] {label}: loss {:.2}% vs primary-only {:.2}% (gate {AMPLIFICATION_GATE_PP}pp)",
+                r.loss_d, r.loss_b
+            ));
+        }
         quality_t.row(&[
             label.to_string(),
             format!("{lb:.2}"),
@@ -1678,6 +1966,12 @@ fn resilience(ctx: &mut Ctx) {
         let qd = mean(&fvec(&|r| r.qoe_d));
         fps_pairs += rs.len();
         fps_amplified += rs.iter().filter(|r| r.miss_d > r.miss_b).count();
+        for r in rs.iter().filter(|r| r.miss_d > r.miss_b + AMPLIFICATION_GATE_PP) {
+            gate_failures.push(format!(
+                "[fps] {label}: tick miss {:.2}% vs primary-only {:.2}% (gate {AMPLIFICATION_GATE_PP}pp)",
+                r.miss_d, r.miss_b
+            ));
+        }
         fps_t.row(&[
             label.to_string(),
             format!("{mb:.2}"),
@@ -1713,6 +2007,23 @@ fn resilience(ctx: &mut Ctx) {
     save(
         ctx,
         "resilience",
-        &serde_json::json!({ "voip": artifact, "fps": fps_artifact }),
+        &serde_json::json!({
+            "voip": artifact,
+            "fps": fps_artifact,
+            "amplification_gate_pp": AMPLIFICATION_GATE_PP,
+            "gate_failures": gate_failures,
+        }),
     );
+    if gate_failures.is_empty() {
+        0
+    } else {
+        eprintln!(
+            "[resilience] FAIL: {} no-amplification row(s) beyond the {AMPLIFICATION_GATE_PP}pp gate:",
+            gate_failures.len()
+        );
+        for f in &gate_failures {
+            eprintln!("[resilience]   {f}");
+        }
+        1
+    }
 }

@@ -311,6 +311,16 @@ impl CampaignHealthReport {
     }
 }
 
+/// One quarantined shard in the committed report (mirror of the engine's
+/// [`diversifi_simcore::ShardQuarantine`], which stays serde-free).
+#[derive(Clone, Debug, Serialize)]
+pub struct ShardQuarantineReport {
+    /// The shard index.
+    pub shard: usize,
+    /// The stringified panic payload that poisoned it.
+    pub reason: String,
+}
+
 /// The campaign-level artifact written by `repro --campaign`.
 #[derive(Clone, Debug, Serialize)]
 pub struct FleetCampaignReport {
@@ -356,6 +366,16 @@ pub struct FleetCampaignReport {
     pub flight: Option<Vec<FlightEntryReport>>,
     /// Engine health telemetry for this run.
     pub health: CampaignHealthReport,
+    /// Shards the supervisor quarantined after a fold panic. A completed
+    /// campaign always reports an empty list (quarantine blocks the
+    /// merge), but the field keeps degraded artifacts self-describing.
+    pub quarantined: Vec<ShardQuarantineReport>,
+    /// Checkpoint writes that still failed after retries (those shards
+    /// merged fine and simply re-run on resume).
+    pub checkpoint_errors: usize,
+    /// Shards that tripped the deterministic-time watchdog (observational
+    /// only; empty when the scenario sets no watchdog).
+    pub slow_shards: Vec<usize>,
     /// Per-arm closed-loop probe runs.
     pub arms: Vec<ArmReport>,
 }
@@ -433,11 +453,18 @@ where
         heartbeat,
     )?;
     let digest = outcome.digest.ok_or_else(|| {
-        std::io::Error::other(format!(
+        let mut msg = format!(
             "campaign incomplete: {}/{} shards done (raise max_new_shards or resume)",
             outcome.shards_resumed + outcome.shards_run,
             outcome.shards_total
-        ))
+        );
+        // A quarantined shard is the one failure mode that is NOT cured
+        // by resuming — name it so the operator debugs the panic instead
+        // of retrying forever.
+        for q in &outcome.quarantined {
+            msg.push_str(&format!("; shard {} quarantined: {}", q.shard, q.reason));
+        }
+        std::io::Error::other(msg)
     })?;
 
     let table1 = fleet.table1(&digest);
@@ -497,6 +524,13 @@ where
         fps,
         flight: flight_entries,
         health: CampaignHealthReport::from_health(&outcome.health),
+        quarantined: outcome
+            .quarantined
+            .iter()
+            .map(|q| ShardQuarantineReport { shard: q.shard, reason: q.reason.clone() })
+            .collect(),
+        checkpoint_errors: outcome.checkpoint_errors,
+        slow_shards: outcome.slow_shards.clone(),
         arms: run_arm_probes(scn),
     };
     Ok(FleetCampaignRun { report, flight: outcome.flight })

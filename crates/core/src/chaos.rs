@@ -1,0 +1,619 @@
+//! The chaos campaign: adversarial fault-plan fuzzing against the paired
+//! no-amplification oracle, with automatic shrinking to committed
+//! reproducers.
+//!
+//! [`diversifi_simcore::chaos`] owns the world-agnostic half (seeded plan
+//! generation under a [`ChaosBudget`], delta-debugging [`shrink_plan`]).
+//! This module supplies the oracles and the campaign harness:
+//!
+//! - **no-amplification** — every plan runs as a *paired* experiment
+//!   (identical seeds, identical channel realisations): a primary-only
+//!   baseline world and a DiversiFi world under the same [`FaultPlan`].
+//!   DiversiFi residual loss exceeding baseline loss by more than the
+//!   configured tolerance is the headline violation — Algorithm 1 made an
+//!   impairment *worse*.
+//! - **engine-panic** — both runs execute under
+//!   [`check::capture_panic`], so a tripped [`sim_assert!`], a
+//!   [`PacketLedger`] closure failure (compiled in via `audit`), or any
+//!   plain panic becomes an attributable verdict against one plan instead
+//!   of poisoning a campaign shard.
+//! - **unbounded-mttr** — a fault window that clears at least
+//!   [`ChaosConfig::mttr_slack`] before end of call must see service
+//!   recover before the run ends.
+//! - **non-deterministic** — a plan that violated during the campaign
+//!   scan must violate again on replay; one that does not is itself
+//!   reported (the scan and replay are pure functions of the same seeds,
+//!   so divergence means the engine lost determinism).
+//!
+//! The scan runs through the sharded [`diversifi_simcore::campaign`]
+//! supervisor, so its digest fingerprint is thread-count-invariant and a
+//! panicking shard (possible only for panics that escape the per-plan
+//! capture) quarantines instead of killing the campaign. Violations ride
+//! the campaign's worst-K flight selector (score = −severity), the
+//! retained worst are shrunk to minimal plans, and each minimal plan is
+//! serialized as a [`ChaosReproducer`] for the committed chaos corpus —
+//! the proptest-regressions idiom: [`replay_reproducer`] re-checks every
+//! corpus entry forever after, so a fixed bug stays fixed.
+//!
+//! The oracle is VoIP-scored (residual loss at [`DEFAULT_DEADLINE`]); the
+//! FPS workload has its own deadline accounting and is out of scope here.
+//!
+//! [`sim_assert!`]: diversifi_simcore::sim_assert
+//! [`PacketLedger`]: diversifi_simcore::check::PacketLedger
+
+use crate::scenario::Scenario;
+use crate::world::{RunMode, World, WorldConfig};
+use diversifi_simcore::chaos::{generate_plan, shrink_plan, ChaosBudget, ChaosReproducer};
+use diversifi_simcore::check;
+use diversifi_simcore::{
+    run_campaign_observed, CampaignConfig, DigestSchema, FaultKind, FaultPlan, FlightCapture,
+    FlightKey, SeedFactory, SimDuration, SimTime,
+};
+use diversifi_voip::DEFAULT_DEADLINE;
+use diversifi_wifi::{Channel, GeParams, LinkConfig};
+use serde::Serialize;
+
+/// One chaos campaign's configuration: how many plans to scan, under what
+/// budget, against which deployment, and what the oracles tolerate.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Master seed: plans *and* the paired world realisations are pure
+    /// functions of `(seed, plan index)`.
+    pub seed: u64,
+    /// Plans to generate and scan.
+    pub plans: u64,
+    /// Generation budget (horizon doubles as the call duration).
+    pub budget: ChaosBudget,
+    /// Primary AP link of the paired deployment.
+    pub primary: LinkConfig,
+    /// Secondary AP link of the paired deployment.
+    pub secondary: LinkConfig,
+    /// A window must clear at least this long before end of call for the
+    /// unbounded-MTTR oracle to demand recovery (windows closer to the
+    /// horizon get no verdict — there was no room to recover).
+    pub mttr_slack: SimDuration,
+    /// Absolute residual-loss tolerance (fraction of the stream): the
+    /// DiversiFi arm may lose at most `baseline + tolerance`.
+    pub tolerance: f64,
+    /// Worst violations retained for shrinking (the flight-K of the scan).
+    pub max_findings: usize,
+    /// Worker threads (0 = all available, capped by the sweep runner).
+    pub threads: usize,
+    /// Plans per campaign shard.
+    pub shard_size: u64,
+    /// Plant the synthetic canary oracle instead of running worlds: a plan
+    /// "amplifies" iff it composes an uplink outage with an interference
+    /// storm. Proves end-to-end that the fuzzer finds and shrinks a known
+    /// violation — cheaply, and in every build configuration.
+    pub canary: bool,
+}
+
+impl ChaosConfig {
+    /// Chaos defaults on the failure-injection testbed deployment (decent
+    /// primary, weak far secondary — the pairing where robustness claims
+    /// are actually at risk).
+    pub fn new(seed: u64) -> ChaosConfig {
+        let primary = LinkConfig::office(Channel::CH1, 18.0);
+        let mut secondary = LinkConfig::office(Channel::CH11, 24.0);
+        secondary.ge = GeParams::weak_link();
+        ChaosConfig {
+            seed,
+            plans: 200,
+            budget: ChaosBudget::default(),
+            primary,
+            secondary,
+            mttr_slack: SimDuration::from_secs(5),
+            tolerance: 0.02,
+            max_findings: 8,
+            threads: 0,
+            shard_size: 16,
+            canary: false,
+        }
+    }
+
+    /// Build a chaos config from a scenario's `[chaos]` section and
+    /// deployment (the scenario's APs replace the default testbed pair).
+    pub fn from_scenario(scn: &Scenario) -> ChaosConfig {
+        let mut cfg = ChaosConfig::new(scn.seed);
+        cfg.primary = scn.primary.lower(scn.venue);
+        cfg.secondary = scn.secondary.lower(scn.venue);
+        cfg.plans = scn.chaos.plans;
+        cfg.budget = scn.chaos.budget.clone();
+        cfg.mttr_slack = scn.chaos.mttr_slack;
+        cfg.tolerance = scn.chaos.tolerance;
+        cfg.max_findings = scn.chaos.max_findings;
+        cfg.threads = scn.campaign.threads;
+        cfg
+    }
+
+    /// FNV-1a fingerprint over the knobs that define the scan (seed, plan
+    /// count, budget, tolerance knobs, canary) — pins chaos checkpoints
+    /// the same way scenario fingerprints pin fleet-campaign checkpoints.
+    pub fn fingerprint(&self) -> u64 {
+        let budget =
+            serde_json::to_string(&self.budget).expect("budget serialization cannot fail");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for b in bytes {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        eat(budget.as_bytes());
+        for v in [
+            self.seed,
+            self.plans,
+            self.mttr_slack.as_nanos(),
+            self.tolerance.to_bits(),
+            self.max_findings as u64,
+            u64::from(self.canary),
+        ] {
+            eat(&v.to_le_bytes());
+        }
+        h
+    }
+}
+
+/// One oracle verdict against one plan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// Which oracle tripped (the [`ChaosReproducer::oracle`] label).
+    pub oracle: &'static str,
+    /// Human-readable detail captured at evaluation time.
+    pub detail: String,
+    /// Severity (larger = worse); orders the worst-K retention.
+    pub delta: f64,
+}
+
+/// The DiversiFi arm a plan is judged under: middlebox faults only bite
+/// the middlebox deployment, everything else runs the customized-AP path.
+fn dvf_mode(plan: &FaultPlan) -> RunMode {
+    if plan.specs.iter().any(|s| matches!(s.kind, FaultKind::MiddleboxRestart { .. })) {
+        RunMode::DiversifiMiddlebox
+    } else {
+        RunMode::DiversifiCustomAp
+    }
+}
+
+/// Evaluate one plan against the oracles. Pure function of
+/// `(cfg, seed, index, plan)`; `None` means every oracle held.
+pub fn evaluate_plan(
+    cfg: &ChaosConfig,
+    seed: u64,
+    index: u64,
+    plan: &FaultPlan,
+) -> Option<Violation> {
+    if plan.is_empty() {
+        return None;
+    }
+    if cfg.canary {
+        // The planted bug: an uplink outage composed with an interference
+        // storm "amplifies". Synthetic, so no worlds run — the canary
+        // exercises generation, retention, shrinking and serialization in
+        // every build configuration at negligible cost.
+        let has = |f: fn(&FaultKind) -> bool| plan.specs.iter().any(|s| f(&s.kind));
+        let outage = has(|k| matches!(k, FaultKind::UplinkOutage { .. }));
+        let storm = has(|k| matches!(k, FaultKind::InterferenceStorm { .. }));
+        return (outage && storm).then(|| Violation {
+            oracle: "no-amplification",
+            detail: "planted canary: uplink outage composed with interference storm".to_string(),
+            delta: 1.0,
+        });
+    }
+
+    let mut base = WorldConfig::testbed(cfg.primary.clone(), cfg.secondary.clone());
+    base.mode = RunMode::PrimaryOnly;
+    base.spec.duration = cfg.budget.horizon;
+    base.faults = plan.clone();
+    let mut dvf = base.clone();
+    dvf.mode = dvf_mode(plan);
+    let seeds = SeedFactory::new(seed).subfactory("chaos.world", index);
+    let ran = check::capture_panic(|| {
+        let rb = World::new(&base, &seeds).run();
+        let rd = World::new(&dvf, &seeds).run();
+        (
+            rb.trace.loss_rate(DEFAULT_DEADLINE),
+            rd.trace.loss_rate(DEFAULT_DEADLINE),
+            rd.fault_outcomes,
+        )
+    });
+    let (loss_base, loss_dvf, outcomes) = match ran {
+        Ok(r) => r,
+        Err(msg) => {
+            return Some(Violation {
+                oracle: "engine-panic",
+                detail: msg,
+                delta: 100.0,
+            })
+        }
+    };
+
+    if loss_dvf > loss_base + cfg.tolerance {
+        return Some(Violation {
+            oracle: "no-amplification",
+            detail: format!(
+                "diversifi loss {:.4} vs primary-only {:.4} (tolerance {:.4})",
+                loss_dvf, loss_base, cfg.tolerance
+            ),
+            delta: loss_dvf - loss_base,
+        });
+    }
+
+    let horizon_end = SimTime::ZERO + cfg.budget.horizon;
+    let unrecovered: Vec<&diversifi_simcore::FaultOutcome> = outcomes
+        .iter()
+        .filter(|o| o.end + cfg.mttr_slack <= horizon_end && o.recovered_at.is_none())
+        .collect();
+    if let Some(worst) = unrecovered.first() {
+        return Some(Violation {
+            oracle: "unbounded-mttr",
+            detail: format!(
+                "{} window clearing at {:.1}s never saw service recover ({} such windows, \
+                 {:.1}s of healthy tail)",
+                worst.label,
+                worst.end.as_nanos() as f64 / 1e9,
+                unrecovered.len(),
+                horizon_end.saturating_since(worst.end).as_nanos() as f64 / 1e9,
+            ),
+            delta: 2.0 + unrecovered.len() as f64,
+        });
+    }
+    None
+}
+
+/// One shrunk finding in the chaos report.
+#[derive(Clone, Debug, Serialize)]
+pub struct ChaosFinding {
+    /// Plan index within the scan.
+    pub index: u64,
+    /// Oracle label of the *minimal* plan's violation.
+    pub oracle: String,
+    /// Violation detail of the minimal plan.
+    pub detail: String,
+    /// Severity of the original violation (worst-K ordering key).
+    pub delta: f64,
+    /// Spec count as generated.
+    pub original_specs: usize,
+    /// Spec count after shrinking.
+    pub minimal_specs: usize,
+    /// Oracle evaluations the shrinker spent.
+    pub shrink_tried: u64,
+    /// Shrink candidates accepted.
+    pub shrink_accepted: u64,
+    /// The committed-corpus reproducer (minimal plan + replay handles).
+    pub reproducer: ChaosReproducer,
+}
+
+/// The chaos campaign artifact written by `repro --chaos`.
+#[derive(Clone, Debug, Serialize)]
+pub struct ChaosReport {
+    /// Master seed of the scan.
+    pub seed: u64,
+    /// Plans scanned.
+    pub plans: u64,
+    /// Plans the budget left empty (generated, nothing admitted).
+    pub empty_plans: u64,
+    /// Total violating plans.
+    pub violations: u64,
+    /// Violations by oracle.
+    pub amplification: u64,
+    /// Engine panics (audit failures included) attributed to plans.
+    pub engine_panics: u64,
+    /// Unbounded-MTTR verdicts.
+    pub unbounded_mttr: u64,
+    /// Thread-count-invariant digest fingerprint of the scan.
+    pub fingerprint: Option<u64>,
+    /// Did every shard run (false ⇒ some were quarantined/missing)?
+    pub complete: bool,
+    /// Quarantined shard indices (panics that escaped per-plan capture).
+    pub quarantined: Vec<usize>,
+    /// The retained worst violations, shrunk to minimal reproducers,
+    /// worst first.
+    pub findings: Vec<ChaosFinding>,
+}
+
+/// Run the chaos scan: generate `cfg.plans` plans, evaluate each against
+/// the oracles through the sharded campaign supervisor, then shrink the
+/// retained worst violations to minimal reproducers.
+pub fn run_chaos(cfg: &ChaosConfig) -> std::io::Result<ChaosReport> {
+    let mut schema = DigestSchema::new();
+    let n_plans = schema.counter("chaos/plans");
+    let n_empty = schema.counter("chaos/empty");
+    let n_viol = schema.counter("chaos/violations");
+    let n_amp = schema.counter("chaos/oracle/no-amplification");
+    let n_panic = schema.counter("chaos/oracle/engine-panic");
+    let n_mttr = schema.counter("chaos/oracle/unbounded-mttr");
+    let delta_sum = schema.summary("chaos/delta");
+
+    let mut camp = CampaignConfig::new(cfg.plans);
+    camp.shard_size = cfg.shard_size.max(1);
+    camp.threads = cfg.threads;
+    camp.flight_k = cfg.max_findings;
+    camp.config_fingerprint = cfg.fingerprint();
+
+    let seeds = SeedFactory::new(cfg.seed);
+    let outcome = run_campaign_observed(
+        &camp,
+        &schema,
+        |i, _scratch, digest, worst| {
+            let plan = generate_plan(&seeds, i, &cfg.budget);
+            digest.add(n_plans, 1);
+            if plan.is_empty() {
+                digest.add(n_empty, 1);
+                return;
+            }
+            if let Some(v) = evaluate_plan(cfg, cfg.seed, i, &plan) {
+                digest.add(n_viol, 1);
+                digest.add(
+                    match v.oracle {
+                        "no-amplification" => n_amp,
+                        "engine-panic" => n_panic,
+                        _ => n_mttr,
+                    },
+                    1,
+                );
+                digest.observe(delta_sum, v.delta);
+                // Worst-K keeps the *lowest* scores: negate severity so
+                // the most severe violations survive retention.
+                worst.offer(FlightKey { score: -v.delta, seed: cfg.seed, index: i });
+            }
+        },
+        |_| {},
+        |_| {},
+    )?;
+
+    let (empty_plans, violations, amplification, engine_panics, unbounded_mttr) =
+        match &outcome.digest {
+            Some(d) => (
+                d.count(n_empty),
+                d.count(n_viol),
+                d.count(n_amp),
+                d.count(n_panic),
+                d.count(n_mttr),
+            ),
+            None => (0, 0, 0, 0, 0),
+        };
+
+    // Shrink the retained worst, worst-first. Re-deriving the plan from
+    // its index (rather than carrying plans through the campaign) keeps
+    // the scan allocation-light and doubles as a determinism check.
+    let mut findings = Vec::new();
+    if let Some(worst) = &outcome.flight {
+        for entry in worst.entries() {
+            let plan = generate_plan(&seeds, entry.index, &cfg.budget);
+            findings.push(shrink_finding(cfg, entry.index, &plan, -entry.score));
+        }
+    }
+
+    Ok(ChaosReport {
+        seed: cfg.seed,
+        plans: cfg.plans,
+        empty_plans,
+        violations,
+        amplification,
+        engine_panics,
+        unbounded_mttr,
+        fingerprint: outcome.fingerprint,
+        complete: outcome.complete,
+        quarantined: outcome.quarantined.iter().map(|q| q.shard).collect(),
+        findings,
+    })
+}
+
+/// Shrink one violating plan to a minimal reproducer and package it.
+fn shrink_finding(cfg: &ChaosConfig, index: u64, plan: &FaultPlan, delta: f64) -> ChaosFinding {
+    let Some(original) = evaluate_plan(cfg, cfg.seed, index, plan) else {
+        // The scan said this plan violates; replay disagrees. That *is*
+        // the finding — determinism broke somewhere between the two.
+        return ChaosFinding {
+            index,
+            oracle: "non-deterministic".to_string(),
+            detail: "violated during the campaign scan but not on replay".to_string(),
+            delta,
+            original_specs: plan.specs.len(),
+            minimal_specs: plan.specs.len(),
+            shrink_tried: 0,
+            shrink_accepted: 0,
+            reproducer: ChaosReproducer {
+                seed: cfg.seed,
+                index,
+                oracle: "non-deterministic".to_string(),
+                detail: "violated during the campaign scan but not on replay".to_string(),
+                original_specs: plan.specs.len() as u64,
+                plan: plan.clone(),
+            },
+        };
+    };
+    let shrunk =
+        shrink_plan(plan, |cand| evaluate_plan(cfg, cfg.seed, index, cand).is_some());
+    // The minimal plan's own verdict labels the reproducer (shrinking can
+    // legitimately walk one oracle's violation into another's).
+    let minimal_v = evaluate_plan(cfg, cfg.seed, index, &shrunk.minimal).unwrap_or(original);
+    ChaosFinding {
+        index,
+        oracle: minimal_v.oracle.to_string(),
+        detail: minimal_v.detail.clone(),
+        delta,
+        original_specs: plan.specs.len(),
+        minimal_specs: shrunk.minimal.specs.len(),
+        shrink_tried: shrunk.tried,
+        shrink_accepted: shrunk.accepted,
+        reproducer: ChaosReproducer {
+            seed: cfg.seed,
+            index,
+            oracle: minimal_v.oracle.to_string(),
+            detail: minimal_v.detail,
+            original_specs: plan.specs.len() as u64,
+            plan: shrunk.minimal,
+        },
+    }
+}
+
+/// Replay one committed corpus entry under the *real* oracles (never the
+/// canary). `None` means the regression stays fixed; `Some` means the
+/// minimal plan violates again — the bug is back.
+pub fn replay_reproducer(cfg: &ChaosConfig, rep: &ChaosReproducer) -> Option<Violation> {
+    let mut real = cfg.clone();
+    real.canary = false;
+    evaluate_plan(&real, rep.seed, rep.index, &rep.plan)
+}
+
+/// Forensic capture of one reproducer: re-run its paired worlds with the
+/// telemetry ring armed and freeze both event timelines (baseline first),
+/// labelled `chaos/plan-{index}/{arm}`. Event streams are empty in builds
+/// where tracing is compiled out; scores carry the replay handles either
+/// way.
+pub fn capture_reproducer(
+    cfg: &ChaosConfig,
+    rep: &ChaosReproducer,
+    ring: usize,
+) -> Vec<FlightCapture> {
+    let mut base = WorldConfig::testbed(cfg.primary.clone(), cfg.secondary.clone());
+    base.mode = RunMode::PrimaryOnly;
+    base.spec.duration = cfg.budget.horizon;
+    base.faults = rep.plan.clone();
+    let mut dvf = base.clone();
+    dvf.mode = dvf_mode(&rep.plan);
+    let key = FlightKey { score: 0.0, seed: rep.seed, index: rep.index };
+    [(&base, "primary-only"), (&dvf, "diversifi")]
+        .into_iter()
+        .map(|(world_cfg, arm)| {
+            let seeds = SeedFactory::new(rep.seed).subfactory("chaos.world", rep.index);
+            let (_, session) = World::new(world_cfg, &seeds).run_traced(ring);
+            FlightCapture::from_session(
+                format!("chaos/plan-{:06}/{arm}", rep.index),
+                key,
+                session,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canary_cfg(threads: usize) -> ChaosConfig {
+        let mut cfg = ChaosConfig::new(0xC4A21);
+        cfg.canary = true;
+        cfg.plans = 48;
+        cfg.threads = threads;
+        cfg
+    }
+
+    #[test]
+    fn canary_is_found_shrunk_and_thread_invariant() {
+        let mut reference: Option<(u64, String)> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let report = run_chaos(&canary_cfg(threads)).unwrap();
+            assert!(report.complete && report.quarantined.is_empty());
+            assert!(
+                report.violations > 0,
+                "the planted canary must be found (threads={threads})"
+            );
+            assert_eq!(report.violations, report.amplification);
+            assert!(!report.findings.is_empty());
+            for f in &report.findings {
+                // The minimal plan is exactly the two composed specs the
+                // canary keys on, with every duration at the floor.
+                assert!(f.minimal_specs <= 2, "not minimal: {f:?}");
+                assert_eq!(f.reproducer.plan.specs.len(), 2);
+                assert_eq!(f.oracle, "no-amplification");
+                let kinds: Vec<bool> = f
+                    .reproducer
+                    .plan
+                    .specs
+                    .iter()
+                    .map(|s| matches!(s.kind, FaultKind::UplinkOutage { .. }))
+                    .collect();
+                assert!(kinds.contains(&true) && kinds.contains(&false));
+            }
+            // Byte-identical findings at every thread count.
+            let blob = serde_json::to_string(&report.findings).unwrap();
+            match &reference {
+                None => reference = Some((report.fingerprint.unwrap(), blob)),
+                Some((fp, want)) => {
+                    assert_eq!(report.fingerprint.unwrap(), *fp, "threads={threads}");
+                    assert_eq!(&blob, want, "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canary_reproducers_replay_clean_under_the_real_oracle() {
+        // The canary's "bug" is synthetic: its minimal plans must NOT
+        // violate for real — which is exactly what makes them useful
+        // corpus entries (they pin the composed fault staying safe).
+        let report = run_chaos(&canary_cfg(2)).unwrap();
+        let cfg = ChaosConfig::new(0xC4A21);
+        let f = report.findings.first().expect("canary produced findings");
+        assert!(
+            replay_reproducer(&cfg, &f.reproducer).is_none(),
+            "composed uplink-outage + storm must not actually amplify"
+        );
+    }
+
+    #[test]
+    fn real_oracle_scan_runs_and_is_deterministic() {
+        let mut cfg = ChaosConfig::new(0xD1CE);
+        cfg.plans = 4;
+        cfg.shard_size = 2;
+        cfg.budget = ChaosBudget::for_horizon(SimDuration::from_secs(4));
+        cfg.threads = 2;
+        let a = run_chaos(&cfg).unwrap();
+        let b = run_chaos(&cfg).unwrap();
+        assert!(a.complete);
+        assert_eq!(a.plans, 4);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.violations, b.violations);
+    }
+
+    #[test]
+    fn capture_covers_both_arms_deterministically() {
+        let cfg = ChaosConfig::new(7);
+        let rep = ChaosReproducer {
+            seed: 7,
+            index: 3,
+            oracle: "no-amplification".to_string(),
+            detail: String::new(),
+            original_specs: 1,
+            plan: FaultPlan::none().with(
+                SimTime::from_secs(1),
+                FaultKind::UplinkOutage { duration: SimDuration::from_secs(1) },
+            ),
+        };
+        let a = capture_reproducer(&cfg, &rep, 512);
+        let b = capture_reproducer(&cfg, &rep, 512);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].label, "chaos/plan-000003/primary-only");
+        assert_eq!(a[1].label, "chaos/plan-000003/diversifi");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.events, y.events, "captures must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_every_knob() {
+        let base = ChaosConfig::new(1);
+        let mut knobs = Vec::new();
+        let mut c = base.clone();
+        c.seed = 2;
+        knobs.push(c);
+        let mut c = base.clone();
+        c.plans = 99;
+        knobs.push(c);
+        let mut c = base.clone();
+        c.budget.max_specs = 7;
+        knobs.push(c);
+        let mut c = base.clone();
+        c.tolerance = 0.5;
+        knobs.push(c);
+        let mut c = base.clone();
+        c.canary = true;
+        knobs.push(c);
+        for k in &knobs {
+            assert_ne!(k.fingerprint(), base.fingerprint());
+        }
+    }
+}

@@ -23,6 +23,9 @@
 //!   Algorithm 1, customized-AP and middlebox deployments, TCP coexistence.
 //! - [`evaluation`] — the §6 corpora and summaries (Figs. 8–10, Table 3,
 //!   §6.3 overhead, §6.4 scalability).
+//! - [`chaos`] — adversarial fault-plan fuzzing against the paired
+//!   no-amplification oracle, with automatic shrinking to committed
+//!   reproducers.
 //! - [`population`] — the Table 1 VoIP-service population model.
 //! - [`nettest`] — the Table 2 NetTest campaign model.
 //! - [`survey`] — the Fig. 1 site survey.
@@ -55,6 +58,7 @@
 pub mod ablation;
 pub mod analysis;
 pub mod campaign;
+pub mod chaos;
 pub mod corpus;
 pub mod crosstech;
 pub mod evaluation;
@@ -73,6 +77,11 @@ pub use analysis::{AnalysisOptions, CallRecord, QualityParams, Strategy};
 pub use campaign::{
     run_fleet_campaign, run_fleet_campaign_observed, run_fleet_campaign_with,
     CampaignHealthReport, FleetCampaignReport, FleetCampaignRun, FleetSchema, FlightEntryReport,
+    ShardQuarantineReport,
+};
+pub use chaos::{
+    capture_reproducer, evaluate_plan, replay_reproducer, run_chaos, ChaosConfig, ChaosFinding,
+    ChaosReport, Violation,
 };
 pub use flight::capture_worst_calls;
 pub use corpus::{CallEnvironment, CorpusMix};

@@ -25,7 +25,7 @@
 use crate::population::PopulationModel;
 use crate::twonic::TwoNicScenario;
 use crate::world::{RunMode, WorldConfig};
-use diversifi_simcore::{CampaignConfig, FaultPlan, SimDuration};
+use diversifi_simcore::{CampaignConfig, ChaosBudget, FaultPlan, SimDuration};
 use diversifi_voip::{FpsConfig, StreamSpec, WorkloadKind};
 use diversifi_wifi::{Band, Channel, GeParams, LinkConfig};
 use serde::{Deserialize, Serialize, Value};
@@ -380,6 +380,37 @@ impl Default for ObserveSpec {
     }
 }
 
+/// Chaos-campaign knobs: the fault-plan fuzzing budget and oracle
+/// tolerances used by `repro --chaos`. Like [`ObserveSpec`], the default
+/// serializes to nothing, so scenarios that never mention `[chaos]` keep
+/// their exact pre-chaos fingerprints and checkpoints.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosSpec {
+    /// Fault plans to generate and scan.
+    pub plans: u64,
+    /// Plan-generation budget (horizon, spec caps, kind weights).
+    pub budget: ChaosBudget,
+    /// Healthy tail a fault window must leave for the unbounded-MTTR
+    /// oracle to demand recovery.
+    pub mttr_slack: SimDuration,
+    /// Absolute residual-loss tolerance of the no-amplification oracle.
+    pub tolerance: f64,
+    /// Worst violations retained for shrinking.
+    pub max_findings: usize,
+}
+
+impl Default for ChaosSpec {
+    fn default() -> ChaosSpec {
+        ChaosSpec {
+            plans: 200,
+            budget: ChaosBudget::default(),
+            mttr_slack: SimDuration::from_secs(5),
+            tolerance: 0.02,
+            max_findings: 8,
+        }
+    }
+}
+
 /// A complete declarative experiment scenario.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Scenario {
@@ -405,6 +436,8 @@ pub struct Scenario {
     pub campaign: CampaignSpec,
     /// Observability knobs (flight recorder).
     pub observe: ObserveSpec,
+    /// Chaos-campaign knobs (`repro --chaos`).
+    pub chaos: ChaosSpec,
 }
 
 impl Scenario {
@@ -422,6 +455,7 @@ impl Scenario {
             arms: Vec::new(),
             campaign: CampaignSpec::default(),
             observe: ObserveSpec::default(),
+            chaos: ChaosSpec::default(),
         }
     }
 
@@ -545,7 +579,7 @@ impl Scenario {
             path,
             &[
                 "name", "seed", "venue", "deployment", "traffic", "fleet", "faults", "arms",
-                "campaign", "observe",
+                "campaign", "observe", "chaos",
             ],
         )?;
         let name = obj.req_str("name")?.to_string();
@@ -595,6 +629,10 @@ impl Scenario {
             Some((v, p)) => parse_observe(v, &p)?,
             None => ObserveSpec::default(),
         };
+        let chaos = match obj.get("chaos") {
+            Some((v, p)) => parse_chaos(v, &p)?,
+            None => ChaosSpec::default(),
+        };
         // An arm naming a workload the traffic section doesn't define is a
         // deployment bug — reject it here, with the full field path, so
         // `repro --validate-scenario` fails loudly instead of silently
@@ -622,6 +660,7 @@ impl Scenario {
             arms,
             campaign,
             observe,
+            chaos,
         })
     }
 
@@ -729,6 +768,27 @@ impl Scenario {
             observe.push(("ring".into(), Value::U64(self.observe.ring as u64)));
             if let Value::Object(fields) = &mut root {
                 fields.push(("observe".into(), Value::Object(observe)));
+            }
+        }
+        // Same pact for the chaos section: never mentioned ⇒ never
+        // serialized ⇒ pre-chaos fingerprints survive this feature.
+        if self.chaos != ChaosSpec::default() {
+            let c = &self.chaos;
+            let weights =
+                c.budget.weights.iter().map(|w| Value::U64(u64::from(*w))).collect();
+            let chaos = vec![
+                ("plans".into(), Value::U64(c.plans)),
+                ("horizon_ms".into(), Value::U64(c.budget.horizon.as_millis())),
+                ("max_specs".into(), Value::U64(c.budget.max_specs as u64)),
+                ("max_concurrent".into(), Value::U64(c.budget.max_concurrent as u64)),
+                ("max_outage_frac".into(), Value::F64(c.budget.max_outage_frac)),
+                ("weights".into(), Value::Array(weights)),
+                ("mttr_slack_ms".into(), Value::U64(c.mttr_slack.as_millis())),
+                ("tolerance".into(), Value::F64(c.tolerance)),
+                ("max_findings".into(), Value::U64(c.max_findings as u64)),
+            ];
+            if let Value::Object(fields) = &mut root {
+                fields.push(("chaos".into(), Value::Object(chaos)));
             }
         }
         root
@@ -989,6 +1049,81 @@ fn parse_observe(v: &Value, path: &str) -> Result<ObserveSpec, String> {
         return Err(format!("{path}.ring: must be 16 ..= 1048576 events, got {ring}"));
     }
     Ok(ObserveSpec { flight_topk: flight_topk as usize, trigger, ring: ring as usize })
+}
+
+fn parse_chaos(v: &Value, path: &str) -> Result<ChaosSpec, String> {
+    let obj = Obj::new(
+        v,
+        path,
+        &[
+            "plans", "horizon_ms", "max_specs", "max_concurrent", "max_outage_frac", "weights",
+            "mttr_slack_ms", "tolerance", "max_findings",
+        ],
+    )?;
+    let d = ChaosSpec::default();
+    let plans = obj.opt_u64("plans")?.unwrap_or(d.plans);
+    if plans == 0 || plans > 10_000_000 {
+        return Err(format!("{path}.plans: must be 1..=10000000, got {plans}"));
+    }
+    let horizon_ms = obj.opt_u64("horizon_ms")?.unwrap_or(d.budget.horizon.as_millis());
+    if !(1_000..=600_000).contains(&horizon_ms) {
+        return Err(format!("{path}.horizon_ms: must be 1000..=600000, got {horizon_ms}"));
+    }
+    let mut budget = ChaosBudget::for_horizon(SimDuration::from_millis(horizon_ms));
+    let max_specs = obj.opt_u64("max_specs")?.unwrap_or(budget.max_specs as u64);
+    if !(1..=32).contains(&max_specs) {
+        return Err(format!("{path}.max_specs: must be 1..=32, got {max_specs}"));
+    }
+    budget.max_specs = max_specs as usize;
+    let max_concurrent = obj.opt_u64("max_concurrent")?.unwrap_or(budget.max_concurrent as u64);
+    if !(1..=32).contains(&max_concurrent) {
+        return Err(format!("{path}.max_concurrent: must be 1..=32, got {max_concurrent}"));
+    }
+    budget.max_concurrent = max_concurrent as usize;
+    if let Some(f) = obj.opt_f64("max_outage_frac")? {
+        if !(0.0..=1.0).contains(&f) {
+            return Err(format!("{path}.max_outage_frac: must be within [0, 1], got {f}"));
+        }
+        budget.max_outage_frac = f;
+    }
+    if let Some((v, p)) = obj.get("weights") {
+        let items = want_array(v, &p)?;
+        if items.len() != budget.weights.len() {
+            return Err(format!(
+                "{p}: expected {} per-kind weights, got {}",
+                budget.weights.len(),
+                items.len()
+            ));
+        }
+        let mut total = 0u64;
+        for (i, item) in items.iter().enumerate() {
+            let w = want_u64(item, &format!("{p}[{i}]"))?;
+            if w > 1_000_000 {
+                return Err(format!("{p}[{i}]: must be <= 1000000, got {w}"));
+            }
+            budget.weights[i] = w as u32;
+            total += w;
+        }
+        if total == 0 {
+            return Err(format!("{p}: at least one weight must be > 0"));
+        }
+    }
+    let mttr_slack_ms = obj.opt_u64("mttr_slack_ms")?.unwrap_or(d.mttr_slack.as_millis());
+    let tolerance = obj.opt_f64("tolerance")?.unwrap_or(d.tolerance);
+    if !(0.0..=1.0).contains(&tolerance) {
+        return Err(format!("{path}.tolerance: must be within [0, 1], got {tolerance}"));
+    }
+    let max_findings = obj.opt_u64("max_findings")?.unwrap_or(d.max_findings as u64);
+    if !(1..=4096).contains(&max_findings) {
+        return Err(format!("{path}.max_findings: must be 1..=4096, got {max_findings}"));
+    }
+    Ok(ChaosSpec {
+        plans,
+        budget,
+        mttr_slack: SimDuration::from_millis(mttr_slack_ms),
+        tolerance,
+        max_findings: max_findings as usize,
+    })
 }
 
 /// Render a channel as the scenario-file string form (`"2.4/1"`, `"5/36"`).
@@ -1328,6 +1463,47 @@ mod tests {
         // existing fingerprints pin campaign checkpoints.
         let json = Scenario::testbed("t", 7).to_json_pretty();
         assert!(!json.contains("workload"), "{json}");
+    }
+
+    #[test]
+    fn chaos_section_round_trips_and_defaults_vanish() {
+        // Never mentioning [chaos] must keep the pre-chaos canonical form
+        // (and hence every existing fingerprint and checkpoint).
+        let json = Scenario::testbed("t", 7).to_json_pretty();
+        assert!(!json.contains("chaos"), "{json}");
+
+        let toml = r#"
+name = "chaos-rt"
+seed = 9
+
+[chaos]
+plans = 64
+horizon_ms = 8000
+max_specs = 3
+max_concurrent = 2
+max_outage_frac = 0.3
+weights = [1, 0, 2, 1, 4, 4]
+mttr_slack_ms = 4000
+tolerance = 0.05
+max_findings = 4
+"#;
+        let scn = Scenario::from_toml(toml).unwrap();
+        assert_eq!(scn.chaos.plans, 64);
+        assert_eq!(scn.chaos.budget.horizon, SimDuration::from_secs(8));
+        assert_eq!(scn.chaos.budget.max_specs, 3);
+        assert_eq!(scn.chaos.budget.weights, [1, 0, 2, 1, 4, 4]);
+        assert_eq!(scn.chaos.tolerance, 0.05);
+        assert_eq!(scn.chaos.max_findings, 4);
+        // Round trip through the canonical JSON form.
+        let back = Scenario::from_json(&scn.to_json_pretty()).unwrap();
+        assert_eq!(back, scn);
+
+        // Field-path errors.
+        let err = Scenario::from_json(r#"{"name": "x", "chaos": {"weights": [1, 2]}}"#)
+            .unwrap_err();
+        assert!(err.starts_with("scenario.chaos.weights:"), "{err}");
+        let err = Scenario::from_json(r#"{"name": "x", "chaos": {"plams": 5}}"#).unwrap_err();
+        assert!(err.contains("plams"), "{err}");
     }
 
     #[test]

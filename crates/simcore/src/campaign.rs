@@ -38,10 +38,45 @@
 //! [`progress`](CampaignConfig::run) callback (the `repro --campaign`
 //! front-end turns it into a calls/sec ticker) and health through the
 //! heartbeat callback.
+//!
+//! # Supervision: quarantine, watchdog, IO retry
+//!
+//! The engine is a *supervisor*, not just a scheduler — a single bad
+//! shard must never take down a million-call campaign:
+//!
+//! - **Panic isolation.** Every fresh shard fold runs under
+//!   `catch_unwind`. A panicking shard (an invariant-audit trip, a model
+//!   bug on one pathological call) is **quarantined**: its index and
+//!   panic message land in [`CampaignOutcome::quarantined`], the campaign
+//!   keeps running every other shard (and checkpointing them, so a later
+//!   run after the fix only re-executes the poisoned shard), and
+//!   completes *degraded* — `complete == false`, no digest offered, the
+//!   quarantine list tells the caller exactly what to report. Panics are
+//!   deterministic (a fold is a pure function of its call index), so
+//!   quarantine decisions are too.
+//! - **Shard watchdog.** [`CampaignConfig::watchdog_ns`] flags shards
+//!   whose fold exceeded the threshold into
+//!   [`CampaignOutcome::slow_shards`]. The watchdog *observes wall time
+//!   but never decides results* — it cannot abort or reorder a fold, so
+//!   digests remain bit-identical at every thread count; deterministic
+//!   failures (panics) are the only thing that changes an outcome.
+//! - **IO retry with backoff.** Checkpoint reads and writes retry
+//!   transient errors ([`CampaignConfig::io_retries`] attempts with
+//!   linear backoff) before giving up. A write that still fails is
+//!   counted in [`CampaignOutcome::checkpoint_errors`] and the campaign
+//!   continues — the shard result is correct, a later run simply
+//!   re-executes it; a read that still fails re-runs the shard. A full
+//!   disk degrades a campaign, it does not panic it.
+//!
+//! None of the supervision knobs participates in
+//! [`CampaignConfig::campaign_id`]: they change how faults are *handled*,
+//! never what a fold computes, so checkpoints remain interchangeable and
+//! supervision-off runs stay byte-identical.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize, Value};
 
@@ -84,6 +119,15 @@ pub struct CampaignConfig {
     /// selector is never touched). Part of the campaign id, so
     /// recorder-on and recorder-off checkpoints never mix.
     pub flight_k: usize,
+    /// Watchdog threshold: a freshly executed shard whose fold wall time
+    /// exceeds this many nanoseconds is listed in
+    /// [`CampaignOutcome::slow_shards`]. Purely observational — never
+    /// aborts a fold or perturbs results. `None` disables it. Not part of
+    /// the campaign id.
+    pub watchdog_ns: Option<u64>,
+    /// Extra attempts after a failed checkpoint read/write before giving
+    /// up (linear backoff between attempts). Not part of the campaign id.
+    pub io_retries: u32,
 }
 
 impl CampaignConfig {
@@ -98,6 +142,8 @@ impl CampaignConfig {
             config_fingerprint: 0,
             max_new_shards: None,
             flight_k: 0,
+            watchdog_ns: None,
+            io_retries: 2,
         }
     }
 
@@ -222,12 +268,22 @@ impl CampaignHealth {
     }
 }
 
+/// One quarantined shard: a fold that panicked and was isolated instead
+/// of killing the campaign.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardQuarantine {
+    /// The shard index.
+    pub shard: usize,
+    /// The panic payload (stringified), e.g. an invariant-audit message.
+    pub reason: String,
+}
+
 /// What a campaign run produced.
 #[derive(Clone, Debug)]
 pub struct CampaignOutcome {
     /// The merged digest over `[0, n_calls)` — `None` when the run was
-    /// truncated by `max_new_shards` (a partial merge would silently drop
-    /// trailing shards, so none is offered).
+    /// truncated by `max_new_shards` or degraded by quarantine (a partial
+    /// merge would silently drop shards, so none is offered).
     pub digest: Option<ShardDigest>,
     /// Fingerprint of the merged digest (see
     /// [`ShardDigest::fingerprint`]); `None` when incomplete.
@@ -245,16 +301,49 @@ pub struct CampaignOutcome {
     pub shards_resumed: usize,
     /// True when every shard is accounted for.
     pub complete: bool,
+    /// Shards whose fold panicked, isolated and skipped (sorted by shard
+    /// index). Non-empty implies `complete == false`; every *other* shard
+    /// still ran and checkpointed.
+    pub quarantined: Vec<ShardQuarantine>,
+    /// Checkpoint writes that still failed after retries. The affected
+    /// shards' results are correct and merged; they simply re-run on
+    /// resume.
+    pub checkpoint_errors: usize,
+    /// Freshly executed shards whose fold wall time exceeded
+    /// [`CampaignConfig::watchdog_ns`] (sorted). Observational only.
+    pub slow_shards: Vec<usize>,
 }
 
 fn shard_path(dir: &Path, s: usize) -> PathBuf {
     dir.join(format!("shard-{s:06}.json"))
 }
 
+/// Run `op` up to `1 + retries` times with linear backoff, returning the
+/// first success or the final error. `NotFound` never retries — an absent
+/// checkpoint is a state, not a transient fault.
+fn with_io_retry<T>(
+    retries: u32,
+    mut op: impl FnMut() -> std::io::Result<T>,
+) -> std::io::Result<T> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if attempt < retries && e.kind() != std::io::ErrorKind::NotFound => {
+                attempt += 1;
+                std::thread::sleep(Duration::from_millis(10 * u64::from(attempt)));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Load one shard checkpoint, returning `None` (shard will re-run) on any
-/// mismatch or corruption. When the campaign records flight data the
-/// checkpoint must carry a valid selector of the same `k` — a digest
-/// without its selector would silently drop worst calls on resume.
+/// mismatch or corruption. Transient read errors retry with backoff;
+/// parse and validation failures are permanent. When the campaign records
+/// flight data the checkpoint must carry a valid selector of the same
+/// `k` — a digest without its selector would silently drop worst calls on
+/// resume.
 fn load_shard(
     dir: &Path,
     s: usize,
@@ -262,8 +351,9 @@ fn load_shard(
     schema: &DigestSchema,
     want: (u64, u64),
     flight_k: usize,
+    retries: u32,
 ) -> Option<(ShardDigest, WorstK)> {
-    let text = std::fs::read_to_string(shard_path(dir, s)).ok()?;
+    let text = with_io_retry(retries, || std::fs::read_to_string(shard_path(dir, s))).ok()?;
     let v: Value = serde_json::from_str(&text).ok()?;
     let file_id = v.get("campaign_id").and_then(Value::as_u64)?;
     if file_id != id {
@@ -288,6 +378,7 @@ fn load_shard(
 /// Write one shard checkpoint atomically (temp file in the same directory,
 /// then rename), so a kill mid-write leaves either the old state or a
 /// `.tmp` orphan — never a half-written checkpoint under the final name.
+/// Transient write/rename errors retry with backoff.
 fn store_shard(
     dir: &Path,
     s: usize,
@@ -295,6 +386,7 @@ fn store_shard(
     schema: &DigestSchema,
     digest: &ShardDigest,
     worst: Option<&WorstK>,
+    retries: u32,
 ) -> std::io::Result<()> {
     let mut fields = vec![
         ("campaign_id".to_string(), Value::U64(id)),
@@ -307,8 +399,21 @@ fn store_shard(
     let text = serde_json::to_string(&Value::Object(fields))
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     let tmp = dir.join(format!("shard-{s:06}.json.tmp"));
-    std::fs::write(&tmp, text)?;
-    std::fs::rename(&tmp, shard_path(dir, s))
+    with_io_retry(retries, || {
+        std::fs::write(&tmp, &text)?;
+        std::fs::rename(&tmp, shard_path(dir, s))
+    })
+}
+
+/// Stringify a `catch_unwind` payload for the quarantine report.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Execute a sharded campaign: resume what the checkpoint directory
@@ -383,6 +488,9 @@ where
             shards_run: 0,
             shards_resumed: 0,
             complete: true,
+            quarantined: Vec::new(),
+            checkpoint_errors: 0,
+            slow_shards: Vec::new(),
         });
     }
 
@@ -395,7 +503,8 @@ where
     if let Some(dir) = &cfg.checkpoint_dir {
         std::fs::create_dir_all(dir)?;
         for (s, v) in valid.iter_mut().enumerate() {
-            *v = load_shard(dir, s, id, schema, cfg.shard_range(s), cfg.flight_k).is_some();
+            *v = load_shard(dir, s, id, schema, cfg.shard_range(s), cfg.flight_k, cfg.io_retries)
+                .is_some();
         }
     }
     let shards_resumed = valid.iter().filter(|v| **v).count();
@@ -439,66 +548,109 @@ where
     // O(shards).
     let batch = (runner.threads() * 4).max(8);
 
-    // A freshly produced shard carries its wall timings for the health
-    // fold; resumed shards carry none.
-    type Produced = (ShardDigest, WorstK, Option<(u64, u64)>);
+    /// How one shard of a batch resolved.
+    enum ShardResult {
+        /// Resumed from disk (`None` timing) or run fresh (`Some`).
+        Done(ShardDigest, WorstK, Option<(u64, u64)>),
+        /// The fold panicked; isolated, carrying the panic message.
+        Quarantined(String),
+        /// Missing: over the `max_new_shards` cap, or a phase-1-valid
+        /// checkpoint that changed underneath us.
+        Missing,
+    }
 
-    // Phase 2: produce + merge, one index-ordered batch at a time. Every
-    // shard in a batch resolves to Some (resumed from disk or run fresh)
-    // or None (missing but over the max_new_shards cap). Because the
-    // executable set is the first missing shards in index order, a None
-    // can never precede an unexecuted shard — so merging stops at the
-    // first None with no checkpoint left unwritten.
+    let checkpoint_errors = AtomicUsize::new(0);
+
+    // Phase 2: produce + merge, one index-ordered batch at a time. A
+    // `Missing` or `Quarantined` shard stops the *merge* (a gapped merge
+    // would silently drop shards) but never the *production*: every
+    // runnable shard after a bad one still executes and checkpoints, so a
+    // degraded campaign leaves the maximum salvageable state behind.
     let mut merged: Option<ShardDigest> = None;
     let mut merged_flight = WorstK::new(cfg.flight_k);
     let mut health = CampaignHealth::default();
     let mut shards_run = 0usize;
     let mut complete = true;
+    let mut merge_ok = true;
+    let mut quarantined: Vec<ShardQuarantine> = Vec::new();
+    let mut slow_shards: Vec<usize> = Vec::new();
     let mut next = 0usize;
-    'batches: while next < shards_total {
+    while next < shards_total {
         let n = batch.min(shards_total - next);
         let first_shard = next;
-        let results: Vec<Option<Produced>> =
+        let results: Vec<ShardResult> =
             runner.run_indexed_with(n, MetricsScratch::new, |j, scratch| {
                 let s = first_shard + j;
                 let (first, len) = cfg.shard_range(s);
                 if valid[s] {
-                    // Validated in phase 1; a `None` here means the file
+                    // Validated in phase 1; a miss here means the file
                     // changed underneath us — surfaced as an incomplete
                     // campaign rather than silently re-running.
-                    let dir = cfg.checkpoint_dir.as_ref().expect("valid implies dir");
-                    return load_shard(dir, s, id, schema, (first, len), cfg.flight_k)
-                        .map(|(d, w)| (d, w, None));
+                    let Some(dir) = cfg.checkpoint_dir.as_ref() else {
+                        return ShardResult::Missing; // unreachable: valid implies dir
+                    };
+                    return match load_shard(
+                        dir,
+                        s,
+                        id,
+                        schema,
+                        (first, len),
+                        cfg.flight_k,
+                        cfg.io_retries,
+                    ) {
+                        Some((d, w)) => ShardResult::Done(d, w, None),
+                        None => ShardResult::Missing,
+                    };
                 }
                 if !may_run[s] {
-                    return None;
+                    return ShardResult::Missing;
                 }
                 let shard_start = Instant::now();
-                let mut digest = ShardDigest::new(schema, first, len);
-                let mut worst = WorstK::new(cfg.flight_k);
-                let mut since_publish = 0u64;
-                for i in first..first + len {
-                    per_call(i, scratch, &mut digest, &mut worst);
-                    since_publish += 1;
-                    if since_publish == PROGRESS_CHUNK {
-                        let done = calls_done.fetch_add(since_publish, Ordering::Relaxed)
-                            + since_publish;
-                        since_publish = 0;
-                        publish(done);
+                // Panic isolation: the fold runs under `catch_unwind`, so
+                // one poisoned call quarantines its shard instead of
+                // tearing down the campaign. Folds are pure functions of
+                // the call index, so a panic — and hence the quarantine
+                // decision — is deterministic.
+                let folded = catch_unwind(AssertUnwindSafe(|| {
+                    let mut digest = ShardDigest::new(schema, first, len);
+                    let mut worst = WorstK::new(cfg.flight_k);
+                    let mut since_publish = 0u64;
+                    for i in first..first + len {
+                        per_call(i, scratch, &mut digest, &mut worst);
+                        since_publish += 1;
+                        if since_publish == PROGRESS_CHUNK {
+                            let done = calls_done.fetch_add(since_publish, Ordering::Relaxed)
+                                + since_publish;
+                            since_publish = 0;
+                            publish(done);
+                        }
                     }
-                }
+                    (digest, worst, since_publish)
+                }));
+                let (digest, worst, since_publish) = match folded {
+                    Ok(v) => v,
+                    Err(payload) => {
+                        // The scratch may have been abandoned mid-mutation;
+                        // hand the worker a fresh one before its next task.
+                        *scratch = MetricsScratch::new();
+                        return ShardResult::Quarantined(panic_message(payload));
+                    }
+                };
                 let shard_wall_ns = elapsed_ns(shard_start);
                 let done =
                     calls_done.fetch_add(since_publish, Ordering::Relaxed) + since_publish;
                 let mut checkpoint_write_ns = 0;
                 if let Some(dir) = &cfg.checkpoint_dir {
-                    // A checkpoint failure is worth surfacing, but not
-                    // worth killing a running campaign over: the shard
-                    // result is still correct, a later run simply
-                    // re-executes it.
+                    // A checkpoint failure (after retries) is surfaced in
+                    // the outcome, but is not worth killing a running
+                    // campaign over: the shard result is still correct, a
+                    // later run simply re-executes it.
                     let write_start = Instant::now();
                     let flight = (cfg.flight_k > 0).then_some(&worst);
-                    let _ = store_shard(dir, s, id, schema, &digest, flight);
+                    if store_shard(dir, s, id, schema, &digest, flight, cfg.io_retries).is_err()
+                    {
+                        checkpoint_errors.fetch_add(1, Ordering::Relaxed);
+                    }
                     checkpoint_write_ns = elapsed_ns(write_start);
                 }
                 let finished = shards_done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -513,14 +665,14 @@ where
                     calls_done: done,
                     elapsed_ns: elapsed_ns(started),
                 });
-                Some((digest, worst, Some((shard_wall_ns, checkpoint_write_ns))))
+                ShardResult::Done(digest, worst, Some((shard_wall_ns, checkpoint_write_ns)))
             });
         next += n;
         let merge_start = Instant::now();
         for (j, r) in results.into_iter().enumerate() {
             let s = first_shard + j;
             match r {
-                Some((d, w, timing)) => {
+                ShardResult::Done(d, w, timing) => {
                     if !valid[s] {
                         shards_run += 1;
                     }
@@ -530,32 +682,51 @@ where
                             health.checkpoint_write_us.record(ckpt / 1_000);
                         }
                         health.calls_folded += d.len();
+                        if cfg.watchdog_ns.is_some_and(|limit| wall > limit) {
+                            slow_shards.push(s);
+                        }
                     }
-                    merged_flight.merge_from(&w);
-                    match &mut merged {
-                        None => merged = Some(d),
-                        Some(acc) => acc.merge_from(&d),
+                    if merge_ok {
+                        merged_flight.merge_from(&w);
+                        match &mut merged {
+                            None => merged = Some(d),
+                            Some(acc) => acc.merge_from(&d),
+                        }
                     }
                 }
-                None => {
+                ShardResult::Quarantined(reason) => {
                     complete = false;
-                    break 'batches;
+                    merge_ok = false;
+                    quarantined.push(ShardQuarantine { shard: s, reason });
+                }
+                ShardResult::Missing => {
+                    complete = false;
+                    merge_ok = false;
                 }
             }
         }
         health.merge_ns += elapsed_ns(merge_start);
     }
-    // Shards past the cap never entered a batch when the skip fired in an
-    // earlier one; they are missing by construction.
+    // Shards past the cap never ran; they are missing by construction.
     if skipped > 0 {
         complete = false;
     }
     health.elapsed_ns = elapsed_ns(started);
 
     let (digest, fingerprint, flight) = if complete {
-        let merged = merged.expect("complete campaign has at least one shard");
-        let fp = merged.fingerprint(schema);
-        (Some(merged), Some(fp), (cfg.flight_k > 0).then_some(merged_flight))
+        match merged {
+            Some(m) => {
+                let fp = m.fingerprint(schema);
+                (Some(m), Some(fp), (cfg.flight_k > 0).then_some(merged_flight))
+            }
+            // Structurally unreachable (shards_total == 0 returned early),
+            // but a propagated error beats a panic on an engine bug.
+            None => {
+                return Err(std::io::Error::other(
+                    "campaign marked complete with no merged shards",
+                ))
+            }
+        }
     } else {
         (None, None, None)
     };
@@ -569,6 +740,9 @@ where
         shards_run,
         shards_resumed,
         complete,
+        quarantined,
+        checkpoint_errors: checkpoint_errors.load(Ordering::Relaxed),
+        slow_shards,
     })
 }
 
@@ -851,6 +1025,152 @@ mod tests {
         let out = off.run(&schema, fold(ids), |_| {}).unwrap();
         assert_eq!(out.shards_resumed, 0);
         assert_eq!(out.fingerprint, reference.fingerprint);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The digest fold, except one specific call panics — the poisoned
+    /// shard injection used by the supervisor tests.
+    fn poisoned_fold(
+        ids: [ChannelId; 3],
+        poison: u64,
+    ) -> impl Fn(u64, &mut MetricsScratch, &mut ShardDigest) + Sync {
+        let inner = fold(ids);
+        move |i, scratch, d| {
+            assert!(i != poison, "call {i} poisoned");
+            inner(i, scratch, d);
+        }
+    }
+
+    /// A panicking shard is quarantined — the campaign completes degraded
+    /// (every other shard runs), reports the shard and its panic message,
+    /// and the quarantine decision is identical at every thread count.
+    #[test]
+    fn poisoned_shard_is_quarantined_not_fatal() {
+        let (schema, ids) = schema();
+        for threads in [1usize, 4] {
+            let mut cfg = CampaignConfig::new(6000);
+            cfg.shard_size = 500;
+            cfg.threads = threads;
+            // Call 1700 lives in shard 3.
+            let out = cfg.run(&schema, poisoned_fold(ids, 1700), |_| {}).unwrap();
+            assert!(!out.complete, "threads={threads}");
+            assert!(out.digest.is_none() && out.fingerprint.is_none());
+            assert_eq!(out.quarantined.len(), 1);
+            assert_eq!(out.quarantined[0].shard, 3);
+            assert!(
+                out.quarantined[0].reason.contains("poisoned"),
+                "panic message must survive: {:?}",
+                out.quarantined[0].reason
+            );
+            // Every healthy shard still ran.
+            assert_eq!(out.shards_run, cfg.shards() - 1, "threads={threads}");
+        }
+    }
+
+    /// Satellite: resume-after-quarantine. A campaign with one poisoned
+    /// shard checkpoints every healthy shard byte-identically to an
+    /// unpoisoned run, and resuming with the fixed fold re-executes only
+    /// the quarantined shard and lands on the reference fingerprint.
+    #[test]
+    fn resume_after_quarantine_is_bit_identical() {
+        let (schema, ids) = schema();
+        let mk_dir = |tag: u32| {
+            let dir = std::env::temp_dir().join(format!(
+                "diversifi-quarantine-test-{}-{tag}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            dir
+        };
+        let poisoned_dir = mk_dir(1);
+        let clean_dir = mk_dir(2);
+
+        let mut cfg = CampaignConfig::new(6000);
+        cfg.shard_size = 500;
+        cfg.threads = 4;
+
+        // Unpoisoned references: one without checkpoints (fingerprint),
+        // one with (per-shard checkpoint bytes).
+        let reference = cfg.run(&schema, fold(ids), |_| {}).unwrap();
+        cfg.checkpoint_dir = Some(clean_dir.clone());
+        let clean = cfg.run(&schema, fold(ids), |_| {}).unwrap();
+        assert_eq!(clean.fingerprint, reference.fingerprint);
+
+        // Poisoned run: shard 3 dies, everything else checkpoints.
+        cfg.checkpoint_dir = Some(poisoned_dir.clone());
+        let poisoned = cfg.run(&schema, poisoned_fold(ids, 1700), |_| {}).unwrap();
+        assert!(!poisoned.complete);
+        assert_eq!(poisoned.quarantined.len(), 1);
+        assert_eq!(poisoned.quarantined[0].shard, 3);
+        for s in 0..cfg.shards() {
+            let path = shard_path(&poisoned_dir, s);
+            if s == 3 {
+                assert!(!path.exists(), "quarantined shard must not checkpoint");
+            } else {
+                // Healthy-shard checkpoints are byte-identical to the
+                // unpoisoned run's.
+                let a = std::fs::read(&path).unwrap();
+                let b = std::fs::read(shard_path(&clean_dir, s)).unwrap();
+                assert_eq!(a, b, "shard {s} checkpoint differs");
+            }
+        }
+
+        // Resume with the fixed fold: only the quarantined shard re-runs.
+        let resumed = cfg.run(&schema, fold(ids), |_| {}).unwrap();
+        assert!(resumed.complete);
+        assert!(resumed.quarantined.is_empty());
+        assert_eq!(resumed.shards_resumed, cfg.shards() - 1);
+        assert_eq!(resumed.shards_run, 1);
+        assert_eq!(resumed.fingerprint, reference.fingerprint);
+
+        let _ = std::fs::remove_dir_all(&poisoned_dir);
+        let _ = std::fs::remove_dir_all(&clean_dir);
+    }
+
+    /// The watchdog observes (flags slow shards) but never decides: the
+    /// fingerprint is bit-identical with it on or off.
+    #[test]
+    fn watchdog_is_observational_only() {
+        let (schema, ids) = schema();
+        let mut cfg = CampaignConfig::new(4000);
+        cfg.shard_size = 500;
+        let off = cfg.run(&schema, fold(ids), |_| {}).unwrap();
+        assert!(off.slow_shards.is_empty(), "no watchdog, no flags");
+        cfg.watchdog_ns = Some(0); // every fold exceeds 0 ns
+        let on = cfg.run(&schema, fold(ids), |_| {}).unwrap();
+        assert!(on.complete);
+        assert_eq!(on.fingerprint, off.fingerprint);
+        assert_eq!(on.slow_shards, (0..cfg.shards()).collect::<Vec<_>>());
+    }
+
+    /// A checkpoint write that keeps failing is counted and survived —
+    /// the campaign completes with a correct digest; only resume coverage
+    /// is lost for that shard.
+    #[test]
+    fn checkpoint_write_failure_degrades_not_panics() {
+        let (schema, ids) = schema();
+        let dir = std::env::temp_dir().join(format!(
+            "diversifi-ckpt-fail-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Occupy shard 0's temp path with a *directory*: fs::write fails
+        // (EISDIR) every attempt, exhausting the retries.
+        std::fs::create_dir_all(dir.join("shard-000000.json.tmp")).unwrap();
+
+        let mut cfg = CampaignConfig::new(2000);
+        cfg.shard_size = 500;
+        cfg.checkpoint_dir = Some(dir.clone());
+        cfg.io_retries = 1;
+        let out = cfg.run(&schema, fold(ids), |_| {}).unwrap();
+        assert!(out.complete, "IO failure must not block the fold");
+        assert_eq!(out.checkpoint_errors, 1);
+        assert!(out.digest.is_some());
+        // The other shards checkpointed fine.
+        assert!(shard_path(&dir, 1).exists());
+        assert!(!shard_path(&dir, 0).exists());
 
         let _ = std::fs::remove_dir_all(&dir);
     }

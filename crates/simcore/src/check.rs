@@ -23,6 +23,7 @@
 //! [`sim_assert!`]: crate::sim_assert
 //! [`sim_assert_eq!`]: crate::sim_assert_eq
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// `true` when the audit checks are compiled in: every debug build, and
@@ -56,6 +57,28 @@ pub fn set_enabled(on: bool) {
 #[inline(never)]
 pub fn audit_failure(msg: &str, file: &str, line: u32) -> ! {
     panic!("simulation invariant violated [{file}:{line}]: {msg}");
+}
+
+/// Run `f`, converting any panic — a tripped [`sim_assert!`], a
+/// [`PacketLedger`] closure failure, or a plain engine bug — into an
+/// `Err` carrying the panic message. This is the bridge the chaos engine
+/// uses to treat invariant violations as *observations* (an
+/// `"engine-panic"` oracle verdict attributable to one fault plan)
+/// instead of letting them poison a whole campaign shard.
+///
+/// The closure is wrapped in [`AssertUnwindSafe`]: callers must not reuse
+/// state `f` mutated before panicking (the chaos oracle rebuilds its
+/// worlds from scratch per evaluation, so nothing is reused).
+pub fn capture_panic<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    })
 }
 
 /// Assert a simulation invariant.
@@ -439,6 +462,19 @@ mod tests {
         // Debug/test builds carry the layer via debug_assertions; release
         // only with the audit feature (the CI audit job's configuration).
         assert_eq!(AUDIT_COMPILED, cfg!(any(debug_assertions, feature = "audit")));
+    }
+
+    #[test]
+    fn capture_panic_returns_values_and_harvests_messages() {
+        assert_eq!(capture_panic(|| 41 + 1), Ok(42));
+        let err = capture_panic(|| -> u32 { panic!("boom {}", 7) }).unwrap_err();
+        assert_eq!(err, "boom 7");
+        if AUDIT_COMPILED {
+            // A tripped sim_assert surfaces as a capturable message too.
+            let err = capture_panic(|| sim_assert!(1 == 2, "bad math")).unwrap_err();
+            assert!(err.contains("simulation invariant violated"), "{err}");
+            assert!(err.contains("bad math"), "{err}");
+        }
     }
 
     #[test]

@@ -355,6 +355,25 @@ fn profile_line(p: &PhaseProfile) -> String {
     p.summary()
 }
 
+/// Write a rendered artifact atomically: the text lands in
+/// `path + ".tmp"` first and is renamed into place, so a crash (or a
+/// full disk) mid-write leaves either the old artifact or none — never a
+/// truncated one. Parent directories are created as needed. Errors are
+/// propagated, not panicked: artifact IO failing must degrade the run
+/// (skip the artifact, report the error), not kill it.
+pub fn write_text_atomic(path: &std::path::Path, text: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -551,5 +570,25 @@ mod tests {
         assert!(out.contains("\"ph\":\"X\""));
         assert_eq!(out.matches('{').count(), out.matches('}').count());
         assert_eq!(out.matches('[').count(), out.matches(']').count());
+    }
+
+    #[test]
+    fn write_text_atomic_creates_dirs_replaces_and_propagates_errors() {
+        let dir = std::env::temp_dir()
+            .join(format!("diversifi-export-atomic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/artifact.json");
+        write_text_atomic(&path, "{\"v\":1}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":1}");
+        // Overwrite in place; no .tmp litter survives.
+        write_text_atomic(&path, "{\"v\":2}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":2}");
+        assert!(!dir.join("nested/artifact.json.tmp").exists());
+        // A directory squatting on the temp path surfaces as Err, not a
+        // panic (the full-disk / unwritable-path degradation contract).
+        let blocked = dir.join("blocked.json");
+        std::fs::create_dir_all(dir.join("blocked.json.tmp")).unwrap();
+        assert!(write_text_atomic(&blocked, "x").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

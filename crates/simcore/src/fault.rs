@@ -400,3 +400,117 @@ mod tests {
         assert!(!w.contains(T0 + secs(3)));
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Decode one raw draw into a spec. Durations are ≥ 1 ms by
+    /// construction, so every expanded window has positive length; the
+    /// kind selector covers the full catalogue, and flap cycle counts
+    /// include 0 (which must expand to nothing).
+    fn decode_spec(at_ms: u64, kind_sel: usize, params: (u64, u64, u64)) -> FaultSpec {
+        let (d1, d2, n) = params;
+        let dur1 = SimDuration::from_millis(d1);
+        let dur2 = SimDuration::from_millis(d2);
+        let kind = match kind_sel {
+            0 => FaultKind::ApPowerCycle { ap: (n % 2) as usize, outage: dur1 },
+            1 => FaultKind::ApFlap {
+                ap: (n % 2) as usize,
+                down: dur1,
+                up: dur2,
+                cycles: n as u32,
+            },
+            2 => FaultKind::MiddleboxRestart { outage: dur1, reinstall_delay: dur2 },
+            3 => FaultKind::Brownout {
+                duration: dur1,
+                extra_delay: SimDuration::from_millis(d2 % 50),
+                control_loss: n as f64 / 6.0,
+            },
+            4 => FaultKind::UplinkOutage { duration: dur1 },
+            _ => FaultKind::InterferenceStorm {
+                duration: dur1,
+                erasure: n as f64 / 6.0,
+                link: match n % 3 {
+                    0 => None,
+                    1 => Some(0),
+                    _ => Some(1),
+                },
+            },
+        };
+        FaultSpec { at: SimTime::from_millis(at_ms), kind }
+    }
+
+    proptest! {
+        /// `FaultPlan::windows()` invariants for arbitrary generated
+        /// specs: canonical `(start, end, fault)` order, no zero-length
+        /// windows, and an exact expansion count (one window per plain
+        /// spec, `cycles` windows per flap — including zero).
+        #[test]
+        fn windows_expansion_invariants(
+            raw in proptest::collection::vec(
+                (0u64..60_000, 0usize..6, (1u64..4_000, 1u64..3_000, 0u64..6)),
+                0..12,
+            )
+        ) {
+            let specs: Vec<FaultSpec> =
+                raw.iter().map(|&(at, k, p)| decode_spec(at, k, p)).collect();
+            let plan = FaultPlan::new(specs.clone());
+            let ws = plan.windows();
+
+            // Canonical sort order.
+            for w in ws.windows(2) {
+                prop_assert!(
+                    (w[0].start, w[0].end, w[0].fault) <= (w[1].start, w[1].end, w[1].fault)
+                );
+            }
+            // No zero-length windows (durations are positive by construction).
+            for w in &ws {
+                prop_assert!(w.start < w.end, "zero-length window {w:?}");
+            }
+            // Exact expansion count.
+            let expect: usize = specs
+                .iter()
+                .map(|s| match s.kind {
+                    FaultKind::ApFlap { cycles, .. } => cycles as usize,
+                    _ => 1,
+                })
+                .sum();
+            prop_assert_eq!(ws.len(), expect);
+            // Provenance: every window points at a real spec and never
+            // starts before its spec's onset.
+            for w in &ws {
+                prop_assert!(w.fault < specs.len());
+                prop_assert!(w.start >= specs[w.fault].at);
+            }
+        }
+
+        /// Flap cycle starts step by exactly `down + up`, and each
+        /// window's length is exactly `down`.
+        #[test]
+        fn flap_cycle_timing_is_exact(
+            at in 0u64..10_000,
+            down in 1u64..2_000,
+            up in 1u64..2_000,
+            cycles in 0u32..8,
+        ) {
+            let plan = FaultPlan::none().with(
+                SimTime::from_millis(at),
+                FaultKind::ApFlap {
+                    ap: 0,
+                    down: SimDuration::from_millis(down),
+                    up: SimDuration::from_millis(up),
+                    cycles,
+                },
+            );
+            let ws = plan.windows();
+            prop_assert_eq!(ws.len(), cycles as usize);
+            for (i, w) in ws.iter().enumerate() {
+                let start = SimTime::from_millis(at + (down + up) * i as u64);
+                prop_assert_eq!(w.start, start);
+                prop_assert_eq!(w.end, start + SimDuration::from_millis(down));
+            }
+        }
+    }
+}

@@ -30,6 +30,10 @@
 //!   schedules of AP power cycles and flaps, middlebox restarts, WAN/LAN
 //!   brownouts, uplink outages and interference storms, expanded into flat
 //!   impairment windows the world model schedules up front.
+//! - [`chaos`] — adversarial fault-plan fuzzing: seeded plan generation
+//!   under a [`ChaosBudget`], delta-debugging [`shrink_plan`]ning of
+//!   violations to minimal reproducers, and the committed-corpus
+//!   [`ChaosReproducer`] format.
 //!
 //! The design follows the smoltcp idiom: components are poll-driven state
 //! machines with no I/O, no threads in the data path, and no wall-clock
@@ -43,6 +47,7 @@
 
 pub mod arena;
 pub mod campaign;
+pub mod chaos;
 pub mod check;
 pub mod digest;
 pub mod export;
@@ -62,7 +67,11 @@ mod trace;
 pub use arena::WorkerArena;
 pub use campaign::{
     run_campaign, run_campaign_observed, CampaignConfig, CampaignHealth, CampaignOutcome,
-    CampaignProgress, HeartbeatSample,
+    CampaignProgress, HeartbeatSample, ShardQuarantine,
+};
+pub use chaos::{
+    generate_plan, max_concurrency, outage_fraction, shrink_plan, ChaosBudget, ChaosReproducer,
+    ShrinkOutcome, FAULT_KIND_COUNT, SHRINK_FLOOR,
 };
 pub use digest::{ChannelId, ChannelKind, DigestSchema, QuantileSketch, ShardDigest, Welford};
 pub use fault::{FaultEffect, FaultKind, FaultOutcome, FaultPlan, FaultSpec, FaultWindow};

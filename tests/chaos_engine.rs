@@ -1,0 +1,131 @@
+//! Chaos-engine acceptance: the adversarial fault-plan fuzzer finds a
+//! planted violation, shrinks it to a ≤2-spec minimal plan, and produces
+//! byte-identical reproducers at every thread count; the committed
+//! regression corpus replays clean under the real oracles; and scenarios
+//! that never mention `[chaos]` keep their exact pre-chaos canonical
+//! form. These tests run in every build configuration (debug, release,
+//! `audit`, `trace`), so the canary guards both compiled directions of
+//! the invariant-audit layer.
+
+use diversifi::chaos::{replay_reproducer, run_chaos, ChaosConfig};
+use diversifi::scenario::Scenario;
+use diversifi_simcore::chaos::ChaosReproducer;
+use diversifi_simcore::FaultKind;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn smoke_scenario() -> Scenario {
+    let path = repo_root().join("scenarios/chaos-smoke.toml");
+    let text = std::fs::read_to_string(&path).expect("committed smoke scenario exists");
+    Scenario::from_toml(&text).expect("committed smoke scenario parses")
+}
+
+#[test]
+fn planted_canary_is_found_and_shrunk_at_every_thread_count() {
+    let mut reference: Option<String> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let mut cfg = ChaosConfig::from_scenario(&smoke_scenario());
+        cfg.canary = true;
+        cfg.plans = 64;
+        cfg.threads = threads;
+        let report = run_chaos(&cfg).expect("canary scan runs");
+        assert!(report.complete, "threads={threads}");
+        assert!(report.quarantined.is_empty(), "threads={threads}");
+        assert!(report.violations > 0, "canary not found (threads={threads})");
+        assert!(!report.findings.is_empty(), "threads={threads}");
+        for f in &report.findings {
+            // The acceptance bar: a known violation shrinks to a minimal
+            // plan of at most two specs — here exactly the composed
+            // uplink-outage + interference-storm pair the canary keys on.
+            assert!(
+                f.minimal_specs <= 2,
+                "not minimal (threads={threads}): {} specs",
+                f.minimal_specs
+            );
+            assert_eq!(f.reproducer.plan.specs.len(), 2, "threads={threads}");
+            let outage = f
+                .reproducer
+                .plan
+                .specs
+                .iter()
+                .any(|s| matches!(s.kind, FaultKind::UplinkOutage { .. }));
+            let storm = f
+                .reproducer
+                .plan
+                .specs
+                .iter()
+                .any(|s| matches!(s.kind, FaultKind::InterferenceStorm { .. }));
+            assert!(outage && storm, "threads={threads}: {:?}", f.reproducer.plan);
+        }
+        // Same seed ⇒ byte-identical serialized reproducers, regardless
+        // of worker count.
+        let blob = serde_json::to_string(&report.findings).expect("findings serialize");
+        match &reference {
+            None => reference = Some(blob),
+            Some(want) => assert_eq!(&blob, want, "threads={threads}"),
+        }
+    }
+}
+
+#[test]
+fn committed_corpus_replays_clean_under_the_real_oracles() {
+    let cfg = ChaosConfig::from_scenario(&smoke_scenario());
+    let dir = repo_root().join("scenarios/chaos-corpus");
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("committed chaos corpus exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "the corpus ships with at least one reproducer");
+    for p in &entries {
+        let text = std::fs::read_to_string(p).expect("corpus entry readable");
+        let rep: ChaosReproducer =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("{}: {e}", p.display()));
+        assert!(!rep.plan.is_empty(), "{}: empty plan", p.display());
+        assert!(
+            replay_reproducer(&cfg, &rep).is_none(),
+            "{}: committed reproducer regressed ({})",
+            p.display(),
+            rep.oracle,
+        );
+    }
+}
+
+#[test]
+fn real_oracle_scan_is_clean_and_thread_invariant_on_the_smoke_budget() {
+    let mut runs = Vec::new();
+    for threads in [2usize, 4] {
+        let mut cfg = ChaosConfig::from_scenario(&smoke_scenario());
+        cfg.plans = 64;
+        cfg.threads = threads;
+        let report = run_chaos(&cfg).expect("scan runs");
+        assert!(report.complete);
+        assert_eq!(
+            report.violations, 0,
+            "smoke budget must be green at its calibrated tolerance \
+             (findings: {:?})",
+            report.findings
+        );
+        runs.push(report.fingerprint.expect("complete scan has a fingerprint"));
+    }
+    assert_eq!(runs[0], runs[1], "scan fingerprint must be thread-count invariant");
+}
+
+#[test]
+fn chaos_free_scenarios_keep_their_pre_chaos_canonical_form() {
+    for file in ["office.toml", "ci-smoke.toml", "fps-office.toml"] {
+        let path = repo_root().join("scenarios").join(file);
+        let text = std::fs::read_to_string(&path).expect("committed scenario exists");
+        let scn = Scenario::from_toml(&text).expect("committed scenario parses");
+        let json = scn.to_json_pretty();
+        assert!(
+            !json.contains("\"chaos\""),
+            "{file}: chaos-free scenario grew a chaos key — this would shift \
+             its fingerprint and orphan existing campaign checkpoints"
+        );
+    }
+}
